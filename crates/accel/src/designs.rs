@@ -1,0 +1,162 @@
+//! The three ADA-GP hardware designs (§4.2, Figure 14) and their
+//! per-batch cycle costs.
+//!
+//! * **ADA-GP-MAX** — extra PE array + predictor memory: predictor work
+//!   overlaps the original model's computation.
+//! * **ADA-GP-Efficient** — predictor memory only: predictor runs after
+//!   each layer on the shared array (cost adds up), but its weights never
+//!   reload from DRAM.
+//! * **ADA-GP-LOW** — no extra hardware: predictor weights load/store
+//!   around every layer's prediction on the shared array.
+
+use crate::layer_cost::LayerCost;
+use serde::{Deserialize, Serialize};
+
+/// Which hardware variant runs ADA-GP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdaGpDesign {
+    /// Reuse everything; reload predictor weights per layer.
+    Low,
+    /// Dedicated predictor memory; shared PE array.
+    Efficient,
+    /// Dedicated predictor PE array and memory; fully overlapped.
+    Max,
+}
+
+impl AdaGpDesign {
+    /// The three designs in the figures' plotting order.
+    pub fn all() -> [AdaGpDesign; 3] {
+        [AdaGpDesign::Low, AdaGpDesign::Efficient, AdaGpDesign::Max]
+    }
+
+    /// Display name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdaGpDesign::Low => "ADA-GP-LOW",
+            AdaGpDesign::Efficient => "ADA-GP-Efficient",
+            AdaGpDesign::Max => "ADA-GP-MAX",
+        }
+    }
+
+    /// Extra cycles ADA-GP-LOW pays per layer to load/store predictor
+    /// weights on the shared array.
+    pub fn reload_cycles(&self) -> u64 {
+        match self {
+            AdaGpDesign::Low => 96,
+            _ => 0,
+        }
+    }
+}
+
+/// Per-batch cycles of the plain backpropagation baseline:
+/// `Σ (FW + BW)`.
+pub fn baseline_batch_cycles(costs: &[LayerCost]) -> u64 {
+    costs.iter().map(|c| c.baseline()).sum()
+}
+
+/// Per-batch cycles of a warm-up / Phase BP batch (§3.3, Figure 8): the
+/// full baseline plus predictor FW (α) during the forward pass and
+/// predictor BW (2α) during the backward pass.
+///
+/// ADA-GP-MAX overlaps the predictor with the next layer's computation,
+/// paying only the non-overlappable remainder `max(0, 3α − (FW+BW))` per
+/// layer (≈ 0 in practice since α < FW).
+pub fn bp_batch_cycles(design: AdaGpDesign, costs: &[LayerCost]) -> u64 {
+    match design {
+        AdaGpDesign::Max => costs
+            .iter()
+            .map(|c| c.baseline() + (3 * c.alpha).saturating_sub(c.baseline()))
+            .sum(),
+        AdaGpDesign::Efficient => costs.iter().map(|c| c.baseline() + 3 * c.alpha).sum(),
+        AdaGpDesign::Low => costs
+            .iter()
+            .map(|c| c.baseline() + 3 * c.alpha + 2 * design.reload_cycles())
+            .sum(),
+    }
+}
+
+/// Per-batch cycles of a Phase GP batch (§3.4, Figure 9): backward is
+/// skipped entirely; only the forward pass plus predictor inference α per
+/// layer remains.
+pub fn gp_batch_cycles(design: AdaGpDesign, costs: &[LayerCost]) -> u64 {
+    match design {
+        // Predictor of layer i overlaps FW of layer i+1: per layer the
+        // cost is max(FW, α); one trailing α remains at the end.
+        AdaGpDesign::Max => {
+            let overlapped: u64 = costs.iter().map(|c| c.fw.max(c.alpha)).sum();
+            overlapped + costs.last().map(|c| c.alpha).unwrap_or(0)
+        }
+        AdaGpDesign::Efficient => costs.iter().map(|c| c.fw + c.alpha).sum(),
+        AdaGpDesign::Low => costs
+            .iter()
+            .map(|c| c.fw + c.alpha + design.reload_cycles())
+            .sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> Vec<LayerCost> {
+        vec![
+            LayerCost { fw: 1000, bw: 2000, alpha: 100 },
+            LayerCost { fw: 500, bw: 1000, alpha: 80 },
+            LayerCost { fw: 2000, bw: 4000, alpha: 150 },
+        ]
+    }
+
+    #[test]
+    fn baseline_is_3x_fw() {
+        assert_eq!(baseline_batch_cycles(&costs()), 3 * (1000 + 500 + 2000));
+    }
+
+    #[test]
+    fn gp_skips_backward() {
+        let gp = gp_batch_cycles(AdaGpDesign::Efficient, &costs());
+        let baseline = baseline_batch_cycles(&costs());
+        // GP = ΣFW + Σα — far below baseline.
+        assert_eq!(gp, 3500 + 330);
+        assert!(gp * 2 < baseline);
+    }
+
+    #[test]
+    fn design_ordering_in_gp() {
+        // MAX ≤ Efficient ≤ LOW (more hardware, more speed).
+        let max = gp_batch_cycles(AdaGpDesign::Max, &costs());
+        let eff = gp_batch_cycles(AdaGpDesign::Efficient, &costs());
+        let low = gp_batch_cycles(AdaGpDesign::Low, &costs());
+        assert!(max <= eff);
+        assert!(eff <= low);
+    }
+
+    #[test]
+    fn max_gp_overlaps_alpha() {
+        // alpha < fw everywhere, so MAX pays ΣFW + trailing alpha only.
+        let max = gp_batch_cycles(AdaGpDesign::Max, &costs());
+        assert_eq!(max, 3500 + 150);
+    }
+
+    #[test]
+    fn bp_phase_costs_more_than_baseline() {
+        // Phase BP adds predictor training work in all designs.
+        let b = baseline_batch_cycles(&costs());
+        for d in AdaGpDesign::all() {
+            assert!(bp_batch_cycles(d, &costs()) >= b, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn max_bp_is_nearly_baseline() {
+        // With alpha << fw, MAX's BP overhead vanishes.
+        let b = baseline_batch_cycles(&costs());
+        assert_eq!(bp_batch_cycles(AdaGpDesign::Max, &costs()), b);
+    }
+
+    #[test]
+    fn low_pays_reload() {
+        let eff = gp_batch_cycles(AdaGpDesign::Efficient, &costs());
+        let low = gp_batch_cycles(AdaGpDesign::Low, &costs());
+        assert_eq!(low - eff, 3 * AdaGpDesign::Low.reload_cycles());
+    }
+}

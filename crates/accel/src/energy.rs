@@ -1,0 +1,193 @@
+//! Off-chip memory-access energy model (§6.6.2, Figure 21).
+//!
+//! Phase GP's key side effect: "Since the weights are updated as the FW
+//! pass proceeds, ADA-GP does not need to load the weights and activations
+//! from off-chip memory as is traditionally done in the case of BW pass."
+//! The model counts DRAM words moved per batch in each phase and applies a
+//! CACTI-style per-access energy constant.
+
+use crate::designs::AdaGpDesign;
+use crate::speedup::EpochMix;
+use adagp_nn::models::shapes::LayerShape;
+use serde::{Deserialize, Serialize};
+
+/// Energy constants (CACTI-derived magnitudes; Figure 21 depends only on
+/// the traffic ratios).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyConfig {
+    /// Picojoules per 4-byte DRAM word access.
+    pub dram_pj_per_word: f64,
+    /// Batch size of the modelled training run.
+    pub batch: usize,
+    /// Batches per epoch of the modelled training run.
+    pub batches_per_epoch: usize,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            dram_pj_per_word: 640.0,
+            batch: 16,
+            batches_per_epoch: 512,
+        }
+    }
+}
+
+/// DRAM words moved by one **forward** pass of a batch: weights in,
+/// activations in and out.
+pub fn fw_traffic_words(layers: &[LayerShape], batch: usize) -> u64 {
+    layers
+        .iter()
+        .map(|l| l.weight_count() + batch as u64 * 2 * l.out_activations())
+        .sum()
+}
+
+/// DRAM words moved by one **backward** pass of a batch: weights re-read,
+/// stored activations re-read, activation gradients read and written
+/// (spilled between layers), weight gradients and updated weights written.
+pub fn bw_traffic_words(layers: &[LayerShape], batch: usize) -> u64 {
+    layers
+        .iter()
+        .map(|l| 3 * l.weight_count() + batch as u64 * 3 * l.out_activations())
+        .sum()
+}
+
+/// DRAM words of a Phase GP batch. With no backward pass pending, the
+/// forward pass streams activations through the on-chip buffer instead of
+/// spilling them for later reuse ("ADA-GP does not need to load the
+/// weights and activations from off-chip memory as is traditionally done
+/// in the case of BW pass"): weights in, updated weights out, activations
+/// touched once. ADA-GP-LOW additionally reloads predictor weights per
+/// layer.
+pub fn gp_traffic_words(
+    layers: &[LayerShape],
+    batch: usize,
+    design: AdaGpDesign,
+    predictor_words: u64,
+) -> u64 {
+    let base: u64 = layers
+        .iter()
+        .map(|l| 2 * l.weight_count() + batch as u64 * l.out_activations())
+        .sum();
+    match design {
+        AdaGpDesign::Low => base + layers.len() as u64 * predictor_words,
+        _ => base,
+    }
+}
+
+/// Total training memory energy in joules for the baseline.
+pub fn baseline_energy_joules(cfg: &EnergyConfig, layers: &[LayerShape], mix: &EpochMix) -> f64 {
+    let per_batch =
+        (fw_traffic_words(layers, cfg.batch) + bw_traffic_words(layers, cfg.batch)) as f64;
+    let batches = (mix.total() * cfg.batches_per_epoch) as f64;
+    per_batch * batches * cfg.dram_pj_per_word * 1e-12
+}
+
+/// Total training memory energy in joules for an ADA-GP design.
+pub fn adagp_energy_joules(
+    cfg: &EnergyConfig,
+    layers: &[LayerShape],
+    mix: &EpochMix,
+    design: AdaGpDesign,
+) -> f64 {
+    let fw = fw_traffic_words(layers, cfg.batch) as f64;
+    let bw = bw_traffic_words(layers, cfg.batch) as f64;
+    // Predictor footprint: a few KW; only LOW re-reads it per layer.
+    let predictor_words = 4096u64;
+    let gp = gp_traffic_words(layers, cfg.batch, design, predictor_words) as f64;
+    let bp = fw + bw + predictor_words as f64; // BP phases also touch predictor weights once
+    let mut total_words = 0.0;
+    for (g, epochs) in mix.stages() {
+        let per_batch = g * gp + (1.0 - g) * bp;
+        total_words += epochs as f64 * cfg.batches_per_epoch as f64 * per_batch;
+    }
+    total_words * cfg.dram_pj_per_word * 1e-12
+}
+
+/// Relative energy saving of a design vs the baseline, in percent.
+pub fn energy_saving_percent(
+    cfg: &EnergyConfig,
+    layers: &[LayerShape],
+    mix: &EpochMix,
+    design: AdaGpDesign,
+) -> f64 {
+    let b = baseline_energy_joules(cfg, layers, mix);
+    let a = adagp_energy_joules(cfg, layers, mix, design);
+    100.0 * (1.0 - a / b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adagp_nn::models::shapes::{model_shapes, InputScale};
+    use adagp_nn::models::CnnModel;
+
+    fn vgg13() -> Vec<LayerShape> {
+        model_shapes(CnnModel::Vgg13, InputScale::Cifar)
+    }
+
+    #[test]
+    fn bw_moves_more_than_fw() {
+        let layers = vgg13();
+        assert!(bw_traffic_words(&layers, 16) > fw_traffic_words(&layers, 16));
+    }
+
+    #[test]
+    fn gp_moves_less_than_fw_plus_bw() {
+        let layers = vgg13();
+        let gp = gp_traffic_words(&layers, 16, AdaGpDesign::Efficient, 4096);
+        assert!(gp < fw_traffic_words(&layers, 16) + bw_traffic_words(&layers, 16));
+    }
+
+    #[test]
+    fn adagp_saves_energy_in_paper_ballpark() {
+        // The paper reports an average 34% reduction; the model should land
+        // in the same neighbourhood for the CNN zoo.
+        let cfg = EnergyConfig::default();
+        let mix = EpochMix::paper();
+        let savings: Vec<f64> = CnnModel::all()
+            .iter()
+            .map(|&m| {
+                energy_saving_percent(
+                    &cfg,
+                    &model_shapes(m, InputScale::Cifar),
+                    &mix,
+                    AdaGpDesign::Efficient,
+                )
+            })
+            .collect();
+        let mean = savings.iter().sum::<f64>() / savings.len() as f64;
+        assert!(
+            (20.0..45.0).contains(&mean),
+            "mean saving {mean}% outside the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn low_design_saves_less_than_efficient() {
+        let cfg = EnergyConfig::default();
+        let mix = EpochMix::paper();
+        let layers = vgg13();
+        let eff = energy_saving_percent(&cfg, &layers, &mix, AdaGpDesign::Efficient);
+        let low = energy_saving_percent(&cfg, &layers, &mix, AdaGpDesign::Low);
+        assert!(low <= eff);
+    }
+
+    #[test]
+    fn energy_scales_with_run_length() {
+        let cfg = EnergyConfig::default();
+        let layers = vgg13();
+        let short = EpochMix {
+            warmup: 1,
+            stage_4_1: 1,
+            stage_3_1: 1,
+            stage_2_1: 1,
+            stage_1_1: 1,
+        };
+        let long = EpochMix::paper();
+        assert!(
+            baseline_energy_joules(&cfg, &layers, &long)
+                > baseline_energy_joules(&cfg, &layers, &short)
+        );
+    }
+}

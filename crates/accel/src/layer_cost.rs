@@ -1,0 +1,182 @@
+//! Per-layer cycle costs: forward pass, backward pass and the predictor's
+//! forward/backward latency α / 2α (§3.7).
+
+use crate::dataflow::{utilization, AcceleratorConfig, Dataflow};
+use adagp_nn::models::shapes::{LayerKind, LayerShape};
+
+/// Cycle costs of one layer for one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerCost {
+    /// Forward-pass cycles.
+    pub fw: u64,
+    /// Backward-pass cycles (weight + data gradients).
+    pub bw: u64,
+    /// Predictor forward latency α for this layer.
+    pub alpha: u64,
+}
+
+impl LayerCost {
+    /// Baseline training cycles for the layer (FW + BW).
+    pub fn baseline(&self) -> u64 {
+        self.fw + self.bw
+    }
+}
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model for the predictor model attached to a layer (§3.7: "This
+/// value is directly linked to the predictor model's size and the number
+/// of operations in its FW and BW pass").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorCostModel {
+    /// Pooled spatial size of the predictor input (see
+    /// `adagp_core::PredictorConfig`).
+    pub pooled_size: usize,
+    /// Conv channels of the predictor.
+    pub conv_channels: usize,
+}
+
+impl Default for PredictorCostModel {
+    fn default() -> Self {
+        PredictorCostModel {
+            pooled_size: 4,
+            conv_channels: 8,
+        }
+    }
+}
+
+impl PredictorCostModel {
+    /// Predictor MACs for one layer's gradient prediction: conv stage +
+    /// FC stage over `out_ch` reorganized samples.
+    ///
+    /// Conv sites pool their activation map to `pooled_size²`; linear
+    /// sites reorganize to a 1×1 map (one scalar per output feature, see
+    /// `adagp_core::reorg`), so their per-row feature width is just
+    /// `conv_channels` — without this the predictor would dwarf the FC
+    /// layers it serves.
+    pub fn macs(&self, layer: &LayerShape) -> u64 {
+        let spatial = match layer.kind {
+            LayerKind::Linear => 1u64,
+            _ => (self.pooled_size * self.pooled_size) as u64,
+        };
+        let conv_macs = self.conv_channels as u64 * 9 * spatial; // 3x3 conv, 1 in-channel
+        let feat = self.conv_channels as u64 * spatial;
+        let row = layer.weight_count() / layer.out_ch.max(1) as u64;
+        let fc_macs = feat * row;
+        layer.out_ch as u64 * (conv_macs + fc_macs)
+    }
+}
+
+/// Computes the per-layer cycle costs for a batch of `batch` samples.
+///
+/// Forward cycles = batch MACs / (PEs × utilization) + ramp; backward =
+/// `bw_multiplier` × forward (the paper's assumption); α = predictor MACs
+/// at full utilization (its GEMM shapes are dense) + ramp.
+pub fn layer_cost(
+    cfg: &AcceleratorConfig,
+    df: Dataflow,
+    pred: &PredictorCostModel,
+    layer: &LayerShape,
+    batch: usize,
+) -> LayerCost {
+    let u = utilization(df, layer, cfg.pes);
+    let macs = layer.macs() * batch as u64;
+    let fw = (macs as f64 / (cfg.pes as f64 * u)).ceil() as u64 + cfg.ramp_cycles;
+    let bw = (fw as f64 * cfg.bw_multiplier).round() as u64;
+    // Tensor reorganization averages over the batch, so predictor cost is
+    // batch-independent.
+    let alpha = (pred.macs(layer) as f64 / cfg.pes as f64).ceil() as u64 + cfg.ramp_cycles;
+    LayerCost { fw, bw, alpha }
+}
+
+/// Costs for every layer of a model.
+pub fn model_costs(
+    cfg: &AcceleratorConfig,
+    df: Dataflow,
+    pred: &PredictorCostModel,
+    layers: &[LayerShape],
+    batch: usize,
+) -> Vec<LayerCost> {
+    layers
+        .iter()
+        .map(|l| layer_cost(cfg, df, pred, l, batch))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_layer() -> LayerShape {
+        LayerShape::conv("c", 128, 256, 3, 28)
+    }
+
+    #[test]
+    fn bw_is_twice_fw() {
+        let cfg = AcceleratorConfig::default();
+        let c = layer_cost(
+            &cfg,
+            Dataflow::WeightStationary,
+            &PredictorCostModel::default(),
+            &big_layer(),
+            16,
+        );
+        assert_eq!(c.bw, c.fw * 2);
+        assert_eq!(c.baseline(), c.fw * 3);
+    }
+
+    #[test]
+    fn alpha_is_smaller_than_fw() {
+        // §3.7: "This latency is smaller than the FW pass latency of each
+        // layer of the original model."
+        let cfg = AcceleratorConfig::default();
+        let c = layer_cost(
+            &cfg,
+            Dataflow::WeightStationary,
+            &PredictorCostModel::default(),
+            &big_layer(),
+            16,
+        );
+        assert!(
+            c.alpha < c.fw,
+            "alpha {} should be below fw {}",
+            c.alpha,
+            c.fw
+        );
+    }
+
+    #[test]
+    fn cycles_scale_with_batch() {
+        let cfg = AcceleratorConfig::default();
+        let pred = PredictorCostModel::default();
+        let c1 = layer_cost(&cfg, Dataflow::WeightStationary, &pred, &big_layer(), 1);
+        let c16 = layer_cost(&cfg, Dataflow::WeightStationary, &pred, &big_layer(), 16);
+        assert!(c16.fw > c1.fw * 10);
+        // Predictor cost is batch-independent (batch-mean reorganization).
+        assert_eq!(c1.alpha, c16.alpha);
+    }
+
+    #[test]
+    fn more_pes_fewer_cycles() {
+        let small = AcceleratorConfig::default();
+        let big = AcceleratorConfig::default().scaled_pes(2.0);
+        let pred = PredictorCostModel::default();
+        let cs = layer_cost(&small, Dataflow::WeightStationary, &pred, &big_layer(), 8);
+        let cb = layer_cost(&big, Dataflow::WeightStationary, &pred, &big_layer(), 8);
+        assert!(cb.fw < cs.fw);
+    }
+
+    #[test]
+    fn model_costs_covers_all_layers() {
+        let cfg = AcceleratorConfig::default();
+        let layers = vec![big_layer(), LayerShape::linear("fc", 512, 10)];
+        let costs = model_costs(
+            &cfg,
+            Dataflow::RowStationary,
+            &PredictorCostModel::default(),
+            &layers,
+            4,
+        );
+        assert_eq!(costs.len(), 2);
+    }
+}

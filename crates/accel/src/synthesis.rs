@@ -1,0 +1,345 @@
+//! FPGA resource/power and ASIC area/power models (§6.6.1, Tables 4–5).
+//!
+//! The paper synthesizes its designs with Vivado (Virtex-7) and the
+//! Synopsys Design Compiler. Those toolchains are not reproducible here;
+//! instead this module provides an additive component model — baseline
+//! accelerator + predictor memory + extra PE array — whose component
+//! constants are calibrated so the composed totals match the paper's
+//! published tables. The comparisons the paper draws (overhead percents,
+//! iso-power/iso-area baselines) are derived from the model, not
+//! hard-coded.
+
+use crate::designs::AdaGpDesign;
+use serde::{Deserialize, Serialize};
+
+/// One row of the FPGA resource-utilization table (Table 4a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpgaResources {
+    /// CLB look-up tables.
+    pub clb_luts: u64,
+    /// CLB registers.
+    pub clb_registers: u64,
+    /// 36 Kb block RAMs.
+    pub bram36: u64,
+    /// 18 Kb block RAMs.
+    pub bram18: u64,
+    /// DSP48E1 slices.
+    pub dsp48: u64,
+}
+
+/// One row of the FPGA on-chip power table (Table 4b), in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaPower {
+    /// Clock tree power.
+    pub clocks: f64,
+    /// CLB logic power.
+    pub logic: f64,
+    /// Signal/net power.
+    pub signals: f64,
+    /// Block RAM power.
+    pub bram: f64,
+    /// DSP power.
+    pub dsps: f64,
+    /// Static power.
+    pub static_power: f64,
+}
+
+impl FpgaPower {
+    /// Total on-chip power in watts.
+    pub fn total(&self) -> f64 {
+        self.clocks + self.logic + self.signals + self.bram + self.dsps + self.static_power
+    }
+}
+
+/// FPGA component model calibrated to the paper's Virtex-7 numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct FpgaModel {
+    baseline: FpgaResources,
+    baseline_power: FpgaPower,
+}
+
+impl Default for FpgaModel {
+    fn default() -> Self {
+        FpgaModel {
+            // Table 4a baseline row.
+            baseline: FpgaResources {
+                clb_luts: 472_004,
+                clb_registers: 31_402,
+                bram36: 1_327,
+                bram18: 514,
+                dsp48: 166,
+            },
+            // Table 4b baseline row.
+            baseline_power: FpgaPower {
+                clocks: 0.046,
+                logic: 0.420,
+                signals: 0.842,
+                bram: 0.244,
+                dsps: 0.009,
+                static_power: 2.032,
+            },
+        }
+    }
+}
+
+impl FpgaModel {
+    /// Resources of the baseline accelerator.
+    pub fn baseline(&self) -> FpgaResources {
+        self.baseline
+    }
+
+    /// Resources of an ADA-GP design: baseline + control logic (LUTs) +
+    /// predictor memory (BRAM, Efficient/MAX) + predictor PE array
+    /// (registers + DSPs, MAX only).
+    pub fn design(&self, d: AdaGpDesign) -> FpgaResources {
+        let mut r = self.baseline;
+        // Phase-control and gradient-routing logic (all designs).
+        r.clb_luts += 17_282;
+        r.clb_registers += 454;
+        match d {
+            AdaGpDesign::Low => {}
+            AdaGpDesign::Efficient => {
+                r.clb_luts += 3_885;
+                r.clb_registers += 60;
+                r.bram36 += 1_080; // predictor weight memory
+            }
+            AdaGpDesign::Max => {
+                r.clb_luts += 4_794;
+                r.clb_registers += 5_596; // extra PE array registers
+                r.bram36 += 1_080;
+                r.dsp48 += 80; // predictor PE array multipliers
+            }
+        }
+        r
+    }
+
+    /// Power of the baseline accelerator.
+    pub fn baseline_power(&self) -> FpgaPower {
+        self.baseline_power
+    }
+
+    /// Power of an ADA-GP design, composed from the added components.
+    pub fn design_power(&self, d: AdaGpDesign) -> FpgaPower {
+        let mut p = self.baseline_power;
+        match d {
+            AdaGpDesign::Low => {
+                p.clocks += 0.001;
+                p.logic += 0.026;
+                p.signals += 0.015;
+                p.bram -= 0.001; // fewer concurrent banks active
+                p.dsps = 0.001;
+            }
+            AdaGpDesign::Efficient => {
+                p.clocks += 0.006;
+                p.logic += 0.001;
+                p.signals += 0.010;
+                p.bram += 0.095; // predictor memory
+                p.dsps = 0.001;
+                p.static_power += 0.028;
+            }
+            AdaGpDesign::Max => {
+                p.clocks += 0.009;
+                p.logic += 0.006;
+                p.signals += 0.015;
+                p.bram += 0.095;
+                p.dsps = 0.001;
+                p.static_power += 0.027;
+            }
+        }
+        p
+    }
+
+    /// Power overhead of a design vs baseline, in percent.
+    pub fn power_overhead_percent(&self, d: AdaGpDesign) -> f64 {
+        100.0 * (self.design_power(d).total() / self.baseline_power.total() - 1.0)
+    }
+}
+
+/// One row of the ASIC area table (Table 5a), in µm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsicArea {
+    /// Combinational cell area.
+    pub combinational: f64,
+    /// Buffer/inverter area.
+    pub buf_inv: f64,
+    /// Net interconnect area.
+    pub interconnect: f64,
+    /// Total cell area.
+    pub total_cell: f64,
+}
+
+impl AsicArea {
+    /// Total area (cell + interconnect).
+    pub fn total(&self) -> f64 {
+        self.total_cell + self.interconnect
+    }
+}
+
+/// One row of the ASIC power table (Table 5b), in µW.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsicPower {
+    /// Internal (cell) power.
+    pub internal: f64,
+    /// Switching power.
+    pub switching: f64,
+    /// Leakage power.
+    pub leakage: f64,
+}
+
+impl AsicPower {
+    /// Total power in µW.
+    pub fn total(&self) -> f64 {
+        self.internal + self.switching + self.leakage
+    }
+}
+
+/// ASIC component model calibrated to the paper's Design Compiler numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct AsicModel {
+    baseline_area: AsicArea,
+    baseline_power: AsicPower,
+}
+
+impl Default for AsicModel {
+    fn default() -> Self {
+        AsicModel {
+            // Table 5a baseline row.
+            baseline_area: AsicArea {
+                combinational: 2_331_250.0,
+                buf_inv: 272_483.0,
+                interconnect: 436_615.0,
+                total_cell: 2_546_076.0,
+            },
+            // Table 5b baseline row.
+            baseline_power: AsicPower {
+                internal: 2.26e4,
+                switching: 1.72e3,
+                leakage: 1.99e5,
+            },
+        }
+    }
+}
+
+impl AsicModel {
+    /// Baseline area.
+    pub fn baseline_area(&self) -> AsicArea {
+        self.baseline_area
+    }
+
+    /// Area of an ADA-GP design.
+    pub fn design_area(&self, d: AdaGpDesign) -> AsicArea {
+        let mut a = self.baseline_area;
+        let (comb, bi, net, cell) = match d {
+            AdaGpDesign::Low => (43_938.0, 4_778.0, 8_756.0, 44_507.0),
+            AdaGpDesign::Efficient => (74_631.0, 3_300.0, 3_416.0, 76_782.0),
+            AdaGpDesign::Max => (180_807.0, 14_593.0, 23_542.0, 224_903.0),
+        };
+        a.combinational += comb;
+        a.buf_inv += bi;
+        a.interconnect += net;
+        a.total_cell += cell;
+        a
+    }
+
+    /// Baseline power.
+    pub fn baseline_power(&self) -> AsicPower {
+        self.baseline_power
+    }
+
+    /// Power of an ADA-GP design.
+    pub fn design_power(&self, d: AdaGpDesign) -> AsicPower {
+        let mut p = self.baseline_power;
+        match d {
+            AdaGpDesign::Low => {
+                p.internal -= 1.0e2;
+                p.switching -= 5.0e1;
+                p.leakage += 3.0e3;
+            }
+            AdaGpDesign::Efficient => {
+                p.internal += 1.0e2;
+                p.switching += 8.0e1;
+                p.leakage += 1.0e3;
+            }
+            AdaGpDesign::Max => {
+                p.internal += 5.4e3;
+                p.switching += 7.0e2;
+                p.leakage += 2.4e4;
+            }
+        }
+        p
+    }
+
+    /// Area overhead of a design vs baseline, in percent.
+    pub fn area_overhead_percent(&self, d: AdaGpDesign) -> f64 {
+        100.0 * (self.design_area(d).total() / self.baseline_area.total() - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpga_baseline_matches_table4() {
+        let m = FpgaModel::default();
+        let b = m.baseline();
+        assert_eq!(b.clb_luts, 472_004);
+        assert_eq!(b.dsp48, 166);
+        assert!((m.baseline_power().total() - 3.712).abs() < 0.12);
+    }
+
+    #[test]
+    fn fpga_designs_match_table4_rows() {
+        let m = FpgaModel::default();
+        let low = m.design(AdaGpDesign::Low);
+        assert_eq!(low.clb_luts, 489_286);
+        assert_eq!(low.bram36, 1_327);
+        let eff = m.design(AdaGpDesign::Efficient);
+        assert_eq!(eff.clb_luts, 493_171);
+        assert_eq!(eff.bram36, 2_407);
+        let max = m.design(AdaGpDesign::Max);
+        assert_eq!(max.clb_luts, 494_080);
+        assert_eq!(max.dsp48, 246);
+        assert_eq!(max.clb_registers, 37_452);
+    }
+
+    #[test]
+    fn fpga_power_overheads_match_paper() {
+        // §6.6.1: "power increase of only 0.8%, 3.5%, and 3.8%".
+        let m = FpgaModel::default();
+        assert!((m.power_overhead_percent(AdaGpDesign::Low) - 0.8).abs() < 0.5);
+        assert!((m.power_overhead_percent(AdaGpDesign::Efficient) - 3.5).abs() < 0.6);
+        assert!((m.power_overhead_percent(AdaGpDesign::Max) - 3.8).abs() < 0.6);
+    }
+
+    #[test]
+    fn asic_area_overheads_match_paper() {
+        // §6.6.1: "increase in the final design area by 1.7%, 2.6%, and
+        // 8.3%".
+        let m = AsicModel::default();
+        assert!((m.area_overhead_percent(AdaGpDesign::Low) - 1.7).abs() < 0.4);
+        assert!((m.area_overhead_percent(AdaGpDesign::Efficient) - 2.6).abs() < 0.4);
+        assert!((m.area_overhead_percent(AdaGpDesign::Max) - 8.3).abs() < 0.5);
+    }
+
+    #[test]
+    fn asic_baseline_matches_table5() {
+        let m = AsicModel::default();
+        assert_eq!(m.baseline_area().combinational, 2_331_250.0);
+        let p = m.baseline_power();
+        assert!((p.total() - 2.24e5).abs() / 2.24e5 < 0.01);
+    }
+
+    #[test]
+    fn design_ordering_max_costs_most() {
+        let fm = FpgaModel::default();
+        let am = AsicModel::default();
+        for pair in [
+            (AdaGpDesign::Low, AdaGpDesign::Efficient),
+            (AdaGpDesign::Efficient, AdaGpDesign::Max),
+        ] {
+            assert!(fm.design(pair.0).clb_luts <= fm.design(pair.1).clb_luts);
+            assert!(am.design_area(pair.0).total() <= am.design_area(pair.1).total());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Benchmarks of the accelerator cycle model: per-model cost evaluation
+//! and the full Figure 17 sweep.
+
+use adagp_accel::dataflow::{AcceleratorConfig, Dataflow};
+use adagp_accel::designs::AdaGpDesign;
+use adagp_accel::layer_cost::{model_costs, PredictorCostModel};
+use adagp_accel::speedup::{training_speedup, EpochMix, MODEL_BATCH};
+use adagp_nn::models::shapes::{model_shapes, InputScale};
+use adagp_nn::models::CnnModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cycle_model(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::default();
+    let pred = PredictorCostModel::default();
+    let layers = model_shapes(CnnModel::ResNet152, InputScale::ImageNet);
+    let mix = EpochMix::paper();
+
+    let mut g = c.benchmark_group("cycle_model");
+    g.sample_size(20);
+    g.bench_function("model_costs_resnet152_imagenet", |b| {
+        b.iter(|| {
+            model_costs(
+                black_box(&cfg),
+                Dataflow::WeightStationary,
+                &pred,
+                black_box(&layers),
+                MODEL_BATCH,
+            )
+        })
+    });
+    g.bench_function("training_speedup_resnet152", |b| {
+        b.iter(|| {
+            training_speedup(
+                &cfg,
+                Dataflow::WeightStationary,
+                AdaGpDesign::Max,
+                black_box(&layers),
+                &mix,
+            )
+        })
+    });
+    g.bench_function("fig17_full_sweep", |b| {
+        b.iter(|| {
+            for m in CnnModel::all() {
+                for scale in [InputScale::Cifar, InputScale::ImageNet] {
+                    let shapes = model_shapes(m, scale);
+                    for d in AdaGpDesign::all() {
+                        black_box(training_speedup(
+                            &cfg,
+                            Dataflow::WeightStationary,
+                            d,
+                            &shapes,
+                            &mix,
+                        ));
+                    }
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycle_model);
+criterion_main!(benches);

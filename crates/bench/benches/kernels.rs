@@ -1,0 +1,44 @@
+//! Micro-benchmarks of the tensor kernels that dominate training time.
+
+use adagp_tensor::conv::{conv2d, conv2d_backward_data, conv2d_backward_weight, Conv2dParams};
+use adagp_tensor::norm::batchnorm2d_forward;
+use adagp_tensor::{init, Prng, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(0);
+    let x = init::gaussian(&[4, 16, 16, 16], 0.0, 1.0, &mut rng);
+    let w = init::gaussian(&[32, 16, 3, 3], 0.0, 0.1, &mut rng);
+    let p = Conv2dParams::new(1, 1);
+    let y = conv2d(&x, &w, None, &p);
+
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+
+    g.bench_function("conv2d_fw_16x16", |b| {
+        b.iter(|| conv2d(black_box(&x), black_box(&w), None, &p))
+    });
+    g.bench_function("conv2d_bw_data_16x16", |b| {
+        b.iter(|| conv2d_backward_data(black_box(&y), black_box(&w), 16, 16, &p))
+    });
+    g.bench_function("conv2d_bw_weight_16x16", |b| {
+        b.iter(|| conv2d_backward_weight(black_box(&x), black_box(&y), 3, 3, &p))
+    });
+
+    let a = init::gaussian(&[128, 256], 0.0, 1.0, &mut rng);
+    let bm = init::gaussian(&[256, 128], 0.0, 1.0, &mut rng);
+    g.bench_function("matmul_128x256x128", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&bm)))
+    });
+
+    let gamma = Tensor::ones(&[16]);
+    let beta = Tensor::zeros(&[16]);
+    g.bench_function("batchnorm_fw", |b| {
+        b.iter(|| batchnorm2d_forward(black_box(&x), &gamma, &beta, 1e-5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

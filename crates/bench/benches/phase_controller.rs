@@ -1,0 +1,74 @@
+//! Benchmarks of one full ADA-GP training batch in each phase — the
+//! software-level analogue of the paper's Phase BP vs Phase GP timeline:
+//! even on a CPU, skipping the backward pass makes GP batches measurably
+//! cheaper.
+
+use adagp_core::{AdaGp, AdaGpConfig, ScheduleConfig};
+use adagp_nn::containers::Sequential;
+use adagp_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use adagp_nn::optim::Sgd;
+use adagp_tensor::{Prng, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn model(rng: &mut Prng) -> Sequential {
+    let mut m = Sequential::new();
+    m.push(Conv2d::new(3, 8, 3, 1, 1, true, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2, 2));
+    m.push(Conv2d::new(8, 16, 3, 1, 1, true, rng));
+    m.push(Relu::new());
+    m.push(Flatten::new());
+    m.push(Linear::new(16 * 8 * 8, 10, true, rng));
+    m
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let x = Tensor::ones(&[8, 3, 16, 16]);
+    let targets: Vec<usize> = (0..8).map(|i| i % 10).collect();
+
+    let mut g = c.benchmark_group("phases");
+    g.sample_size(20);
+
+    // Phase BP batches (warm-up schedule keeps every batch in BP).
+    {
+        let mut rng = Prng::seed_from_u64(0);
+        let mut m = model(&mut rng);
+        let cfg = AdaGpConfig {
+            schedule: ScheduleConfig {
+                warmup_epochs: usize::MAX,
+                ..Default::default()
+            },
+            track_metrics: false,
+            ..Default::default()
+        };
+        let mut adagp = AdaGp::new(cfg, &mut m, &mut rng);
+        let mut opt = Sgd::new(0.01, 0.9);
+        g.bench_function("train_batch_phase_bp", |b| {
+            b.iter(|| adagp.train_batch(&mut m, &mut opt, &x, &targets))
+        });
+    }
+
+    // Phase GP batches (no warm-up, all-GP ratio).
+    {
+        let mut rng = Prng::seed_from_u64(0);
+        let mut m = model(&mut rng);
+        let cfg = AdaGpConfig {
+            schedule: ScheduleConfig {
+                warmup_epochs: 0,
+                ratios: [(usize::MAX, 0); 4],
+                ..Default::default()
+            },
+            track_metrics: false,
+            ..Default::default()
+        };
+        let mut adagp = AdaGp::new(cfg, &mut m, &mut rng);
+        let mut opt = Sgd::new(0.01, 0.9);
+        g.bench_function("train_batch_phase_gp", |b| {
+            b.iter(|| adagp.train_batch(&mut m, &mut opt, &x, &targets))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Benchmarks of the pipeline schedule simulator and the scheme models.
+
+use adagp_pipeline::{simulate_gpipe, PipelineConfig, PipelineScheme};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(30);
+    g.bench_function("simulate_gpipe_4x4", |b| {
+        b.iter(|| simulate_gpipe(black_box(4), black_box(4), 1, 2))
+    });
+    g.bench_function("simulate_gpipe_16x32", |b| {
+        b.iter(|| simulate_gpipe(black_box(16), black_box(32), 1, 2))
+    });
+    let cfg = PipelineConfig::default();
+    g.bench_function("all_schemes_speedup", |b| {
+        b.iter(|| {
+            for s in PipelineScheme::all() {
+                black_box(s.adagp_speedup(&cfg, 0.05));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

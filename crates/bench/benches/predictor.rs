@@ -1,0 +1,41 @@
+//! Benchmarks of the ADA-GP predictor: prediction and training cost per
+//! site, plus the tensor reorganization itself.
+
+use adagp_core::reorg;
+use adagp_core::{Predictor, PredictorConfig};
+use adagp_nn::{SiteKind, SiteMeta};
+use adagp_tensor::{init, Prng};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn conv_meta(out_ch: usize, in_ch: usize, k: usize) -> SiteMeta {
+    SiteMeta {
+        kind: SiteKind::Conv2d,
+        weight_shape: vec![out_ch, in_ch, k, k],
+        label: "bench".into(),
+    }
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(0);
+    let meta = conv_meta(32, 16, 3);
+    let mut predictor = Predictor::for_sites(PredictorConfig::default(), &[meta.clone()], &mut rng);
+    let act = init::gaussian(&[8, 32, 14, 14], 0.0, 1.0, &mut rng);
+    let grad = init::gaussian(&[32, 16, 3, 3], 0.0, 0.01, &mut rng);
+
+    let mut g = c.benchmark_group("predictor");
+    g.sample_size(20);
+    g.bench_function("reorganize_conv_32ch", |b| {
+        b.iter(|| reorg::reorganize(black_box(&meta), black_box(&act)))
+    });
+    g.bench_function("predict_gradient_32x16x3x3", |b| {
+        b.iter(|| predictor.predict_gradient(black_box(&meta), black_box(&act)))
+    });
+    g.bench_function("train_step_32x16x3x3", |b| {
+        b.iter(|| predictor.train_step(black_box(&meta), black_box(&act), black_box(&grad)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

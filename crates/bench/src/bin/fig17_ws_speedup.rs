@@ -1,0 +1,9 @@
+//! Figure 17: ADA-GP speed-up over the Weight-Stationary baseline for all
+//! models × datasets × designs.
+
+use adagp_accel::Dataflow;
+use adagp_bench::speedup_tables::print_speedup_figure;
+
+fn main() {
+    print_speedup_figure("Figure 17", Dataflow::WeightStationary);
+}

@@ -1,0 +1,8 @@
+//! Figure 18: ADA-GP speed-up over the Row-Stationary baseline.
+
+use adagp_accel::Dataflow;
+use adagp_bench::speedup_tables::print_speedup_figure;
+
+fn main() {
+    print_speedup_figure("Figure 18", Dataflow::RowStationary);
+}

@@ -1,0 +1,8 @@
+//! Figure 19: ADA-GP speed-up over the Input-Stationary baseline.
+
+use adagp_accel::Dataflow;
+use adagp_bench::speedup_tables::print_speedup_figure;
+
+fn main() {
+    print_speedup_figure("Figure 19", Dataflow::InputStationary);
+}

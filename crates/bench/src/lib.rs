@@ -1,0 +1,21 @@
+//! # adagp-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! ADA-GP paper's evaluation (§6). Each `src/bin/*.rs` binary prints the
+//! rows/series of one paper artifact; this library holds the shared
+//! experiment logic so integration tests can exercise the same code with
+//! reduced budgets.
+//!
+//! Run e.g. `cargo run -p adagp-bench --release --bin fig17_ws_speedup`.
+//! Set `ADAGP_FULL=1` for the slower, higher-fidelity training budgets.
+
+pub mod accuracy;
+pub mod detection;
+pub mod report;
+pub mod speedup_tables;
+pub mod translation;
+
+/// Whether the harness should use the full (slow) experiment budget.
+pub fn full_budget() -> bool {
+    std::env::var("ADAGP_FULL").map(|v| v == "1").unwrap_or(false)
+}

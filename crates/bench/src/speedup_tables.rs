@@ -1,0 +1,317 @@
+//! Analytic speed-up/energy experiment logic (Figures 16–21, §6.6.1).
+
+use adagp_accel::dataflow::{AcceleratorConfig, Dataflow};
+use adagp_accel::designs::AdaGpDesign;
+use adagp_accel::energy::{adagp_energy_joules, baseline_energy_joules, EnergyConfig};
+use adagp_accel::layer_cost::{model_costs, PredictorCostModel};
+use adagp_accel::speedup::{geomean, training_speedup, EpochMix, MODEL_BATCH};
+use adagp_accel::timeline::{characterize_layers, LayerCharacterization};
+use adagp_nn::models::shapes::{model_shapes, InputScale, LayerKind, LayerShape};
+use adagp_nn::models::CnnModel;
+use adagp_pipeline::{PipelineConfig, PipelineScheme};
+
+/// One row of a Figures 17–19 speed-up table.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Model name.
+    pub model: String,
+    /// ADA-GP-LOW speed-up.
+    pub low: f64,
+    /// ADA-GP-Efficient speed-up.
+    pub efficient: f64,
+    /// ADA-GP-MAX speed-up.
+    pub max: f64,
+}
+
+/// The dataset column of Figures 17–19 (model input scale differs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetScale {
+    /// CIFAR10 (32² inputs).
+    Cifar10,
+    /// CIFAR100 (32² inputs).
+    Cifar100,
+    /// ImageNet (224² inputs).
+    ImageNet,
+}
+
+impl DatasetScale {
+    /// All three dataset columns.
+    pub fn all() -> [DatasetScale; 3] {
+        [DatasetScale::Cifar10, DatasetScale::Cifar100, DatasetScale::ImageNet]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetScale::Cifar10 => "Cifar10",
+            DatasetScale::Cifar100 => "Cifar100",
+            DatasetScale::ImageNet => "ImageNet",
+        }
+    }
+
+    /// Input scale of this dataset.
+    pub fn input_scale(&self) -> InputScale {
+        match self {
+            DatasetScale::ImageNet => InputScale::ImageNet,
+            _ => InputScale::Cifar,
+        }
+    }
+}
+
+/// Speed-up rows for one dataflow and dataset (one panel of Figs 17–19),
+/// plus the geomean row.
+pub fn speedup_rows(df: Dataflow, dataset: DatasetScale) -> Vec<SpeedupRow> {
+    let cfg = AcceleratorConfig::default();
+    let mix = EpochMix::paper();
+    let mut rows: Vec<SpeedupRow> = CnnModel::all()
+        .iter()
+        .map(|&m| {
+            let layers = model_shapes(m, dataset.input_scale());
+            let s = |d| training_speedup(&cfg, df, d, &layers, &mix);
+            SpeedupRow {
+                model: m.name().to_string(),
+                low: s(AdaGpDesign::Low),
+                efficient: s(AdaGpDesign::Efficient),
+                max: s(AdaGpDesign::Max),
+            }
+        })
+        .collect();
+    let g = |f: &dyn Fn(&SpeedupRow) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    rows.push(SpeedupRow {
+        model: "Geomean".to_string(),
+        low: g(&|r| r.low),
+        efficient: g(&|r| r.efficient),
+        max: g(&|r| r.max),
+    });
+    rows
+}
+
+/// Figure 16: per-layer characterization of VGG13's ten conv layers under
+/// ADA-GP-Efficient.
+pub fn vgg13_characterization() -> Vec<LayerCharacterization> {
+    let cfg = AcceleratorConfig::default();
+    let layers: Vec<LayerShape> = model_shapes(CnnModel::Vgg13, InputScale::Cifar)
+        .into_iter()
+        .filter(|l| l.kind == LayerKind::Conv)
+        .collect();
+    let costs = model_costs(&cfg, Dataflow::WeightStationary, &PredictorCostModel::default(), &layers, MODEL_BATCH);
+    let labels: Vec<String> = layers.iter().map(|l| l.label.clone()).collect();
+    let mix = EpochMix::paper();
+    // Average GP fraction over the post-warm-up epochs.
+    let post_epochs: usize = mix.total() - mix.warmup;
+    let gp_frac = mix
+        .stages()
+        .iter()
+        .skip(1)
+        .map(|&(g, e)| g * e as f64)
+        .sum::<f64>()
+        / post_epochs as f64;
+    characterize_layers(
+        &labels,
+        &costs,
+        AdaGpDesign::Efficient,
+        mix.warmup as f64 / mix.total() as f64,
+        gp_frac,
+    )
+}
+
+/// Figure 20: per-model ADA-GP speed-up over each pipeline scheme, with
+/// the predictor latency ratio α/FW taken from the cycle model.
+pub fn pipeline_speedup_rows(scheme: PipelineScheme) -> Vec<(String, f64)> {
+    let cfg = AcceleratorConfig::default();
+    let pcfg = PipelineConfig::default();
+    let mut rows: Vec<(String, f64)> = CnnModel::all()
+        .iter()
+        .map(|&m| {
+            let layers = model_shapes(m, InputScale::ImageNet);
+            // Each device runs one micro-batch (mini-batch / devices) of a
+            // quarter of the layers, so the predictor latency is weighed
+            // against a per-device, per-micro-batch forward slice.
+            let micro_batch = MODEL_BATCH / pcfg.devices;
+            let costs = model_costs(
+                &cfg,
+                Dataflow::WeightStationary,
+                &PredictorCostModel::default(),
+                &layers,
+                micro_batch,
+            );
+            let fw: u64 = costs.iter().map(|c| c.fw).sum();
+            let alpha: u64 = costs.iter().map(|c| c.alpha).sum();
+            let alpha_ratio = pcfg.devices as f64 * alpha as f64 / fw as f64;
+            (m.name().to_string(), scheme.adagp_speedup(&pcfg, alpha_ratio))
+        })
+        .collect();
+    let g = geomean(&rows.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+    rows.push(("Geomean".to_string(), g));
+    rows
+}
+
+/// Figure 21: memory energy (J) for baseline / Efficient / MAX per model.
+pub fn energy_rows() -> Vec<(String, f64, f64, f64)> {
+    let cfg = EnergyConfig::default();
+    let mix = EpochMix::paper();
+    CnnModel::all()
+        .iter()
+        .map(|&m| {
+            let layers = model_shapes(m, InputScale::Cifar);
+            (
+                m.name().to_string(),
+                baseline_energy_joules(&cfg, &layers, &mix),
+                adagp_energy_joules(&cfg, &layers, &mix, AdaGpDesign::Efficient),
+                adagp_energy_joules(&cfg, &layers, &mix, AdaGpDesign::Max),
+            )
+        })
+        .collect()
+}
+
+/// Prints one of Figures 17–19: speed-up tables for every dataset under a
+/// dataflow.
+pub fn print_speedup_figure(figure: &str, df: Dataflow) {
+    use crate::report::{f2, render_table};
+    for dataset in DatasetScale::all() {
+        let rows: Vec<Vec<String>> = speedup_rows(df, dataset)
+            .iter()
+            .map(|r| vec![r.model.clone(), f2(r.low), f2(r.efficient), f2(r.max)])
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!(
+                    "{figure}: speed-up over baseline ({} dataflow), {} dataset",
+                    df.name(),
+                    dataset.name()
+                ),
+                &["Model", "ADA-GP-LOW", "ADA-GP-Efficient", "ADA-GP-MAX"],
+                &rows,
+            )
+        );
+    }
+}
+
+/// Paper-scale layer shapes of the Table 2 Transformer (3 encoder + 3
+/// decoder layers, d_model 512, FFN 2048, sequence length 32). Per-token
+/// linear layers are encoded as 1×1 convs over the sequence axis, which
+/// makes their MAC count `tokens × in × out` as required.
+pub fn transformer_shapes() -> Vec<LayerShape> {
+    let (d, ff, seq) = (512usize, 2048usize, 32usize);
+    let mut shapes = Vec::new();
+    let lin = |label: String, i: usize, o: usize| LayerShape {
+        label,
+        kind: LayerKind::Conv,
+        in_ch: i,
+        out_ch: o,
+        k: 1,
+        h_out: seq,
+        w_out: 1,
+    };
+    for l in 0..3 {
+        for p in ["wq", "wk", "wv", "wo"] {
+            shapes.push(lin(format!("enc{l}.{p}"), d, d));
+        }
+        shapes.push(lin(format!("enc{l}.ff1"), d, ff));
+        shapes.push(lin(format!("enc{l}.ff2"), ff, d));
+    }
+    for l in 0..3 {
+        for p in ["sq", "sk", "sv", "so", "cq", "ck", "cv", "co"] {
+            shapes.push(lin(format!("dec{l}.{p}"), d, d));
+        }
+        shapes.push(lin(format!("dec{l}.ff1"), d, ff));
+        shapes.push(lin(format!("dec{l}.ff2"), ff, d));
+    }
+    shapes.push(lin("head".to_string(), d, 32_000));
+    shapes
+}
+
+/// Paper-scale layer shapes of the Table 3 YOLO-v3-style detector at VOC
+/// resolution (416², stride-8 grid).
+pub fn yolo_shapes() -> Vec<LayerShape> {
+    let mut shapes = Vec::new();
+    let widths = [16usize, 32, 64, 128, 256];
+    let mut ch = 3usize;
+    let mut size = 416usize;
+    for (i, &w) in widths.iter().enumerate() {
+        shapes.push(LayerShape::conv(format!("yolo_c{i}"), ch, w, 3, size));
+        if i + 1 < widths.len() {
+            size /= 2;
+        }
+        ch = w;
+    }
+    shapes.push(LayerShape::conv("yolo_head", ch, 75, 1, size)); // 5+20 classes, 3 anchors
+    shapes
+}
+
+/// Training cycles (baseline, ADA-GP) for an arbitrary shape list under a
+/// design and the paper's epoch mix — used for the cycle columns of
+/// Tables 2–3.
+pub fn cycle_pair(layers: &[LayerShape], design: AdaGpDesign) -> (f64, f64) {
+    let cfg = AcceleratorConfig::default();
+    let mix = EpochMix::paper();
+    (
+        adagp_accel::speedup::baseline_training_cycles(&cfg, Dataflow::WeightStationary, layers, &mix),
+        adagp_accel::speedup::adagp_training_cycles(&cfg, Dataflow::WeightStationary, design, layers, &mix),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_rows_cover_13_models_plus_geomean() {
+        let rows = speedup_rows(Dataflow::WeightStationary, DatasetScale::Cifar10);
+        assert_eq!(rows.len(), 14);
+        assert_eq!(rows.last().unwrap().model, "Geomean");
+        for r in &rows {
+            assert!(r.max >= r.efficient && r.efficient >= r.low, "{}", r.model);
+            assert!(r.max > 1.0 && r.max < 2.0, "{}: {}", r.model, r.max);
+        }
+    }
+
+    #[test]
+    fn imagenet_geomean_at_least_cifar() {
+        // Figure 17: ImageNet average (1.48) ≥ CIFAR average (1.46).
+        let c = speedup_rows(Dataflow::WeightStationary, DatasetScale::Cifar10);
+        let i = speedup_rows(Dataflow::WeightStationary, DatasetScale::ImageNet);
+        assert!(i.last().unwrap().max >= c.last().unwrap().max - 0.02);
+    }
+
+    #[test]
+    fn characterization_has_ten_layers() {
+        let ch = vgg13_characterization();
+        assert_eq!(ch.len(), 10);
+        assert!(ch.iter().all(|c| c.adagp_total() < c.baseline));
+    }
+
+    #[test]
+    fn pipeline_rows_near_paper_averages() {
+        let g = pipeline_speedup_rows(PipelineScheme::GPipe);
+        let geo = g.last().unwrap().1;
+        assert!((1.55..1.70).contains(&geo), "GPipe geomean {geo}");
+        let c = pipeline_speedup_rows(PipelineScheme::Chimera);
+        let geo_c = c.last().unwrap().1;
+        assert!((1.48..1.62).contains(&geo_c), "Chimera geomean {geo_c}");
+        assert!(geo > geo_c);
+    }
+
+    #[test]
+    fn energy_rows_show_savings() {
+        for (model, base, eff, max) in energy_rows() {
+            assert!(eff < base, "{model}");
+            assert!(max <= eff + 1e-9, "{model}");
+        }
+    }
+
+    #[test]
+    fn transformer_and_yolo_shapes_nonempty() {
+        let t = transformer_shapes();
+        assert_eq!(t.len(), 3 * 6 + 3 * 10 + 1);
+        let y = yolo_shapes();
+        assert_eq!(y.len(), 6);
+    }
+
+    #[test]
+    fn cycle_pair_shows_speedup() {
+        let (b, a) = cycle_pair(&transformer_shapes(), AdaGpDesign::Efficient);
+        assert!(b / a > 1.0 && b / a < 2.0);
+    }
+}

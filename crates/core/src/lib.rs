@@ -1,0 +1,55 @@
+//! # adagp-core
+//!
+//! The ADA-GP algorithm (Janfaza et al., MICRO 2023): **adaptive gradient
+//! prediction** for accelerating DNN training while maintaining accuracy.
+//!
+//! ADA-GP attaches a single small *predictor model* to a DNN. The predictor
+//! consumes each layer's output activations (after a tensor reorganization
+//! that folds the batch and treats output channels as samples, §3.6 of the
+//! paper) and predicts that layer's weight gradients. Training proceeds in
+//! three phases (§3.1):
+//!
+//! * **Warm-up** — the first `L` epochs use plain backpropagation while the
+//!   predictor learns from the true gradients.
+//! * **Phase BP** — backprop trains the model *and* the predictor.
+//! * **Phase GP** — backprop is skipped entirely; the model's weights are
+//!   updated with predicted gradients as the forward pass proceeds.
+//!
+//! The controller alternates GP and BP batches at a ratio that anneals
+//! from 4:1 down to 1:1 over training (§3.5).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adagp_core::{AdaGp, AdaGpConfig, Phase};
+//! use adagp_nn::{layers::{Conv2d, Linear, Relu, Flatten}, containers::Sequential};
+//! use adagp_nn::optim::Sgd;
+//! use adagp_tensor::{Prng, Tensor};
+//!
+//! let mut rng = Prng::seed_from_u64(0);
+//! let mut model = Sequential::new();
+//! model.push(Conv2d::new(3, 4, 3, 1, 1, true, &mut rng));
+//! model.push(Relu::new());
+//! model.push(Flatten::new());
+//! model.push(Linear::new(4 * 8 * 8, 10, true, &mut rng));
+//!
+//! let mut adagp = AdaGp::new(AdaGpConfig::default(), &mut model, &mut rng);
+//! let mut opt = Sgd::new(0.01, 0.9);
+//! let x = Tensor::ones(&[2, 3, 8, 8]);
+//! let stats = adagp.train_batch(&mut model, &mut opt, &x, &[1, 2]);
+//! assert_eq!(stats.phase, Phase::WarmUp);
+//! ```
+
+pub mod controller;
+pub mod dni;
+pub mod fit;
+pub mod metrics;
+pub mod predictor;
+pub mod reorg;
+pub mod trainer;
+
+pub use controller::{Phase, PhaseController, ScheduleConfig};
+pub use dni::DniTrainer;
+pub use metrics::{GradientErrors, PredictorMetrics};
+pub use predictor::{Predictor, PredictorConfig};
+pub use trainer::{AdaGp, AdaGpConfig, BatchStats, BaselineTrainer};

@@ -1,0 +1,356 @@
+//! The shared predictor model (§3.6 of the paper).
+//!
+//! One predictor serves **all** layers of the DNN ("ADA-GP uses a single
+//! predictor model for all layers" — contribution 2). Its structure
+//! follows the paper: pooling layers normalize any activation map to a
+//! fixed spatial size, a small `Conv2d` extracts features, and a single
+//! fully connected layer emits gradient rows. The FC output is sized for
+//! the *largest* layer; smaller layers mask and skip the surplus outputs.
+
+use crate::reorg::{self, ReorganizedActivation};
+use adagp_nn::layers::{Conv2d, Flatten, Linear, Relu};
+use adagp_nn::module::{count_params, ForwardCtx, Module};
+use adagp_nn::optim::{Adam, Optimizer};
+use adagp_nn::{Param, PredictionSite, SiteMeta};
+use adagp_tensor::pool::adaptive_avgpool;
+use adagp_tensor::{Prng, Tensor};
+
+/// Predictor hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorConfig {
+    /// Spatial size every activation map is pooled to.
+    pub pooled_size: usize,
+    /// Channels of the feature conv.
+    pub conv_channels: usize,
+    /// Adam learning rate for predictor training (paper: 1e-4).
+    pub lr: f32,
+    /// Cap on the number of output-channel rows processed per batch (keeps
+    /// predictor training cost bounded for very wide layers; rows beyond
+    /// the cap are sub-sampled deterministically).
+    pub max_rows_per_batch: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            pooled_size: 4,
+            conv_channels: 8,
+            lr: 1e-4,
+            max_rows_per_batch: 256,
+        }
+    }
+}
+
+/// The shared gradient predictor.
+///
+/// Input (per site, after [`reorg::reorganize`]): `(out_ch, 1, W, H)`.
+/// Output: `(out_ch, max_row_len)`, of which the first `row_len` columns
+/// are meaningful for a given site.
+#[derive(Debug)]
+pub struct Predictor {
+    cfg: PredictorConfig,
+    net: PredictorNet,
+    opt: Adam,
+    max_row_len: usize,
+}
+
+/// The predictor's network: conv feature extractor + shared FC head.
+#[derive(Debug)]
+struct PredictorNet {
+    conv: Conv2d,
+    relu: Relu,
+    flatten: Flatten,
+    fc: Linear,
+}
+
+impl Module for PredictorNet {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        let h = self.conv.forward(x, ctx);
+        let h = self.relu.forward(&h, ctx);
+        let h = self.flatten.forward(&h, ctx);
+        self.fc.forward(&h, ctx)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let g = self.fc.backward(dy);
+        let g = self.flatten.backward(&g);
+        let g = self.relu.backward(&g);
+        self.conv.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv.visit_params(f);
+        self.fc.visit_params(f);
+    }
+}
+
+impl Predictor {
+    /// Builds a predictor for a model whose largest gradient row is
+    /// `max_row_len` (use [`Predictor::for_sites`] to derive it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_row_len == 0`.
+    pub fn new(cfg: PredictorConfig, max_row_len: usize, rng: &mut Prng) -> Self {
+        assert!(max_row_len > 0, "max_row_len must be positive");
+        let feat = cfg.conv_channels * cfg.pooled_size * cfg.pooled_size;
+        let mut fc = Linear::new(feat, max_row_len, true, rng).with_label("pred_fc");
+        // Near-zero head: the gradients being predicted are tiny (1e-2 to
+        // 1e-4), and an untrained predictor must not inject large random
+        // updates if Phase GP starts before it has converged.
+        fc.weight_param().value.scale_in_place(0.01);
+        let net = PredictorNet {
+            conv: Conv2d::new(1, cfg.conv_channels, 3, 1, 1, true, rng).with_label("pred_conv"),
+            relu: Relu::new(),
+            flatten: Flatten::new(),
+            fc,
+        };
+        let opt = Adam::new(cfg.lr);
+        Predictor {
+            cfg,
+            net,
+            opt,
+            max_row_len,
+        }
+    }
+
+    /// Builds a predictor sized for the given site metadata (FC output =
+    /// the largest `grads_per_out_channel` across sites, per §3.6: "the
+    /// fully connected layer size depends on the largest layer").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty.
+    pub fn for_sites(cfg: PredictorConfig, sites: &[SiteMeta], rng: &mut Prng) -> Self {
+        assert!(!sites.is_empty(), "predictor needs at least one site");
+        let max_row = sites
+            .iter()
+            .map(|m| m.grads_per_out_channel())
+            .max()
+            .expect("nonempty");
+        Self::new(cfg, max_row, rng)
+    }
+
+    /// The FC output width (largest gradient row the predictor can emit).
+    pub fn max_row_len(&self) -> usize {
+        self.max_row_len
+    }
+
+    /// Total trainable parameters of the predictor.
+    pub fn param_count(&mut self) -> usize {
+        count_params(&mut self.net)
+    }
+
+    /// Normalizes a reorganized activation to the predictor's fixed input
+    /// spatial size.
+    fn pool_input(&self, r: &ReorganizedActivation) -> Tensor {
+        adaptive_avgpool(&r.input, self.cfg.pooled_size, self.cfg.pooled_size)
+    }
+
+    /// Predicts gradient rows for one site: returns `(out_ch, row_len)`.
+    ///
+    /// Masks the FC output down to the site's `row_len` ("for smaller
+    /// layers, we simply mask and skip output operations").
+    pub fn predict_rows(&mut self, meta: &SiteMeta, activation: &Tensor) -> Tensor {
+        let r = reorg::reorganize(meta, activation);
+        let pooled = self.pool_input(&r);
+        let full = self.net.forward(&pooled, &mut ForwardCtx::eval());
+        mask_rows(&full, r.row_len)
+    }
+
+    /// Predicts the full weight-gradient tensor for a site.
+    pub fn predict_gradient(&mut self, meta: &SiteMeta, activation: &Tensor) -> Tensor {
+        let rows = self.predict_rows(meta, activation);
+        reorg::rows_to_gradient(meta, &rows)
+    }
+
+    /// One predictor training step against a true gradient (Phase BP /
+    /// warm-up). Returns the masked-row MSE loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the site metadata.
+    pub fn train_step(&mut self, meta: &SiteMeta, activation: &Tensor, true_grad: &Tensor) -> f32 {
+        let r = reorg::reorganize(meta, activation);
+        let target_rows = reorg::gradient_rows(meta, true_grad);
+        let pooled = self.pool_input(&r);
+
+        // Sub-sample rows for very wide layers to bound the cost.
+        let rows = pooled.dim(0);
+        let (pooled, target_rows) = if rows > self.cfg.max_rows_per_batch {
+            let stride = rows.div_ceil(self.cfg.max_rows_per_batch);
+            (subsample_rows(&pooled, stride), subsample_rows(&target_rows, stride))
+        } else {
+            (pooled, target_rows)
+        };
+
+        let pred = self.net.forward(&pooled, &mut ForwardCtx::train());
+        // Loss on the masked region only; surplus outputs receive zero grad.
+        let (loss, dpred) = masked_mse(&pred, &target_rows, r.row_len);
+        self.net.backward(&dpred);
+        self.opt.step(&mut self.net);
+        loss
+    }
+}
+
+/// Copies the first `row_len` columns of `(n, max_row)` into `(n, row_len)`.
+fn mask_rows(full: &Tensor, row_len: usize) -> Tensor {
+    let (n, max_row) = (full.dim(0), full.dim(1));
+    assert!(row_len <= max_row, "row_len exceeds predictor capacity");
+    if row_len == max_row {
+        return full.clone();
+    }
+    let mut out = vec![0.0f32; n * row_len];
+    for i in 0..n {
+        out[i * row_len..(i + 1) * row_len]
+            .copy_from_slice(&full.data()[i * max_row..i * max_row + row_len]);
+    }
+    Tensor::from_vec(out, &[n, row_len])
+}
+
+/// Every `stride`-th row of a rank-2/4 tensor along axis 0.
+fn subsample_rows(t: &Tensor, stride: usize) -> Tensor {
+    let n = t.dim(0);
+    let rest: usize = t.shape()[1..].iter().product();
+    let picked: Vec<usize> = (0..n).step_by(stride).collect();
+    let mut out = Vec::with_capacity(picked.len() * rest);
+    for &i in &picked {
+        out.extend_from_slice(&t.data()[i * rest..(i + 1) * rest]);
+    }
+    let mut shape = vec![picked.len()];
+    shape.extend_from_slice(&t.shape()[1..]);
+    Tensor::from_vec(out, &shape)
+}
+
+/// MSE over the first `row_len` columns; gradient is zero elsewhere.
+fn masked_mse(pred: &Tensor, target: &Tensor, row_len: usize) -> (f32, Tensor) {
+    let (n, max_row) = (pred.dim(0), pred.dim(1));
+    assert_eq!(target.dim(0), n, "target row count mismatch");
+    assert_eq!(target.dim(1), row_len, "target row length mismatch");
+    let count = (n * row_len).max(1) as f32;
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut loss = 0.0f32;
+    for i in 0..n {
+        for j in 0..row_len {
+            let d = pred.data()[i * max_row + j] - target.data()[i * row_len + j];
+            loss += d * d;
+            grad.data_mut()[i * max_row + j] = 2.0 * d / count;
+        }
+    }
+    (loss / count, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adagp_nn::SiteKind;
+    use adagp_tensor::init;
+
+    fn conv_meta(out_ch: usize, in_ch: usize, k: usize) -> SiteMeta {
+        SiteMeta {
+            kind: SiteKind::Conv2d,
+            weight_shape: vec![out_ch, in_ch, k, k],
+            label: "c".into(),
+        }
+    }
+
+    #[test]
+    fn predict_shapes_match_weights() {
+        let mut rng = Prng::seed_from_u64(0);
+        let meta = conv_meta(8, 4, 3);
+        let mut p = Predictor::for_sites(PredictorConfig::default(), &[meta.clone()], &mut rng);
+        let act = init::gaussian(&[2, 8, 6, 6], 0.0, 1.0, &mut rng);
+        let g = p.predict_gradient(&meta, &act);
+        assert_eq!(g.shape(), &[8, 4, 3, 3]);
+    }
+
+    #[test]
+    fn masking_handles_smaller_layers() {
+        let mut rng = Prng::seed_from_u64(1);
+        let big = conv_meta(8, 16, 3); // row 144
+        let small = conv_meta(4, 2, 3); // row 18
+        let mut p =
+            Predictor::for_sites(PredictorConfig::default(), &[big, small.clone()], &mut rng);
+        assert_eq!(p.max_row_len(), 144);
+        let act = init::gaussian(&[2, 4, 5, 5], 0.0, 1.0, &mut rng);
+        let g = p.predict_gradient(&small, &act);
+        assert_eq!(g.shape(), &[4, 2, 3, 3]);
+    }
+
+    #[test]
+    fn training_reduces_prediction_error() {
+        // The predictor should learn a fixed activation->gradient mapping.
+        let mut rng = Prng::seed_from_u64(2);
+        let meta = conv_meta(4, 2, 3);
+        let cfg = PredictorConfig {
+            lr: 3e-3,
+            ..Default::default()
+        };
+        let mut p = Predictor::for_sites(cfg, &[meta.clone()], &mut rng);
+        let act = init::gaussian(&[2, 4, 5, 5], 0.0, 1.0, &mut rng);
+        let grad = init::gaussian(&[4, 2, 3, 3], 0.0, 0.05, &mut rng);
+        let first = p.train_step(&meta, &act, &grad);
+        let mut last = first;
+        for _ in 0..200 {
+            last = p.train_step(&meta, &act, &grad);
+        }
+        assert!(
+            last < first * 0.2,
+            "predictor did not learn: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn single_predictor_serves_multiple_sites() {
+        let mut rng = Prng::seed_from_u64(3);
+        let m1 = conv_meta(4, 2, 3);
+        let m2 = SiteMeta {
+            kind: SiteKind::Linear,
+            weight_shape: vec![6, 12],
+            label: "l".into(),
+        };
+        let mut p =
+            Predictor::for_sites(PredictorConfig::default(), &[m1.clone(), m2.clone()], &mut rng);
+        let act1 = init::gaussian(&[2, 4, 5, 5], 0.0, 1.0, &mut rng);
+        let act2 = init::gaussian(&[2, 6], 0.0, 1.0, &mut rng);
+        assert_eq!(p.predict_gradient(&m1, &act1).shape(), &[4, 2, 3, 3]);
+        assert_eq!(p.predict_gradient(&m2, &act2).shape(), &[6, 12]);
+    }
+
+    #[test]
+    fn param_count_is_compact() {
+        // The predictor must stay small relative to the host model — the
+        // whole point of the single-predictor design.
+        let mut rng = Prng::seed_from_u64(4);
+        let meta = conv_meta(64, 64, 3); // row 576
+        let mut p = Predictor::for_sites(PredictorConfig::default(), &[meta], &mut rng);
+        let host_params = 64 * 64 * 9; // one conv layer alone
+        assert!(p.param_count() < host_params * 3);
+    }
+
+    #[test]
+    fn subsample_caps_wide_layers() {
+        let mut rng = Prng::seed_from_u64(5);
+        let meta = conv_meta(512, 2, 1); // 512 rows
+        let cfg = PredictorConfig {
+            max_rows_per_batch: 64,
+            ..Default::default()
+        };
+        let mut p = Predictor::for_sites(cfg, &[meta.clone()], &mut rng);
+        let act = init::gaussian(&[1, 512, 2, 2], 0.0, 1.0, &mut rng);
+        let grad = init::gaussian(&[512, 2, 1, 1], 0.0, 0.05, &mut rng);
+        // Must not panic and must return a finite loss.
+        let loss = p.train_step(&meta, &act, &grad);
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn masked_mse_ignores_surplus_columns() {
+        let pred = Tensor::from_vec(vec![1.0, 99.0, 2.0, -99.0], &[2, 2]);
+        let target = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let (loss, grad) = masked_mse(&pred, &target, 1);
+        assert_eq!(loss, 0.0);
+        // Surplus columns (99, -99) contribute nothing.
+        assert_eq!(grad.data(), &[0.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,458 @@
+//! The ADA-GP trainer: orchestrates warm-up, Phase BP and Phase GP over
+//! any [`Module`] that exposes prediction sites.
+//!
+//! * Phase BP/warm-up (§3.3): forward (recording activations) → loss →
+//!   backward → the predictor trains on each site's `(activation, true
+//!   gradient)` pair → optimizer step with true gradients.
+//! * Phase GP (§3.4): forward (recording activations) → the predictor
+//!   writes predicted gradients into each site's weight parameter →
+//!   optimizer step. **No backward pass runs** — this is where the
+//!   hardware speed-up comes from.
+
+use crate::controller::{Phase, PhaseController, ScheduleConfig};
+use crate::metrics::{gradient_errors, GradientErrors, PredictorMetrics};
+use crate::predictor::{Predictor, PredictorConfig};
+use adagp_nn::module::{site_metas, ForwardCtx, Module};
+use adagp_nn::optim::Optimizer;
+use adagp_nn::SiteMeta;
+use adagp_tensor::softmax::cross_entropy;
+use adagp_tensor::{Prng, Tensor};
+
+/// ADA-GP configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaGpConfig {
+    /// Phase schedule.
+    pub schedule: ScheduleConfig,
+    /// Predictor model hyper-parameters.
+    pub predictor: PredictorConfig,
+    /// Track per-layer MAPE/MSE during BP phases (Figure 15). Adds one
+    /// extra predictor forward per site per BP batch.
+    pub track_metrics: bool,
+    /// Epsilon for the MAPE denominator clamp.
+    pub mape_eps: f32,
+    /// Rescale each predicted gradient to the exponential moving average
+    /// of that site's true-gradient norm (observed during BP phases).
+    /// The predictor then only has to get the *direction* right; magnitude
+    /// drift — the dominant failure mode at short warm-ups — is absorbed
+    /// by a single per-layer scalar. Costs one norm + one scalar multiply
+    /// per site in hardware. Disable to reproduce the unscaled scheme
+    /// (see the `ablation_calibration` harness).
+    pub norm_calibration: bool,
+    /// EMA decay for the per-site gradient-norm estimate.
+    pub norm_ema_decay: f32,
+}
+
+impl Default for AdaGpConfig {
+    fn default() -> Self {
+        AdaGpConfig {
+            schedule: ScheduleConfig::default(),
+            predictor: PredictorConfig::default(),
+            track_metrics: true,
+            mape_eps: 1e-3,
+            norm_calibration: true,
+            norm_ema_decay: 0.9,
+        }
+    }
+}
+
+/// Per-batch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Which phase the batch ran in.
+    pub phase: Phase,
+    /// Task loss of the batch (cross-entropy for classification).
+    pub loss: f32,
+    /// Mean predictor training loss across sites (BP phases only).
+    pub predictor_loss: Option<f32>,
+    /// Mean predictor MAPE across sites (BP phases with metrics only).
+    pub mape: Option<f32>,
+}
+
+/// The ADA-GP training orchestrator.
+pub struct AdaGp {
+    cfg: AdaGpConfig,
+    predictor: Predictor,
+    controller: PhaseController,
+    metrics: PredictorMetrics,
+    sites: Vec<SiteMeta>,
+    /// Per-site EMA of the true weight-gradient L2 norm (`None` until the
+    /// first BP batch).
+    grad_norm_ema: Vec<Option<f32>>,
+}
+
+impl std::fmt::Debug for AdaGp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AdaGp(sites={}, epoch={}, max_row={})",
+            self.sites.len(),
+            self.controller.epoch(),
+            self.predictor.max_row_len()
+        )
+    }
+}
+
+impl AdaGp {
+    /// Builds ADA-GP for `model`, sizing the shared predictor from the
+    /// model's prediction sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no prediction sites.
+    pub fn new(cfg: AdaGpConfig, model: &mut dyn Module, rng: &mut Prng) -> Self {
+        let sites = site_metas(model);
+        assert!(!sites.is_empty(), "model exposes no prediction sites");
+        let predictor = Predictor::for_sites(cfg.predictor, &sites, rng);
+        let metrics = PredictorMetrics::new(sites.len());
+        let grad_norm_ema = vec![None; sites.len()];
+        AdaGp {
+            cfg,
+            predictor,
+            controller: PhaseController::new(cfg.schedule),
+            metrics,
+            sites,
+            grad_norm_ema,
+        }
+    }
+
+    /// The phase controller (e.g. to call
+    /// [`PhaseController::end_epoch`]).
+    pub fn controller_mut(&mut self) -> &mut PhaseController {
+        &mut self.controller
+    }
+
+    /// Per-layer predictor metrics collected so far.
+    pub fn metrics(&self) -> &PredictorMetrics {
+        &self.metrics
+    }
+
+    /// Resets per-layer metrics (epoch boundary).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// The shared predictor.
+    pub fn predictor_mut(&mut self) -> &mut Predictor {
+        &mut self.predictor
+    }
+
+    /// Site metadata in forward order.
+    pub fn sites(&self) -> &[SiteMeta] {
+        &self.sites
+    }
+
+    /// Trains one classification batch (images + integer labels),
+    /// dispatching on the controller's phase.
+    pub fn train_batch(
+        &mut self,
+        model: &mut dyn Module,
+        opt: &mut dyn Optimizer,
+        x: &Tensor,
+        targets: &[usize],
+    ) -> BatchStats {
+        let phase = self.controller.next_phase();
+        match phase {
+            Phase::WarmUp | Phase::BP => {
+                let logits = model.forward(x, &mut ForwardCtx::train_recording());
+                let (loss, dlogits) = cross_entropy(&logits, targets);
+                model.backward(&dlogits);
+                let (pred_loss, mape) = self.train_predictor_from_sites(model);
+                opt.step(model);
+                if let Some(m) = mape {
+                    self.controller.report_mape(m);
+                }
+                BatchStats {
+                    phase,
+                    loss,
+                    predictor_loss: Some(pred_loss),
+                    mape,
+                }
+            }
+            Phase::GP => {
+                let logits = model.forward(x, &mut ForwardCtx::train_recording());
+                // Loss is computed for reporting only — no backward pass.
+                let (loss, _) = cross_entropy(&logits, targets);
+                self.apply_predicted_gradients(model);
+                opt.step(model);
+                BatchStats {
+                    phase,
+                    loss,
+                    predictor_loss: None,
+                    mape: None,
+                }
+            }
+        }
+    }
+
+    /// Phase BP hook: trains the predictor on every site's recorded
+    /// activation and true weight gradient. Returns `(mean predictor
+    /// loss, mean MAPE if tracked)`.
+    ///
+    /// Call after `model.backward(...)` on a forward pass that recorded
+    /// activations.
+    pub fn train_predictor_from_sites(&mut self, model: &mut dyn Module) -> (f32, Option<f32>) {
+        let mut losses = Vec::with_capacity(self.sites.len());
+        let mut mapes = Vec::new();
+        let predictor = &mut self.predictor;
+        let metrics = &mut self.metrics;
+        let norm_ema = &mut self.grad_norm_ema;
+        let track = self.cfg.track_metrics;
+        let eps = self.cfg.mape_eps;
+        let decay = self.cfg.norm_ema_decay;
+        let mut site_idx = 0usize;
+        model.visit_sites(&mut |site| {
+            let meta = site.meta();
+            if let Some(act) = site.take_activation() {
+                let true_grad = site.weight_param().grad.clone();
+                let norm = true_grad.norm();
+                norm_ema[site_idx] = Some(match norm_ema[site_idx] {
+                    Some(prev) => decay * prev + (1.0 - decay) * norm,
+                    None => norm,
+                });
+                if track {
+                    let predicted = predictor.predict_gradient(&meta, &act);
+                    let e: GradientErrors = gradient_errors(&predicted, &true_grad, eps);
+                    metrics.record(site_idx, e);
+                    mapes.push(e.mape);
+                }
+                losses.push(predictor.train_step(&meta, &act, &true_grad));
+            }
+            site_idx += 1;
+        });
+        let mean_loss = if losses.is_empty() {
+            0.0
+        } else {
+            losses.iter().sum::<f32>() / losses.len() as f32
+        };
+        let mean_mape = if mapes.is_empty() {
+            None
+        } else {
+            Some(mapes.iter().sum::<f32>() / mapes.len() as f32)
+        };
+        (mean_loss, mean_mape)
+    }
+
+    /// Phase GP hook: writes predicted gradients into every site's weight
+    /// parameter. Call after a recording forward pass, then run the
+    /// optimizer step; no backward pass is needed.
+    pub fn apply_predicted_gradients(&mut self, model: &mut dyn Module) {
+        let predictor = &mut self.predictor;
+        let norm_ema = &self.grad_norm_ema;
+        let calibrate = self.cfg.norm_calibration;
+        let mut site_idx = 0usize;
+        model.visit_sites(&mut |site| {
+            let meta = site.meta();
+            if let Some(act) = site.take_activation() {
+                let mut grad = predictor.predict_gradient(&meta, &act);
+                if calibrate {
+                    if let Some(target_norm) = norm_ema[site_idx] {
+                        let norm = grad.norm();
+                        if norm > 1e-12 {
+                            // Shrink freely toward the observed true-norm
+                            // scale, but amplify by at most 2x: an
+                            // undertrained predictor (near-zero head) must
+                            // not have its noise inflated to full gradient
+                            // magnitude.
+                            let factor = (target_norm / norm).min(2.0);
+                            grad.scale_in_place(factor);
+                        }
+                    }
+                }
+                let w = site.weight_param();
+                w.zero_grad();
+                w.accumulate_grad(&grad);
+            }
+            site_idx += 1;
+        });
+    }
+}
+
+/// Plain backpropagation baseline with the same reporting interface.
+#[derive(Debug, Default)]
+pub struct BaselineTrainer;
+
+impl BaselineTrainer {
+    /// Creates a baseline trainer.
+    pub fn new() -> Self {
+        BaselineTrainer
+    }
+
+    /// Trains one classification batch with standard backprop.
+    pub fn train_batch(
+        &mut self,
+        model: &mut dyn Module,
+        opt: &mut dyn Optimizer,
+        x: &Tensor,
+        targets: &[usize],
+    ) -> BatchStats {
+        let logits = model.forward(x, &mut ForwardCtx::train());
+        let (loss, dlogits) = cross_entropy(&logits, targets);
+        model.backward(&dlogits);
+        opt.step(model);
+        BatchStats {
+            phase: Phase::BP,
+            loss,
+            predictor_loss: None,
+            mape: None,
+        }
+    }
+}
+
+/// Evaluates top-1 accuracy of a classification model over test batches.
+pub fn evaluate_accuracy(
+    model: &mut dyn Module,
+    batches: impl Iterator<Item = (Tensor, Vec<usize>)>,
+) -> f32 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (x, targets) in batches {
+        let logits = model.forward(&x, &mut ForwardCtx::eval());
+        let c = logits.dim(1);
+        for (i, &t) in targets.iter().enumerate() {
+            let row = &logits.data()[i * c..(i + 1) * c];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(j, _)| j)
+                .unwrap_or(0);
+            if pred == t {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * correct as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adagp_nn::containers::Sequential;
+    use adagp_nn::layers::{Conv2d, Flatten, Linear, Relu};
+    use adagp_nn::optim::Sgd;
+
+    fn tiny_model(rng: &mut Prng) -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Conv2d::new(1, 4, 3, 1, 1, true, rng));
+        m.push(Relu::new());
+        m.push(Flatten::new());
+        m.push(Linear::new(4 * 4 * 4, 3, true, rng));
+        m
+    }
+
+    #[test]
+    fn warmup_batches_report_warmup_phase() {
+        let mut rng = Prng::seed_from_u64(0);
+        let mut model = tiny_model(&mut rng);
+        let mut adagp = AdaGp::new(AdaGpConfig::default(), &mut model, &mut rng);
+        let mut opt = Sgd::new(0.01, 0.9);
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        let stats = adagp.train_batch(&mut model, &mut opt, &x, &[0, 1]);
+        assert_eq!(stats.phase, Phase::WarmUp);
+        assert!(stats.predictor_loss.is_some());
+        assert!(stats.loss.is_finite());
+    }
+
+    #[test]
+    fn gp_phase_skips_backward_but_updates_weights() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut model = tiny_model(&mut rng);
+        let cfg = AdaGpConfig {
+            schedule: ScheduleConfig {
+                warmup_epochs: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut adagp = AdaGp::new(cfg, &mut model, &mut rng);
+        let mut opt = Sgd::new(0.05, 0.0);
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+
+        // Snapshot conv weights before the GP batch.
+        let mut before = Vec::new();
+        model.visit_sites(&mut |s| before.push(s.weight_param().value.clone()));
+
+        let stats = adagp.train_batch(&mut model, &mut opt, &x, &[0, 1]);
+        assert_eq!(stats.phase, Phase::GP);
+        assert!(stats.predictor_loss.is_none());
+
+        let mut after = Vec::new();
+        model.visit_sites(&mut |s| after.push(s.weight_param().value.clone()));
+        // Predicted gradients must have moved the weights.
+        let moved = before
+            .iter()
+            .zip(after.iter())
+            .any(|(b, a)| b.sub(a).norm() > 0.0);
+        assert!(moved, "GP phase did not update any site weights");
+    }
+
+    #[test]
+    fn schedule_is_followed_across_epochs() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut model = tiny_model(&mut rng);
+        let cfg = AdaGpConfig {
+            schedule: ScheduleConfig {
+                warmup_epochs: 1,
+                ..Default::default()
+            },
+            track_metrics: false,
+            ..Default::default()
+        };
+        let mut adagp = AdaGp::new(cfg, &mut model, &mut rng);
+        let mut opt = Sgd::new(0.01, 0.0);
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        // Epoch 0: warm-up.
+        for _ in 0..5 {
+            let s = adagp.train_batch(&mut model, &mut opt, &x, &[0, 1]);
+            assert_eq!(s.phase, Phase::WarmUp);
+        }
+        adagp.controller_mut().end_epoch();
+        // Epoch 1: 4:1 GP:BP.
+        let phases: Vec<Phase> = (0..5)
+            .map(|_| adagp.train_batch(&mut model, &mut opt, &x, &[0, 1]).phase)
+            .collect();
+        assert_eq!(
+            phases,
+            vec![Phase::GP, Phase::GP, Phase::GP, Phase::GP, Phase::BP]
+        );
+    }
+
+    #[test]
+    fn metrics_track_per_layer_mape() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut model = tiny_model(&mut rng);
+        let mut adagp = AdaGp::new(AdaGpConfig::default(), &mut model, &mut rng);
+        let mut opt = Sgd::new(0.01, 0.0);
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        adagp.train_batch(&mut model, &mut opt, &x, &[0, 1]);
+        assert_eq!(adagp.metrics().layers(), 2);
+        assert!(adagp.metrics().layer_mean(0).is_some());
+        assert!(adagp.metrics().layer_mean(1).is_some());
+    }
+
+    #[test]
+    fn baseline_trains() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut model = tiny_model(&mut rng);
+        let mut baseline = BaselineTrainer::new();
+        let mut opt = Sgd::new(0.01, 0.9);
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        let s1 = baseline.train_batch(&mut model, &mut opt, &x, &[0, 1]);
+        assert!(s1.loss.is_finite());
+    }
+
+    #[test]
+    fn evaluate_accuracy_on_trivial_data() {
+        let mut rng = Prng::seed_from_u64(5);
+        let mut model = tiny_model(&mut rng);
+        let x = Tensor::ones(&[4, 1, 4, 4]);
+        let targets = vec![0usize, 0, 0, 0];
+        let acc = evaluate_accuracy(&mut model, std::iter::once((x, targets)));
+        assert!((0.0..=100.0).contains(&acc));
+    }
+}

@@ -1,0 +1,251 @@
+//! Model checkpointing: serialize all parameters of a [`Module`] to a
+//! compact binary blob and restore them later.
+//!
+//! The format is deliberately simple and versioned:
+//! `magic "AGPC" | u32 version | u32 n_params | per-param (u32 rank,
+//! u64 dims…, f32 data…)`, all little-endian. Parameter order is the
+//! module's deterministic `visit_params` order, so a checkpoint is valid
+//! for any architecturally identical model.
+
+use crate::module::Module;
+use adagp_tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"AGPC";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The blob does not start with the checkpoint magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The blob ended prematurely.
+    Truncated,
+    /// The model's parameter list does not match the checkpoint.
+    Mismatch {
+        /// Which parameter (in visit order) disagreed.
+        index: usize,
+        /// Shape stored in the checkpoint.
+        stored: Vec<usize>,
+        /// Shape the model expected.
+        expected: Vec<usize>,
+    },
+    /// The checkpoint has a different number of parameters than the model.
+    CountMismatch {
+        /// Parameters in the checkpoint.
+        stored: usize,
+        /// Parameters in the model.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not an ADA-GP checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint data ended prematurely"),
+            CheckpointError::Mismatch { index, stored, expected } => write!(
+                f,
+                "parameter {index} shape mismatch: checkpoint {stored:?} vs model {expected:?}"
+            ),
+            CheckpointError::CountMismatch { stored, expected } => write!(
+                f,
+                "parameter count mismatch: checkpoint {stored} vs model {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+/// Serializes every parameter of `model` into a checkpoint blob.
+pub fn save(model: &mut dyn Module) -> Bytes {
+    let mut params: Vec<Tensor> = Vec::new();
+    model.visit_params(&mut |p| params.push(p.value.clone()));
+    let mut buf = BytesMut::with_capacity(
+        16 + params.iter().map(|t| 4 + t.ndim() * 8 + t.len() * 4).sum::<usize>(),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for t in &params {
+        buf.put_u32_le(t.ndim() as u32);
+        for &d in t.shape() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in t.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores every parameter of `model` from a checkpoint blob.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] if the blob is malformed or the model's
+/// architecture (parameter shapes in visit order) does not match.
+pub fn load(model: &mut dyn Module, mut blob: Bytes) -> Result<(), CheckpointError> {
+    if blob.remaining() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    blob.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = blob.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let n = blob.get_u32_le() as usize;
+
+    // Decode all tensors first so a mismatch cannot leave the model half
+    // restored.
+    let mut tensors = Vec::with_capacity(n);
+    for _ in 0..n {
+        if blob.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rank = blob.get_u32_le() as usize;
+        if blob.remaining() < rank * 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let shape: Vec<usize> = (0..rank).map(|_| blob.get_u64_le() as usize).collect();
+        let len: usize = shape.iter().product();
+        if blob.remaining() < len * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let data: Vec<f32> = (0..len).map(|_| blob.get_f32_le()).collect();
+        tensors.push(Tensor::from_vec(data, &shape));
+    }
+
+    let mut expected = 0usize;
+    model.visit_params(&mut |_| expected += 1);
+    if expected != n {
+        return Err(CheckpointError::CountMismatch {
+            stored: n,
+            expected,
+        });
+    }
+    // Validate shapes before writing anything.
+    let mut idx = 0usize;
+    let mut mismatch: Option<CheckpointError> = None;
+    model.visit_params(&mut |p| {
+        if mismatch.is_none() && tensors[idx].shape() != p.value.shape() {
+            mismatch = Some(CheckpointError::Mismatch {
+                index: idx,
+                stored: tensors[idx].shape().to_vec(),
+                expected: p.value.shape().to_vec(),
+            });
+        }
+        idx += 1;
+    });
+    if let Some(e) = mismatch {
+        return Err(e);
+    }
+    let mut idx = 0usize;
+    model.visit_params(&mut |p| {
+        p.value = tensors[idx].clone();
+        idx += 1;
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containers::Sequential;
+    use crate::layers::{Conv2d, Linear, Relu};
+    use crate::module::ForwardCtx;
+    use adagp_tensor::{init, Prng};
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut m = Sequential::new();
+        m.push(Conv2d::new(2, 4, 3, 1, 1, true, &mut rng));
+        m.push(Relu::new());
+        m.push(Linear::new(4, 3, true, &mut rng));
+        m
+    }
+
+    #[test]
+    fn roundtrip_restores_outputs() {
+        let mut a = model(1);
+        let blob = save(&mut a);
+        // A differently initialized model produces different outputs…
+        let mut b = model(2);
+        let x = init::gaussian(&[1, 2, 1, 2], 0.0, 1.0, &mut Prng::seed_from_u64(9));
+        // (Feed the conv part only — compare conv weights directly instead.)
+        let _ = x;
+        load(&mut b, blob).expect("load");
+        // …until the checkpoint makes them identical.
+        let mut wa = Vec::new();
+        a.visit_params(&mut |p| wa.push(p.value.clone()));
+        let mut wb = Vec::new();
+        b.visit_params(&mut |p| wb.push(p.value.clone()));
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn roundtrip_preserves_inference() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut a = Linear::new(4, 2, true, &mut rng);
+        let x = init::gaussian(&[3, 4], 0.0, 1.0, &mut rng);
+        let y_before = a.forward(&x, &mut ForwardCtx::eval());
+        let blob = save(&mut a);
+        let mut b = Linear::new(4, 2, true, &mut Prng::seed_from_u64(99));
+        load(&mut b, blob).expect("load");
+        let y_after = b.forward(&x, &mut ForwardCtx::eval());
+        assert_eq!(y_before, y_after);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut m = model(1);
+        let err = load(&mut m, Bytes::from_static(b"NOPE00000000")).unwrap_err();
+        assert_eq!(err, CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut m = model(1);
+        let blob = save(&mut m);
+        let cut = blob.slice(0..blob.len() / 2);
+        assert_eq!(load(&mut m, cut).unwrap_err(), CheckpointError::Truncated);
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let mut a = model(1);
+        let blob = save(&mut a);
+        let mut rng = Prng::seed_from_u64(5);
+        let mut other = Linear::new(7, 7, false, &mut rng);
+        let err = load(&mut other, blob).unwrap_err();
+        assert!(matches!(err, CheckpointError::CountMismatch { .. }));
+    }
+
+    #[test]
+    fn mismatch_does_not_corrupt_model() {
+        let mut a = model(1);
+        let blob = save(&mut a);
+        // Same param count, different shapes.
+        let mut rng = Prng::seed_from_u64(6);
+        let mut other = Sequential::new();
+        other.push(Conv2d::new(3, 4, 3, 1, 1, true, &mut rng));
+        other.push(Linear::new(4, 3, true, &mut rng));
+        let mut before = Vec::new();
+        other.visit_params(&mut |p| before.push(p.value.clone()));
+        let err = load(&mut other, blob).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }));
+        let mut after = Vec::new();
+        other.visit_params(&mut |p| after.push(p.value.clone()));
+        assert_eq!(before, after, "failed load must not mutate the model");
+    }
+}

@@ -1,0 +1,195 @@
+//! Synthetic token-level translation dataset (Multi30k stand-in) for the
+//! Transformer experiment (Table 2).
+//!
+//! The "translation" is a deterministic vocabulary permutation combined
+//! with a local reordering rule (adjacent token pairs swap when the first
+//! token id is even). A seq2seq model must therefore learn both a token
+//! mapping and a position-dependent rule — enough structure for BLEU to be
+//! a meaningful metric while remaining CPU-trainable.
+
+use adagp_tensor::Prng;
+
+/// Padding token id.
+pub const PAD: usize = 0;
+/// Beginning-of-sequence token id.
+pub const BOS: usize = 1;
+/// End-of-sequence token id.
+pub const EOS: usize = 2;
+
+/// Deterministic synthetic translation dataset.
+#[derive(Debug, Clone)]
+pub struct TranslationDataset {
+    vocab: usize,
+    sentence_len: usize,
+    train_len: usize,
+    test_len: usize,
+    seed: u64,
+    permutation: Vec<usize>,
+}
+
+impl TranslationDataset {
+    /// Creates a dataset over `vocab` tokens (ids `3..vocab` are content
+    /// tokens; 0–2 are reserved) with fixed content length `sentence_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab < 8` or `sentence_len == 0`.
+    pub fn new(vocab: usize, sentence_len: usize, train_len: usize, test_len: usize, seed: u64) -> Self {
+        assert!(vocab >= 8, "vocabulary too small");
+        assert!(sentence_len > 0, "sentence length must be positive");
+        // Build the target-language permutation of content tokens.
+        let mut rng = Prng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        let mut content: Vec<usize> = (3..vocab).collect();
+        rng.shuffle(&mut content);
+        let mut permutation = vec![0; vocab];
+        permutation[PAD] = PAD;
+        permutation[BOS] = BOS;
+        permutation[EOS] = EOS;
+        for (i, &p) in content.iter().enumerate() {
+            permutation[i + 3] = p;
+        }
+        TranslationDataset {
+            vocab,
+            sentence_len,
+            train_len,
+            test_len,
+            seed,
+            permutation,
+        }
+    }
+
+    /// Multi30k-like default: vocab 64, length 8, 512 train / 128 test pairs.
+    pub fn multi30k_like(seed: u64) -> Self {
+        Self::new(64, 8, 512, 128, seed)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Content sentence length (excluding BOS/EOS framing).
+    pub fn sentence_len(&self) -> usize {
+        self.sentence_len
+    }
+
+    /// Number of training pairs.
+    pub fn train_len(&self) -> usize {
+        self.train_len
+    }
+
+    /// Number of test pairs.
+    pub fn test_len(&self) -> usize {
+        self.test_len
+    }
+
+    /// Translates a source sentence into the target language (ground
+    /// truth): permute token ids, then swap adjacent pairs whose first
+    /// token id is even.
+    pub fn translate(&self, src: &[usize]) -> Vec<usize> {
+        let mut out: Vec<usize> = src.iter().map(|&t| self.permutation[t]).collect();
+        let mut i = 0;
+        while i + 1 < out.len() {
+            if src[i] % 2 == 0 {
+                out.swap(i, i + 1);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn source_sentence(&self, split: u64, index: usize) -> Vec<usize> {
+        let mut rng = Prng::seed_from_u64(
+            self.seed ^ split.wrapping_mul(0xA5A5_5A5A) ^ (index as u64).wrapping_mul(0xC2B2_AE35),
+        );
+        (0..self.sentence_len)
+            .map(|_| 3 + rng.below(self.vocab - 3))
+            .collect()
+    }
+
+    /// Training pair `index`: `(source, target)` content token sequences.
+    pub fn train_pair(&self, index: usize) -> (Vec<usize>, Vec<usize>) {
+        let src = self.source_sentence(0, index % self.train_len.max(1));
+        let tgt = self.translate(&src);
+        (src, tgt)
+    }
+
+    /// Test pair `index`.
+    pub fn test_pair(&self, index: usize) -> (Vec<usize>, Vec<usize>) {
+        let src = self.source_sentence(1, index % self.test_len.max(1));
+        let tgt = self.translate(&src);
+        (src, tgt)
+    }
+
+    /// A batch of training pairs as `(sources, targets)` row-major id
+    /// matrices of width `sentence_len`.
+    pub fn train_batch(&self, batch_idx: usize, batch_size: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let mut srcs = Vec::with_capacity(batch_size);
+        let mut tgts = Vec::with_capacity(batch_size);
+        for i in 0..batch_size {
+            let (s, t) = self.train_pair(batch_idx * batch_size + i);
+            srcs.push(s);
+            tgts.push(t);
+        }
+        (srcs, tgts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_bijective_on_content() {
+        let ds = TranslationDataset::new(32, 6, 10, 10, 1);
+        let mut seen = vec![false; 32];
+        for t in 3..32 {
+            let p = ds.permutation[t];
+            assert!(p >= 3, "content maps to content");
+            assert!(!seen[p], "duplicate image {p}");
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn translation_is_deterministic() {
+        let ds = TranslationDataset::new(32, 6, 10, 10, 2);
+        let (s1, t1) = ds.train_pair(4);
+        let (s2, t2) = ds.train_pair(4);
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2);
+        assert_eq!(ds.translate(&s1), t1);
+    }
+
+    #[test]
+    fn swap_rule_applied() {
+        let ds = TranslationDataset::new(32, 4, 10, 10, 3);
+        // Source with an even first token: pair must swap.
+        let src = vec![4, 5, 7, 9];
+        let tgt = ds.translate(&src);
+        assert_eq!(tgt[0], ds.permutation[5]);
+        assert_eq!(tgt[1], ds.permutation[4]);
+        // Odd first token: no swap.
+        assert_eq!(tgt[2], ds.permutation[7]);
+        assert_eq!(tgt[3], ds.permutation[9]);
+    }
+
+    #[test]
+    fn batches_have_requested_size() {
+        let ds = TranslationDataset::multi30k_like(4);
+        let (s, t) = ds.train_batch(0, 16);
+        assert_eq!(s.len(), 16);
+        assert_eq!(t.len(), 16);
+        assert!(s.iter().all(|row| row.len() == ds.sentence_len()));
+    }
+
+    #[test]
+    fn tokens_avoid_reserved_ids() {
+        let ds = TranslationDataset::multi30k_like(5);
+        let (s, t) = ds.train_pair(0);
+        assert!(s.iter().all(|&x| x >= 3));
+        assert!(t.iter().all(|&x| x >= 3));
+    }
+}

@@ -1,0 +1,188 @@
+//! Activation layers: ReLU, LeakyReLU, Sigmoid, Tanh.
+
+use crate::module::{ForwardCtx, Module};
+use crate::param::Param;
+use adagp_tensor::softmax as act;
+use adagp_tensor::Tensor;
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    input_cache: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Relu {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        if ctx.train {
+            self.input_cache = Some(x.clone());
+        }
+        act::relu(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .input_cache
+            .as_ref()
+            .expect("Relu::backward called before forward");
+        act::relu_backward(x, dy)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Leaky ReLU with configurable negative slope (YOLO-v3 uses 0.1).
+#[derive(Debug)]
+pub struct LeakyRelu {
+    alpha: f32,
+    input_cache: Option<Tensor>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with negative slope `alpha`.
+    pub fn new(alpha: f32) -> Self {
+        LeakyRelu {
+            alpha,
+            input_cache: None,
+        }
+    }
+}
+
+impl Module for LeakyRelu {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        if ctx.train {
+            self.input_cache = Some(x.clone());
+        }
+        act::leaky_relu(x, self.alpha)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .input_cache
+            .as_ref()
+            .expect("LeakyRelu::backward called before forward");
+        act::leaky_relu_backward(x, dy, self.alpha)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    output_cache: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Sigmoid {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        let y = act::sigmoid(x);
+        if ctx.train {
+            self.output_cache = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let y = self
+            .output_cache
+            .as_ref()
+            .expect("Sigmoid::backward called before forward");
+        act::sigmoid_backward(y, dy)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Hyperbolic tangent.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    output_cache: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Tanh {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        let y = act::tanh(x);
+        if ctx.train {
+            self.output_cache = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let y = self
+            .output_cache
+            .as_ref()
+            .expect("Tanh::backward called before forward");
+        act::tanh_backward(y, dy)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::count_params;
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
+        let y = r.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let dx = r.backward(&Tensor::ones(&[2]));
+        assert_eq!(dx.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_negative_slope() {
+        let mut l = LeakyRelu::new(0.2);
+        let x = Tensor::from_vec(vec![-5.0, 5.0], &[2]);
+        let y = l.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.data(), &[-1.0, 5.0]);
+        let dx = l.backward(&Tensor::ones(&[2]));
+        assert!((dx.data()[0] - 0.2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sigmoid_tanh_backward_use_outputs() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::zeros(&[1]), &mut ForwardCtx::train());
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+        let dx = s.backward(&Tensor::ones(&[1]));
+        assert!((dx.data()[0] - 0.25).abs() < 1e-6);
+
+        let mut t = Tanh::new();
+        t.forward(&Tensor::zeros(&[1]), &mut ForwardCtx::train());
+        let dx = t.backward(&Tensor::ones(&[1]));
+        assert!((dx.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        assert_eq!(count_params(&mut Relu::new()), 0);
+        assert_eq!(count_params(&mut LeakyRelu::new(0.1)), 0);
+        assert_eq!(count_params(&mut Sigmoid::new()), 0);
+        assert_eq!(count_params(&mut Tanh::new()), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! 2-D convolution layer — the primary prediction site for ADA-GP.
+
+use crate::module::{ForwardCtx, Module, PredictionSite, SiteKind, SiteMeta};
+use crate::param::Param;
+use adagp_tensor::conv::{conv2d, conv2d_backward_data, conv2d_backward_weight, Conv2dParams};
+use adagp_tensor::{init, Prng, Tensor};
+
+/// A 2-D convolution with optional bias.
+///
+/// Weight layout `(out_ch, in_ch, kh, kw)`, Kaiming-normal initialized.
+/// When the forward context requests activation recording, the layer keeps
+/// its output tensor so ADA-GP's predictor can consume it (Figure 1b).
+///
+/// ```
+/// use adagp_nn::{layers::Conv2d, module::{Module, ForwardCtx}};
+/// use adagp_tensor::{Prng, Tensor};
+/// let mut rng = Prng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, true, &mut rng);
+/// let y = conv.forward(&Tensor::ones(&[2, 3, 8, 8]), &mut ForwardCtx::train());
+/// assert_eq!(y.shape(), &[2, 8, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    params: Conv2dParams,
+    kh: usize,
+    kw: usize,
+    label: String,
+    input_cache: Option<Tensor>,
+    activation_cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution `in_ch -> out_ch` with square kernel `k`,
+    /// given stride and padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        bias: bool,
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && k > 0, "conv dims must be positive");
+        let fan_in = in_ch * k * k;
+        let weight = Param::new(init::kaiming_normal(&[out_ch, in_ch, k, k], fan_in, rng));
+        let bias = bias.then(|| Param::new(Tensor::zeros(&[out_ch])));
+        Conv2d {
+            weight,
+            bias,
+            params: Conv2dParams::new(stride, padding),
+            kh: k,
+            kw: k,
+            label: format!("conv{in_ch}x{out_ch}k{k}"),
+            input_cache: None,
+            activation_cache: None,
+        }
+    }
+
+    /// Overrides the human-readable label used in site metadata.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.dim(1)
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.dim(0)
+    }
+
+    /// Kernel size (square).
+    pub fn kernel_size(&self) -> usize {
+        self.kh
+    }
+
+    /// Immutable access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        let y = conv2d(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            &self.params,
+        );
+        if ctx.train {
+            self.input_cache = Some(x.clone());
+        }
+        if ctx.record_activations {
+            self.activation_cache = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .input_cache
+            .as_ref()
+            .expect("Conv2d::backward called before forward");
+        let (dw, db) = conv2d_backward_weight(x, dy, self.kh, self.kw, &self.params);
+        self.weight.accumulate_grad(&dw);
+        if let Some(b) = &mut self.bias {
+            b.accumulate_grad(&db);
+        }
+        conv2d_backward_data(dy, &self.weight.value, x.dim(2), x.dim(3), &self.params)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn visit_sites(&mut self, f: &mut dyn FnMut(&mut dyn PredictionSite)) {
+        f(self);
+    }
+}
+
+impl PredictionSite for Conv2d {
+    fn meta(&self) -> SiteMeta {
+        SiteMeta {
+            kind: SiteKind::Conv2d,
+            weight_shape: self.weight.value.shape().to_vec(),
+            label: self.label.clone(),
+        }
+    }
+
+    fn weight_param(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    fn activation(&self) -> Option<&Tensor> {
+        self.activation_cache.as_ref()
+    }
+
+    fn take_activation(&mut self) -> Option<Tensor> {
+        self.activation_cache.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{count_params, count_sites};
+
+    #[test]
+    fn forward_shape_and_cache() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, true, &mut rng);
+        let x = Tensor::ones(&[2, 3, 6, 6]);
+        let y = conv.forward(&x, &mut ForwardCtx::train_recording());
+        assert_eq!(y.shape(), &[2, 4, 6, 6]);
+        assert!(conv.activation().is_some());
+        let act = conv.take_activation().unwrap();
+        assert_eq!(act.shape(), y.shape());
+        assert!(conv.activation().is_none());
+    }
+
+    #[test]
+    fn no_activation_cache_without_recording() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, false, &mut rng);
+        conv.forward(&Tensor::ones(&[1, 1, 2, 2]), &mut ForwardCtx::train());
+        assert!(conv.activation().is_none());
+    }
+
+    #[test]
+    fn backward_accumulates_grads() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng);
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let y = conv.forward(&x, &mut ForwardCtx::train());
+        let dx = conv.backward(&Tensor::ones(y.shape()));
+        assert_eq!(dx.shape(), x.shape());
+        assert!(conv.weight().grad.norm() > 0.0);
+    }
+
+    #[test]
+    fn param_and_site_counts() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, true, &mut rng);
+        assert_eq!(count_params(&mut conv), 4 * 2 * 9 + 4);
+        assert_eq!(count_sites(&mut conv), 1);
+    }
+
+    #[test]
+    fn meta_reports_weight_shape() {
+        let mut rng = Prng::seed_from_u64(4);
+        let conv = Conv2d::new(8, 16, 3, 1, 1, false, &mut rng).with_label("stage1");
+        let m = conv.meta();
+        assert_eq!(m.kind, SiteKind::Conv2d);
+        assert_eq!(m.weight_shape, vec![16, 8, 3, 3]);
+        assert_eq!(m.label, "stage1");
+        assert_eq!(m.grads_per_out_channel(), 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_before_forward_panics() {
+        let mut rng = Prng::seed_from_u64(5);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, false, &mut rng);
+        conv.backward(&Tensor::ones(&[1, 1, 1, 1]));
+    }
+}

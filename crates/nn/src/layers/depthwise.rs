@@ -1,0 +1,221 @@
+//! Depthwise 2-D convolution (one filter per channel) — the workhorse of
+//! MobileNet-V2's inverted residual blocks.
+
+use crate::module::{ForwardCtx, Module, PredictionSite, SiteKind, SiteMeta};
+use crate::param::Param;
+use adagp_tensor::conv::{conv2d, conv2d_backward_data, conv2d_backward_weight, Conv2dParams};
+use adagp_tensor::{init, Prng, Tensor};
+
+/// Depthwise convolution: each input channel is convolved with its own
+/// `k×k` filter. Weight layout `(C, 1, k, k)`.
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    weight: Param,
+    params: Conv2dParams,
+    k: usize,
+    label: String,
+    input_cache: Option<Tensor>,
+    activation_cache: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise conv over `channels` channels with square
+    /// kernel `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` or `k` is zero.
+    pub fn new(channels: usize, k: usize, stride: usize, padding: usize, rng: &mut Prng) -> Self {
+        assert!(channels > 0 && k > 0, "depthwise dims must be positive");
+        let weight = Param::new(init::kaiming_normal(&[channels, 1, k, k], k * k, rng));
+        DepthwiseConv2d {
+            weight,
+            params: Conv2dParams::new(stride, padding),
+            k,
+            label: format!("dwconv{channels}k{k}"),
+            input_cache: None,
+            activation_cache: None,
+        }
+    }
+
+    /// Overrides the site label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.weight.value.dim(0)
+    }
+}
+
+impl Module for DepthwiseConv2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        assert_eq!(x.ndim(), 4, "DepthwiseConv2d expects (N, C, H, W)");
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        assert_eq!(c, self.channels(), "DepthwiseConv2d channel mismatch");
+        let ho = self.params.out_size(h, self.k);
+        let wo = self.params.out_size(w, self.k);
+        let mut out = vec![0.0f32; n * c * ho * wo];
+        // Convolve each channel independently as a (N, 1, H, W) tensor.
+        for ci in 0..c {
+            let mut chan = vec![0.0f32; n * h * w];
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                chan[ni * h * w..(ni + 1) * h * w]
+                    .copy_from_slice(&x.data()[base..base + h * w]);
+            }
+            let chan_t = Tensor::from_vec(chan, &[n, 1, h, w]);
+            let wslice = Tensor::from_vec(
+                self.weight.value.data()[ci * self.k * self.k..(ci + 1) * self.k * self.k]
+                    .to_vec(),
+                &[1, 1, self.k, self.k],
+            );
+            let y = conv2d(&chan_t, &wslice, None, &self.params);
+            for ni in 0..n {
+                let dst = (ni * c + ci) * ho * wo;
+                out[dst..dst + ho * wo]
+                    .copy_from_slice(&y.data()[ni * ho * wo..(ni + 1) * ho * wo]);
+            }
+        }
+        let y = Tensor::from_vec(out, &[n, c, ho, wo]);
+        if ctx.train {
+            self.input_cache = Some(x.clone());
+        }
+        if ctx.record_activations {
+            self.activation_cache = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .input_cache
+            .as_ref()
+            .expect("DepthwiseConv2d::backward called before forward");
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let (ho, wo) = (dy.dim(2), dy.dim(3));
+        let mut dx = vec![0.0f32; x.len()];
+        let mut dw = vec![0.0f32; self.weight.value.len()];
+        for ci in 0..c {
+            // Gather channel ci of x and dy.
+            let mut xc = vec![0.0f32; n * h * w];
+            let mut dyc = vec![0.0f32; n * ho * wo];
+            for ni in 0..n {
+                xc[ni * h * w..(ni + 1) * h * w].copy_from_slice(
+                    &x.data()[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w],
+                );
+                dyc[ni * ho * wo..(ni + 1) * ho * wo].copy_from_slice(
+                    &dy.data()[(ni * c + ci) * ho * wo..(ni * c + ci + 1) * ho * wo],
+                );
+            }
+            let xc_t = Tensor::from_vec(xc, &[n, 1, h, w]);
+            let dyc_t = Tensor::from_vec(dyc, &[n, 1, ho, wo]);
+            let wslice = Tensor::from_vec(
+                self.weight.value.data()[ci * self.k * self.k..(ci + 1) * self.k * self.k]
+                    .to_vec(),
+                &[1, 1, self.k, self.k],
+            );
+            let dxc = conv2d_backward_data(&dyc_t, &wslice, h, w, &self.params);
+            let (dwc, _db) = conv2d_backward_weight(&xc_t, &dyc_t, self.k, self.k, &self.params);
+            for ni in 0..n {
+                dx[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w]
+                    .copy_from_slice(&dxc.data()[ni * h * w..(ni + 1) * h * w]);
+            }
+            dw[ci * self.k * self.k..(ci + 1) * self.k * self.k].copy_from_slice(dwc.data());
+        }
+        self.weight
+            .accumulate_grad(&Tensor::from_vec(dw, self.weight.value.shape()));
+        Tensor::from_vec(dx, x.shape())
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+    }
+
+    fn visit_sites(&mut self, f: &mut dyn FnMut(&mut dyn PredictionSite)) {
+        f(self);
+    }
+}
+
+impl PredictionSite for DepthwiseConv2d {
+    fn meta(&self) -> SiteMeta {
+        SiteMeta {
+            kind: SiteKind::Conv2d,
+            weight_shape: self.weight.value.shape().to_vec(),
+            label: self.label.clone(),
+        }
+    }
+
+    fn weight_param(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    fn activation(&self) -> Option<&Tensor> {
+        self.activation_cache.as_ref()
+    }
+
+    fn take_activation(&mut self) -> Option<Tensor> {
+        self.activation_cache.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_preserves_channels() {
+        let mut rng = Prng::seed_from_u64(0);
+        let mut dw = DepthwiseConv2d::new(4, 3, 1, 1, &mut rng);
+        let x = Tensor::ones(&[2, 4, 6, 6]);
+        let y = dw.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut dw = DepthwiseConv2d::new(2, 1, 1, 0, &mut rng);
+        // 1x1 depthwise = per-channel scaling.
+        dw.weight.value = Tensor::from_vec(vec![2.0, 3.0], &[2, 1, 1, 1]);
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 2, 1, 2]);
+        let y = dw.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.data(), &[2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_gradcheck() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut dw = DepthwiseConv2d::new(2, 3, 1, 1, &mut rng);
+        let x = adagp_tensor::init::gaussian(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let y = dw.forward(&x, &mut ForwardCtx::train());
+        let dx = dw.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-2;
+        for i in (0..x.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let up = dw.forward(&xp, &mut ForwardCtx::eval()).sum();
+            let dn = dw.forward(&xm, &mut ForwardCtx::eval()).sum();
+            let num = (up - dn) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 5e-2,
+                "dx[{i}] numeric {num} vs {}",
+                dx.data()[i]
+            );
+        }
+        assert!(dw.weight.grad.norm() > 0.0);
+    }
+
+    #[test]
+    fn stride_halves_spatial() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut dw = DepthwiseConv2d::new(3, 3, 2, 1, &mut rng);
+        let x = Tensor::ones(&[1, 3, 8, 8]);
+        let y = dw.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[1, 3, 4, 4]);
+    }
+}

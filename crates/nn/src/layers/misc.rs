@@ -1,0 +1,141 @@
+//! Shape and regularization utilities: Flatten and Dropout.
+
+use crate::module::{ForwardCtx, Module};
+use crate::param::Param;
+use adagp_tensor::{Prng, Tensor};
+
+/// Flattens `(N, ...)` to `(N, prod(...))` — bridges conv stacks to FC heads.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Flatten {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        if ctx.train {
+            self.input_shape = x.shape().to_vec();
+        }
+        let n = x.dim(0);
+        let rest: usize = x.shape()[1..].iter().product();
+        x.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert!(
+            !self.input_shape.is_empty(),
+            "Flatten::backward called before forward"
+        );
+        dy.reshape(&self.input_shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Inverted dropout with a deterministic, explicitly seeded mask stream.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: Prng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a seed for the
+    /// mask stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout {
+            p,
+            rng: Prng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        if !ctx.train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..x.len())
+            .map(|_| if self.rng.uniform() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, x.shape());
+        let y = x.mul(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => dy.mul(mask),
+            None => dy.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = fl.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[2, 48]);
+        let dx = fl.backward(&Tensor::ones(&[2, 48]));
+        assert_eq!(dx.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, &mut ForwardCtx::eval());
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_train_scales_survivors() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, &mut ForwardCtx::train());
+        // Survivors are 2.0, dropped are 0.0; mean stays near 1.
+        assert!((y.mean() - 1.0).abs() < 0.1);
+        assert!(y.data().iter().all(|&v| v == 0.0 || v == 2.0));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[1000]);
+        let y = d.forward(&x, &mut ForwardCtx::train());
+        let dx = d.backward(&Tensor::ones(&[1000]));
+        assert_eq!(y, dx);
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::ones(&[8]);
+        let y = d.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y, x);
+    }
+}

@@ -1,0 +1,202 @@
+//! Normalization layers: BatchNorm2d and LayerNorm.
+
+use crate::module::{ForwardCtx, Module};
+use crate::param::Param;
+use adagp_tensor::norm;
+use adagp_tensor::Tensor;
+
+/// 2-D batch normalization with running statistics.
+///
+/// Uses batch statistics in training mode and exponential running averages
+/// (momentum 0.1, PyTorch convention) at inference.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<norm::BatchNormCache>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "BatchNorm2d requires at least one channel");
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Running mean (inference statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running variance (inference statistics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        if ctx.train {
+            let (y, cache, mean, var) =
+                norm::batchnorm2d_forward(x, &self.gamma.value, &self.beta.value, self.eps);
+            for c in 0..self.running_mean.len() {
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+            }
+            self.cache = Some(cache);
+            y
+        } else {
+            norm::batchnorm2d_infer(
+                x,
+                &self.gamma.value,
+                &self.beta.value,
+                &self.running_mean,
+                &self.running_var,
+                self.eps,
+            )
+        }
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward called before forward");
+        let (dx, dgamma, dbeta) = norm::batchnorm2d_backward(dy, cache, &self.gamma.value);
+        self.gamma.accumulate_grad(&dgamma);
+        self.beta.accumulate_grad(&dbeta);
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+/// Layer normalization over the last dimension of `(rows, features)`.
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<norm::LayerNormCache>,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over `features` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0`.
+    pub fn new(features: usize) -> Self {
+        assert!(features > 0, "LayerNorm requires at least one feature");
+        LayerNorm {
+            gamma: Param::new(Tensor::ones(&[features])),
+            beta: Param::new(Tensor::zeros(&[features])),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Feature count.
+    pub fn features(&self) -> usize {
+        self.gamma.len()
+    }
+}
+
+impl Module for LayerNorm {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        let (y, cache) = norm::layernorm_forward(x, &self.gamma.value, &self.beta.value, self.eps);
+        if ctx.train {
+            self.cache = Some(cache);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("LayerNorm::backward called before forward");
+        let (dx, dgamma, dbeta) = norm::layernorm_backward(dy, cache, &self.gamma.value);
+        self.gamma.accumulate_grad(&dgamma);
+        self.beta.accumulate_grad(&dbeta);
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::count_params;
+    use adagp_tensor::{init, Prng};
+
+    #[test]
+    fn batchnorm_train_vs_eval_paths() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new(2);
+        let x = init::gaussian(&[4, 2, 3, 3], 1.0, 2.0, &mut rng);
+        let y_train = bn.forward(&x, &mut ForwardCtx::train());
+        // Training output is normalized: overall mean near 0.
+        assert!(y_train.mean().abs() < 0.1);
+        // Running stats moved toward the batch stats.
+        assert!(bn.running_mean().iter().any(|&m| m != 0.0));
+        let y_eval = bn.forward(&x, &mut ForwardCtx::eval());
+        assert_eq!(y_eval.shape(), x.shape());
+    }
+
+    #[test]
+    fn batchnorm_backward_accumulates() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new(3);
+        let x = init::gaussian(&[2, 3, 2, 2], 0.0, 1.0, &mut rng);
+        let y = bn.forward(&x, &mut ForwardCtx::train());
+        let dx = bn.backward(&Tensor::ones(y.shape()));
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(count_params(&mut bn), 6);
+    }
+
+    #[test]
+    fn layernorm_roundtrip() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut ln = LayerNorm::new(8);
+        let x = init::gaussian(&[4, 8], 3.0, 2.0, &mut rng);
+        let y = ln.forward(&x, &mut ForwardCtx::train());
+        for i in 0..4 {
+            let mean: f32 = y.data()[i * 8..(i + 1) * 8].iter().sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4);
+        }
+        let dx = ln.backward(&Tensor::ones(y.shape()));
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(ln.features(), 8);
+    }
+}

@@ -1,0 +1,155 @@
+//! Pooling layers wrapping the tensor pooling kernels.
+
+use crate::module::{ForwardCtx, Module};
+use crate::param::Param;
+use adagp_tensor::pool;
+use adagp_tensor::Tensor;
+
+/// Max pooling over square windows.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    k: usize,
+    s: usize,
+    fwd_cache: Option<pool::MaxPoolOutput>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with window `k` and stride `s`.
+    pub fn new(k: usize, s: usize) -> Self {
+        MaxPool2d {
+            k,
+            s,
+            fwd_cache: None,
+            input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        let out = pool::maxpool2d(x, self.k, self.s);
+        let y = out.output.clone();
+        if ctx.train {
+            self.input_shape = x.shape().to_vec();
+            self.fwd_cache = Some(out);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let fwd = self
+            .fwd_cache
+            .as_ref()
+            .expect("MaxPool2d::backward called before forward");
+        pool::maxpool2d_backward(fwd, dy, &self.input_shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Average pooling over square windows.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    k: usize,
+    s: usize,
+    input_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with window `k` and stride `s`.
+    pub fn new(k: usize, s: usize) -> Self {
+        AvgPool2d {
+            k,
+            s,
+            input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        if ctx.train {
+            self.input_shape = x.shape().to_vec();
+        }
+        pool::avgpool2d(x, self.k, self.s)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert!(
+            !self.input_shape.is_empty(),
+            "AvgPool2d::backward called before forward"
+        );
+        pool::avgpool2d_backward(dy, &self.input_shape, self.k, self.s)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Global average pooling `(N, C, H, W) -> (N, C)` — the standard CNN head.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        if ctx.train {
+            self.input_shape = x.shape().to_vec();
+        }
+        pool::global_avgpool(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert!(
+            !self.input_shape.is_empty(),
+            "GlobalAvgPool::backward called before forward"
+        );
+        pool::global_avgpool_backward(dy, &self.input_shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_layer_roundtrip() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = p.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.data(), &[4.0]);
+        let dx = p.backward(&Tensor::ones(&[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn avgpool_layer_roundtrip() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = p.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        let dx = p.backward(&Tensor::ones(&[1, 1, 2, 2]));
+        assert_eq!(dx.shape(), &[1, 1, 4, 4]);
+        assert!((dx.sum() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gap_layer_roundtrip() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = p.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[2, 3]);
+        let dx = p.backward(&Tensor::ones(&[2, 3]));
+        assert_eq!(dx.shape(), &[2, 3, 4, 4]);
+    }
+}

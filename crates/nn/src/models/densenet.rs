@@ -1,0 +1,123 @@
+//! DenseNet-121/161/169/201 (Huang et al.) — densely connected blocks with
+//! transition layers.
+
+use super::ModelConfig;
+use crate::containers::{DenseCat, Sequential};
+use crate::layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, Relu};
+use adagp_tensor::Prng;
+
+/// `(block counts, growth rate)` for each DenseNet depth.
+fn config(depth: usize) -> ([usize; 4], usize) {
+    match depth {
+        121 => ([6, 12, 24, 16], 32),
+        161 => ([6, 12, 36, 24], 48),
+        169 => ([6, 12, 32, 32], 32),
+        201 => ([6, 12, 48, 32], 32),
+        d => panic!("unsupported DenseNet depth {d} (use 121, 161, 169 or 201)"),
+    }
+}
+
+/// One dense layer: BN → ReLU → 3×3 conv producing `growth` channels,
+/// concatenated with its input.
+fn dense_layer(in_ch: usize, growth: usize, label: &str, rng: &mut Prng) -> DenseCat {
+    let mut body = Sequential::new();
+    body.push(BatchNorm2d::new(in_ch));
+    body.push(Relu::new());
+    body.push(Conv2d::new(in_ch, growth, 3, 1, 1, false, rng).with_label(label.to_string()));
+    DenseCat::new(body, in_ch, growth)
+}
+
+/// Builds a (scaled) DenseNet.
+///
+/// Transition layers halve both the channel count (1×1 conv) and the
+/// spatial size (2×2 average pool) between dense blocks, as in the paper.
+///
+/// # Panics
+///
+/// Panics if `depth` is not one of 121/161/169/201.
+pub fn densenet(depth: usize, cfg: &ModelConfig, in_ch: usize, rng: &mut Prng) -> Sequential {
+    let (blocks, growth_ref) = config(depth);
+    let growth = cfg.ch(growth_ref);
+    let stem_ch = cfg.ch(64);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(in_ch, stem_ch, 3, 1, 1, false, rng).with_label("stem"));
+    net.push(BatchNorm2d::new(stem_ch));
+    net.push(Relu::new());
+
+    let mut ch = stem_ch;
+    for (stage, &n_layers) in blocks.iter().enumerate() {
+        let n = cfg.blocks(n_layers);
+        for l in 0..n {
+            let label = format!("dense{}_{}", stage + 1, l + 1);
+            net.push_boxed(Box::new(dense_layer(ch, growth, &label, rng)));
+            ch += growth;
+        }
+        if stage + 1 < blocks.len() {
+            // Transition: compress channels by half and downsample.
+            let out = (ch / 2).max(2);
+            net.push(BatchNorm2d::new(ch));
+            net.push(Relu::new());
+            net.push(
+                Conv2d::new(ch, out, 1, 1, 0, false, rng)
+                    .with_label(format!("trans{}", stage + 1)),
+            );
+            net.push(AvgPool2d::new(2, 2));
+            ch = out;
+        }
+    }
+    net.push(BatchNorm2d::new(ch));
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Flatten::new());
+    net.push(Linear::new(ch, cfg.classes, true, rng).with_label("fc"));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{count_sites, ForwardCtx, Module};
+    use adagp_tensor::Tensor;
+
+    #[test]
+    fn densenet121_tiny_forward_backward() {
+        let mut rng = Prng::seed_from_u64(0);
+        let cfg = ModelConfig::tiny(10);
+        let mut net = densenet(121, &cfg, 3, &mut rng);
+        let x = Tensor::ones(&[2, 3, 16, 16]);
+        let y = net.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[2, 10]);
+        let dx = net.backward(&Tensor::ones(&[2, 10]));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn deeper_variants_have_more_sites() {
+        let mut rng = Prng::seed_from_u64(1);
+        let cfg = ModelConfig {
+            width: 0.0625,
+            depth_div: 2,
+            classes: 10,
+        };
+        let s121 = count_sites(&mut densenet(121, &cfg, 3, &mut rng));
+        let s201 = count_sites(&mut densenet(201, &cfg, 3, &mut rng));
+        assert!(s121 < s201);
+    }
+
+    #[test]
+    fn dense_layer_grows_channels() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut layer = dense_layer(8, 4, "t", &mut rng);
+        let x = Tensor::ones(&[1, 8, 6, 6]);
+        let y = layer.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[1, 12, 6, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported DenseNet depth")]
+    fn bad_depth_panics() {
+        let mut rng = Prng::seed_from_u64(3);
+        let cfg = ModelConfig::tiny(10);
+        let _ = densenet(100, &cfg, 3, &mut rng);
+    }
+}

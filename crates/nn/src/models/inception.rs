@@ -1,0 +1,132 @@
+//! Inception-V3/V4 (Szegedy et al.) — multi-branch inception modules.
+//!
+//! The reproduction keeps the four-branch module structure (1×1, 3×3,
+//! double-3×3 ≈ factorized 5×5, pool+1×1) and the stem/reduction layout;
+//! V4 differs from V3 by a deeper stem and more modules per stage, which
+//! is what drives their different layer-shape profiles in the cycle model.
+
+use super::ModelConfig;
+use crate::containers::{Branches, Sequential};
+use crate::layers::{BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu};
+use adagp_tensor::Prng;
+
+fn conv_bn(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, label: &str, rng: &mut Prng) -> Sequential {
+    let mut s = Sequential::new();
+    s.push(Conv2d::new(in_ch, out_ch, k, stride, pad, false, rng).with_label(label.to_string()));
+    s.push(BatchNorm2d::new(out_ch));
+    s.push(Relu::new());
+    s
+}
+
+/// A four-branch inception module. Branch widths are `base` each, so the
+/// output has `4 * base` channels. Branch 4 uses a 1×1 conv (the original's
+/// pool branch would need padded stride-1 pooling to keep branch shapes
+/// aligned; the 1×1 projection preserves the channel/shape profile).
+fn inception_module(in_ch: usize, base: usize, label: &str, rng: &mut Prng) -> Branches {
+    // Branch 1: 1x1.
+    let b1 = conv_bn(in_ch, base, 1, 1, 0, &format!("{label}.b1"), rng);
+    // Branch 2: 1x1 -> 3x3.
+    let mut b2 = Sequential::new();
+    b2.push_boxed(Box::new(conv_bn(in_ch, base, 1, 1, 0, &format!("{label}.b2a"), rng)));
+    b2.push_boxed(Box::new(conv_bn(base, base, 3, 1, 1, &format!("{label}.b2b"), rng)));
+    // Branch 3: 1x1 -> 3x3 -> 3x3 (factorized 5x5).
+    let mut b3 = Sequential::new();
+    b3.push_boxed(Box::new(conv_bn(in_ch, base, 1, 1, 0, &format!("{label}.b3a"), rng)));
+    b3.push_boxed(Box::new(conv_bn(base, base, 3, 1, 1, &format!("{label}.b3b"), rng)));
+    b3.push_boxed(Box::new(conv_bn(base, base, 3, 1, 1, &format!("{label}.b3c"), rng)));
+    // Branch 4: 1x1 projection.
+    let b4 = conv_bn(in_ch, base, 1, 1, 0, &format!("{label}.b4"), rng);
+    Branches::new(vec![b1, b2, b3, b4])
+}
+
+/// Builds Inception-V3 (scaled): stem + 3 inception stages with
+/// max-pool reductions.
+pub fn inception_v3(cfg: &ModelConfig, in_ch: usize, rng: &mut Prng) -> Sequential {
+    build_inception(cfg, in_ch, &[2, 3, 2], 1, rng)
+}
+
+/// Builds Inception-V4 (scaled): deeper stem + more modules per stage.
+pub fn inception_v4(cfg: &ModelConfig, in_ch: usize, rng: &mut Prng) -> Sequential {
+    build_inception(cfg, in_ch, &[3, 4, 3], 2, rng)
+}
+
+fn build_inception(
+    cfg: &ModelConfig,
+    in_ch: usize,
+    stage_modules: &[usize],
+    stem_depth: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    let stem_ch = cfg.ch(32).max(4);
+    let mut net = Sequential::new();
+    net.push_boxed(Box::new(conv_bn(in_ch, stem_ch, 3, 1, 1, "stem1", rng)));
+    for i in 0..stem_depth {
+        net.push_boxed(Box::new(conv_bn(
+            stem_ch,
+            stem_ch,
+            3,
+            1,
+            1,
+            &format!("stem{}", i + 2),
+            rng,
+        )));
+    }
+    let mut ch = stem_ch;
+    for (stage, &n_modules) in stage_modules.iter().enumerate() {
+        let base = cfg.ch(64 << stage).max(2);
+        let n = cfg.blocks(n_modules);
+        for m in 0..n {
+            let label = format!("inc{}_{}", stage + 1, m + 1);
+            net.push_boxed(Box::new(inception_module(ch, base, &label, rng)));
+            ch = 4 * base;
+        }
+        if stage + 1 < stage_modules.len() {
+            net.push(MaxPool2d::new(2, 2));
+        }
+    }
+    net.push(GlobalAvgPool::new());
+    net.push(Flatten::new());
+    net.push(Linear::new(ch, cfg.classes, true, rng).with_label("fc"));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{count_sites, ForwardCtx, Module};
+    use adagp_tensor::Tensor;
+
+    #[test]
+    fn inception_v3_forward_backward() {
+        let mut rng = Prng::seed_from_u64(0);
+        let cfg = ModelConfig::tiny(10);
+        let mut net = inception_v3(&cfg, 3, &mut rng);
+        let x = Tensor::ones(&[2, 3, 16, 16]);
+        let y = net.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[2, 10]);
+        let dx = net.backward(&Tensor::ones(&[2, 10]));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn v4_is_deeper_than_v3() {
+        let mut rng = Prng::seed_from_u64(1);
+        let cfg = ModelConfig {
+            width: 0.0625,
+            depth_div: 1,
+            classes: 10,
+        };
+        let s3 = count_sites(&mut inception_v3(&cfg, 3, &mut rng));
+        let s4 = count_sites(&mut inception_v4(&cfg, 3, &mut rng));
+        assert!(s4 > s3, "V4 sites {s4} should exceed V3 sites {s3}");
+    }
+
+    #[test]
+    fn module_output_channels_are_4x_base() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut m = inception_module(8, 4, "t", &mut rng);
+        let x = Tensor::ones(&[1, 8, 8, 8]);
+        let y = m.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[1, 16, 8, 8]);
+    }
+}

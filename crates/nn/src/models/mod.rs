@@ -1,0 +1,176 @@
+//! The paper's model zoo (§5.2): thirteen CNNs plus a Transformer and a
+//! YOLO-style detector.
+//!
+//! Two views of each model exist:
+//!
+//! * **Trainable modules** (this module's builders) — structurally faithful
+//!   but width/depth-scaled so CPU training converges in seconds. Used for
+//!   the accuracy experiments (Tables 1–3).
+//! * **Paper-scale layer shapes** ([`shapes`]) — the real layer dimensions
+//!   of each architecture, consumed by the accelerator cycle model for the
+//!   speed-up experiments (Figures 16–20). No weights are materialized.
+
+mod densenet;
+mod inception;
+mod mobilenet;
+mod resnet;
+pub mod shapes;
+mod transformer;
+mod vgg;
+mod yolo;
+
+pub use densenet::densenet;
+pub use inception::{inception_v3, inception_v4};
+pub use mobilenet::mobilenet_v2;
+pub use resnet::resnet;
+pub use transformer::{Transformer, TransformerConfig};
+pub use vgg::vgg;
+pub use yolo::{yolo_v3_tiny, YoloHead};
+
+use crate::containers::Sequential;
+use adagp_tensor::Prng;
+
+/// Identifier for the thirteen CNN models of Table 1 / Figures 17–19.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CnnModel {
+    /// ResNet-50 (bottleneck 3-4-6-3).
+    ResNet50,
+    /// ResNet-101 (bottleneck 3-4-23-3).
+    ResNet101,
+    /// ResNet-152 (bottleneck 3-8-36-3).
+    ResNet152,
+    /// Inception-V4.
+    InceptionV4,
+    /// Inception-V3.
+    InceptionV3,
+    /// VGG-13.
+    Vgg13,
+    /// VGG-16.
+    Vgg16,
+    /// VGG-19.
+    Vgg19,
+    /// DenseNet-121 (blocks 6-12-24-16, growth 32).
+    DenseNet121,
+    /// DenseNet-161 (blocks 6-12-36-24, growth 48).
+    DenseNet161,
+    /// DenseNet-169 (blocks 6-12-32-32, growth 32).
+    DenseNet169,
+    /// DenseNet-201 (blocks 6-12-48-32, growth 32).
+    DenseNet201,
+    /// MobileNet-V2.
+    MobileNetV2,
+}
+
+impl CnnModel {
+    /// All thirteen models in the paper's reporting order.
+    pub fn all() -> [CnnModel; 13] {
+        use CnnModel::*;
+        [
+            ResNet50, ResNet101, ResNet152, InceptionV4, InceptionV3, Vgg13, Vgg16, Vgg19,
+            DenseNet121, DenseNet161, DenseNet169, DenseNet201, MobileNetV2,
+        ]
+    }
+
+    /// Display name as printed in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        use CnnModel::*;
+        match self {
+            ResNet50 => "ResNet50",
+            ResNet101 => "ResNet101",
+            ResNet152 => "ResNet152",
+            InceptionV4 => "Inception-V4",
+            InceptionV3 => "Inception-V3",
+            Vgg13 => "VGG13",
+            Vgg16 => "VGG16",
+            Vgg19 => "VGG19",
+            DenseNet121 => "DenseNet121",
+            DenseNet161 => "DenseNet161",
+            DenseNet169 => "DenseNet169",
+            DenseNet201 => "DenseNet201",
+            MobileNetV2 => "MobileNet-V2",
+        }
+    }
+}
+
+/// Width/depth scaling applied to the trainable builders so they run on
+/// CPU. `width` multiplies channel counts (floor 2); `depth` divides block
+/// counts (ceil 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Channel width multiplier in `(0, 1]`.
+    pub width: f32,
+    /// Depth divisor (>= 1): block counts are divided by this.
+    pub depth_div: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl ModelConfig {
+    /// A tiny configuration for CPU experiments.
+    pub fn tiny(classes: usize) -> Self {
+        ModelConfig {
+            width: 0.125,
+            depth_div: 4,
+            classes,
+        }
+    }
+
+    /// Scales a reference channel count.
+    pub fn ch(&self, reference: usize) -> usize {
+        ((reference as f32 * self.width).round() as usize).max(2)
+    }
+
+    /// Scales a reference block count.
+    pub fn blocks(&self, reference: usize) -> usize {
+        reference.div_ceil(self.depth_div)
+    }
+}
+
+/// Builds the trainable (scaled) version of a CNN model for images of
+/// `in_size` pixels and `in_ch` channels.
+pub fn build_cnn(
+    model: CnnModel,
+    cfg: &ModelConfig,
+    in_ch: usize,
+    in_size: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    use CnnModel::*;
+    match model {
+        Vgg13 => vgg(13, cfg, in_ch, in_size, rng),
+        Vgg16 => vgg(16, cfg, in_ch, in_size, rng),
+        Vgg19 => vgg(19, cfg, in_ch, in_size, rng),
+        ResNet50 => resnet(50, cfg, in_ch, rng),
+        ResNet101 => resnet(101, cfg, in_ch, rng),
+        ResNet152 => resnet(152, cfg, in_ch, rng),
+        DenseNet121 => densenet(121, cfg, in_ch, rng),
+        DenseNet161 => densenet(161, cfg, in_ch, rng),
+        DenseNet169 => densenet(169, cfg, in_ch, rng),
+        DenseNet201 => densenet(201, cfg, in_ch, rng),
+        InceptionV3 => inception_v3(cfg, in_ch, rng),
+        InceptionV4 => inception_v4(cfg, in_ch, rng),
+        MobileNetV2 => mobilenet_v2(cfg, in_ch, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_listed_once() {
+        let all = CnnModel::all();
+        assert_eq!(all.len(), 13);
+        let names: std::collections::HashSet<_> = all.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn config_scaling() {
+        let cfg = ModelConfig::tiny(10);
+        assert_eq!(cfg.ch(64), 8);
+        assert_eq!(cfg.ch(8), 2); // floor at 2
+        assert_eq!(cfg.blocks(6), 2);
+        assert_eq!(cfg.blocks(3), 1);
+    }
+}

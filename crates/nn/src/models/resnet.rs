@@ -1,0 +1,128 @@
+//! ResNet-50/101/152 (He et al.) — bottleneck residual stacks.
+
+use super::ModelConfig;
+use crate::containers::{Residual, Sequential};
+use crate::layers::{BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, Relu};
+use adagp_tensor::Prng;
+
+/// Bottleneck block counts per stage for each depth.
+fn stage_blocks(depth: usize) -> [usize; 4] {
+    match depth {
+        50 => [3, 4, 6, 3],
+        101 => [3, 4, 23, 3],
+        152 => [3, 8, 36, 3],
+        d => panic!("unsupported ResNet depth {d} (use 50, 101 or 152)"),
+    }
+}
+
+/// A bottleneck: 1×1 reduce → 3×3 → 1×1 expand (×4), each with BN+ReLU,
+/// plus a projection shortcut when the shape changes.
+fn bottleneck(
+    in_ch: usize,
+    mid_ch: usize,
+    stride: usize,
+    label: &str,
+    rng: &mut Prng,
+) -> Residual {
+    let out_ch = mid_ch * 4;
+    let mut body = Sequential::new();
+    body.push(Conv2d::new(in_ch, mid_ch, 1, 1, 0, false, rng).with_label(format!("{label}.a")));
+    body.push(BatchNorm2d::new(mid_ch));
+    body.push(Relu::new());
+    body.push(
+        Conv2d::new(mid_ch, mid_ch, 3, stride, 1, false, rng).with_label(format!("{label}.b")),
+    );
+    body.push(BatchNorm2d::new(mid_ch));
+    body.push(Relu::new());
+    body.push(Conv2d::new(mid_ch, out_ch, 1, 1, 0, false, rng).with_label(format!("{label}.c")));
+    body.push(BatchNorm2d::new(out_ch));
+    if in_ch != out_ch || stride != 1 {
+        let proj =
+            Conv2d::new(in_ch, out_ch, 1, stride, 0, false, rng).with_label(format!("{label}.p"));
+        Residual::with_projection(body, proj)
+    } else {
+        Residual::new(body)
+    }
+}
+
+/// Builds a (scaled) bottleneck ResNet.
+///
+/// # Panics
+///
+/// Panics if `depth` is not 50, 101 or 152.
+pub fn resnet(depth: usize, cfg: &ModelConfig, in_ch: usize, rng: &mut Prng) -> Sequential {
+    let blocks = stage_blocks(depth);
+    let stem_ch = cfg.ch(64);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(in_ch, stem_ch, 3, 1, 1, false, rng).with_label("stem"));
+    net.push(BatchNorm2d::new(stem_ch));
+    net.push(Relu::new());
+
+    let mut ch = stem_ch;
+    for (stage, &n_blocks) in blocks.iter().enumerate() {
+        let mid = cfg.ch(64 << stage);
+        let n = cfg.blocks(n_blocks);
+        for b in 0..n {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            let label = format!("res{}_{}", stage + 2, b + 1);
+            net.push_boxed(Box::new(bottleneck(ch, mid, stride, &label, rng)));
+            ch = mid * 4;
+        }
+    }
+    net.push(GlobalAvgPool::new());
+    net.push(Flatten::new());
+    net.push(Linear::new(ch, cfg.classes, true, rng).with_label("fc"));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{count_sites, ForwardCtx, Module};
+    use adagp_tensor::Tensor;
+
+    #[test]
+    fn resnet50_tiny_forward_backward() {
+        let mut rng = Prng::seed_from_u64(0);
+        let cfg = ModelConfig::tiny(10);
+        let mut net = resnet(50, &cfg, 3, &mut rng);
+        let x = Tensor::ones(&[2, 3, 16, 16]);
+        let y = net.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[2, 10]);
+        let dx = net.backward(&Tensor::ones(&[2, 10]));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn deeper_resnets_have_more_sites() {
+        let mut rng = Prng::seed_from_u64(1);
+        let cfg = ModelConfig {
+            width: 0.125,
+            depth_div: 1, // full depth for the count comparison
+            classes: 10,
+        };
+        let s50 = count_sites(&mut resnet(50, &cfg, 3, &mut rng));
+        let s101 = count_sites(&mut resnet(101, &cfg, 3, &mut rng));
+        let s152 = count_sites(&mut resnet(152, &cfg, 3, &mut rng));
+        assert!(s50 < s101 && s101 < s152);
+        // ResNet-50: stem + 16 blocks * 3 convs + 4 projections + fc = 54.
+        assert_eq!(s50, 1 + 16 * 3 + 4 + 1);
+    }
+
+    #[test]
+    fn bottleneck_shortcut_projection_when_needed() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut b = bottleneck(8, 4, 2, "t", &mut rng);
+        let x = Tensor::ones(&[1, 8, 8, 8]);
+        let y = b.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[1, 16, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported ResNet depth")]
+    fn bad_depth_panics() {
+        let mut rng = Prng::seed_from_u64(3);
+        let cfg = ModelConfig::tiny(10);
+        let _ = resnet(18, &cfg, 3, &mut rng);
+    }
+}

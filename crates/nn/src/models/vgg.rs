@@ -1,0 +1,117 @@
+//! VGG-13/16/19 (Simonyan & Zisserman) — plain conv/pool stacks.
+
+use super::ModelConfig;
+use crate::containers::Sequential;
+use crate::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use adagp_tensor::Prng;
+
+/// Per-stage conv counts for each VGG depth (the five stages of the
+/// original paper; stage widths are 64, 128, 256, 512, 512).
+fn stage_convs(depth: usize) -> [usize; 5] {
+    match depth {
+        13 => [2, 2, 2, 2, 2],
+        16 => [2, 2, 3, 3, 3],
+        19 => [2, 2, 4, 4, 4],
+        d => panic!("unsupported VGG depth {d} (use 13, 16 or 19)"),
+    }
+}
+
+/// Builds a (width-scaled) VGG network.
+///
+/// Max-pools are emitted only while the spatial size stays >= 2, so the
+/// same topology works for CIFAR-scale and ImageNet-scale inputs.
+///
+/// # Panics
+///
+/// Panics if `depth` is not 13, 16 or 19.
+pub fn vgg(
+    depth: usize,
+    cfg: &ModelConfig,
+    in_ch: usize,
+    in_size: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    let stages = stage_convs(depth);
+    let widths = [64, 128, 256, 512, 512].map(|w| cfg.ch(w));
+    let mut net = Sequential::new();
+    let mut ch = in_ch;
+    let mut size = in_size;
+    for (stage, (&n_convs, &width)) in stages.iter().zip(widths.iter()).enumerate() {
+        for i in 0..n_convs {
+            net.push(
+                Conv2d::new(ch, width, 3, 1, 1, true, rng)
+                    .with_label(format!("conv{}_{}", stage + 1, i + 1)),
+            );
+            net.push(Relu::new());
+            ch = width;
+        }
+        if size >= 4 {
+            net.push(MaxPool2d::new(2, 2));
+            size /= 2;
+        }
+    }
+    net.push(Flatten::new());
+    let flat = ch * size * size;
+    let hidden = cfg.ch(4096).max(8);
+    net.push(Linear::new(flat, hidden, true, rng).with_label("fc1"));
+    net.push(Relu::new());
+    net.push(Linear::new(hidden, cfg.classes, true, rng).with_label("fc2"));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{count_sites, site_metas, ForwardCtx, Module};
+    use adagp_tensor::Tensor;
+
+    #[test]
+    fn vgg13_site_count() {
+        let mut rng = Prng::seed_from_u64(0);
+        let cfg = ModelConfig::tiny(10);
+        let mut net = vgg(13, &cfg, 3, 16, &mut rng);
+        // 10 convs + 2 linears.
+        assert_eq!(count_sites(&mut net), 12);
+    }
+
+    #[test]
+    fn vgg_depths_have_more_sites() {
+        let mut rng = Prng::seed_from_u64(0);
+        let cfg = ModelConfig::tiny(10);
+        let s13 = count_sites(&mut vgg(13, &cfg, 3, 16, &mut rng));
+        let s16 = count_sites(&mut vgg(16, &cfg, 3, 16, &mut rng));
+        let s19 = count_sites(&mut vgg(19, &cfg, 3, 16, &mut rng));
+        assert!(s13 < s16 && s16 < s19);
+        assert_eq!(s19, 16 + 2);
+    }
+
+    #[test]
+    fn vgg13_forward_backward() {
+        let mut rng = Prng::seed_from_u64(1);
+        let cfg = ModelConfig::tiny(10);
+        let mut net = vgg(13, &cfg, 3, 16, &mut rng);
+        let x = Tensor::ones(&[2, 3, 16, 16]);
+        let y = net.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[2, 10]);
+        let dx = net.backward(&Tensor::ones(&[2, 10]));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn site_labels_are_stage_indexed() {
+        let mut rng = Prng::seed_from_u64(2);
+        let cfg = ModelConfig::tiny(10);
+        let mut net = vgg(13, &cfg, 3, 16, &mut rng);
+        let metas = site_metas(&mut net);
+        assert_eq!(metas[0].label, "conv1_1");
+        assert_eq!(metas.last().unwrap().label, "fc2");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported VGG depth")]
+    fn bad_depth_panics() {
+        let mut rng = Prng::seed_from_u64(3);
+        let cfg = ModelConfig::tiny(10);
+        let _ = vgg(11, &cfg, 3, 16, &mut rng);
+    }
+}

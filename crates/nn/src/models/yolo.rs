@@ -1,0 +1,272 @@
+//! A YOLO-v3-style single-scale object detector (Redmon & Farhadi) for the
+//! Table 3 experiment: conv backbone with leaky-ReLU, grid head predicting
+//! per-cell objectness, box offsets and class scores.
+
+use super::ModelConfig;
+use crate::containers::Sequential;
+use crate::data::BoxLabel;
+use crate::layers::{BatchNorm2d, Conv2d, LeakyRelu, MaxPool2d};
+use crate::metrics::Detection;
+use adagp_tensor::{Prng, Tensor};
+
+/// Builds the detector backbone + head.
+///
+/// Output is `(B, 5 + classes, G, G)` where `G = in_size / 8`: channels are
+/// `[tx, ty, tw, th, obj, class_0..class_C]` per grid cell.
+pub fn yolo_v3_tiny(cfg: &ModelConfig, classes: usize, rng: &mut Prng) -> Sequential {
+    let w = [16, 32, 64, 128].map(|c| cfg.ch(c).max(4));
+    let mut net = Sequential::new();
+    let mut ch = 3;
+    for (i, &width) in w.iter().enumerate() {
+        net.push(Conv2d::new(ch, width, 3, 1, 1, false, rng).with_label(format!("yolo_c{i}")));
+        net.push(BatchNorm2d::new(width));
+        net.push(LeakyRelu::new(0.1));
+        if i < 3 {
+            net.push(MaxPool2d::new(2, 2));
+        }
+        ch = width;
+    }
+    net.push(Conv2d::new(ch, 5 + classes, 1, 1, 0, true, rng).with_label("yolo_head"));
+    net
+}
+
+/// Loss/decoding logic for the grid head.
+#[derive(Debug, Clone, Copy)]
+pub struct YoloHead {
+    /// Number of object classes.
+    pub classes: usize,
+    /// Weight of the box-regression term.
+    pub lambda_box: f32,
+    /// Weight of the no-object objectness term.
+    pub lambda_noobj: f32,
+}
+
+impl YoloHead {
+    /// Creates a head with the standard YOLO loss weights.
+    pub fn new(classes: usize) -> Self {
+        YoloHead {
+            classes,
+            lambda_box: 5.0,
+            lambda_noobj: 0.5,
+        }
+    }
+
+    /// Computes the detection loss and its gradient with respect to the raw
+    /// head output.
+    ///
+    /// Box offsets/sizes pass through a sigmoid; objectness uses BCE (1 for
+    /// the responsible cell, 0 elsewhere); classification uses softmax CE
+    /// at the responsible cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is not `(B, 5 + classes, G, G)` or batch sizes
+    /// disagree.
+    pub fn loss(&self, raw: &Tensor, labels: &[BoxLabel]) -> (f32, Tensor) {
+        assert_eq!(raw.ndim(), 4, "yolo head output must be rank-4");
+        let (b, c, g, g2) = (raw.dim(0), raw.dim(1), raw.dim(2), raw.dim(3));
+        assert_eq!(g, g2, "grid must be square");
+        assert_eq!(c, 5 + self.classes, "channel count mismatch");
+        assert_eq!(b, labels.len(), "batch mismatch");
+        let mut grad = Tensor::zeros(raw.shape());
+        let mut loss = 0.0f32;
+        let n_cells = (b * g * g) as f32;
+        let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
+
+        for (bi, label) in labels.iter().enumerate() {
+            let cell_x = ((label.cx * g as f32) as usize).min(g - 1);
+            let cell_y = ((label.cy * g as f32) as usize).min(g - 1);
+            let at = |ch: usize, y: usize, x: usize| ((bi * c + ch) * g + y) * g + x;
+
+            // Objectness BCE over every cell.
+            for y in 0..g {
+                for x in 0..g {
+                    let idx = at(4, y, x);
+                    let p = sig(raw.data()[idx]);
+                    let target = if y == cell_y && x == cell_x { 1.0 } else { 0.0 };
+                    let weight = if target > 0.5 { 1.0 } else { self.lambda_noobj };
+                    let p_c = p.clamp(1e-6, 1.0 - 1e-6);
+                    loss -= weight * (target * p_c.ln() + (1.0 - target) * (1.0 - p_c).ln())
+                        / n_cells;
+                    // d(BCE with sigmoid)/draw = p - target.
+                    grad.data_mut()[idx] += weight * (p - target) / n_cells;
+                }
+            }
+
+            // Box regression at the responsible cell (sigmoid-squashed MSE).
+            let tx_target = label.cx * g as f32 - cell_x as f32;
+            let ty_target = label.cy * g as f32 - cell_y as f32;
+            let targets = [tx_target, ty_target, label.w, label.h];
+            for (ch, &t) in targets.iter().enumerate() {
+                let idx = at(ch, cell_y, cell_x);
+                let p = sig(raw.data()[idx]);
+                let diff = p - t;
+                loss += self.lambda_box * diff * diff / b as f32;
+                grad.data_mut()[idx] +=
+                    self.lambda_box * 2.0 * diff * p * (1.0 - p) / b as f32;
+            }
+
+            // Classification CE at the responsible cell.
+            let logits: Vec<f32> = (0..self.classes)
+                .map(|k| raw.data()[at(5 + k, cell_y, cell_x)])
+                .collect();
+            let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = logits.iter().map(|&l| (l - m).exp()).collect();
+            let denom: f32 = exps.iter().sum();
+            for k in 0..self.classes {
+                let p = exps[k] / denom;
+                let target = if k == label.class { 1.0 } else { 0.0 };
+                if target > 0.5 {
+                    loss -= p.max(1e-9).ln() / b as f32;
+                }
+                grad.data_mut()[at(5 + k, cell_y, cell_x)] += (p - target) / b as f32;
+            }
+        }
+        (loss, grad)
+    }
+
+    /// Decodes the single highest-objectness detection per image.
+    pub fn decode(&self, raw: &Tensor) -> Vec<Detection> {
+        let (b, c, g, _) = (raw.dim(0), raw.dim(1), raw.dim(2), raw.dim(3));
+        let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
+        let mut dets = Vec::with_capacity(b);
+        for bi in 0..b {
+            let at = |ch: usize, y: usize, x: usize| ((bi * c + ch) * g + y) * g + x;
+            let mut best = (0usize, 0usize, f32::NEG_INFINITY);
+            for y in 0..g {
+                for x in 0..g {
+                    let o = raw.data()[at(4, y, x)];
+                    if o > best.2 {
+                        best = (y, x, o);
+                    }
+                }
+            }
+            let (y, x, obj_raw) = best;
+            let tx = sig(raw.data()[at(0, y, x)]);
+            let ty = sig(raw.data()[at(1, y, x)]);
+            let tw = sig(raw.data()[at(2, y, x)]);
+            let th = sig(raw.data()[at(3, y, x)]);
+            let class = (0..self.classes)
+                .max_by(|&a, &bk| raw.data()[at(5 + a, y, x)].total_cmp(&raw.data()[at(5 + bk, y, x)]))
+                .unwrap_or(0);
+            dets.push(Detection {
+                image: bi,
+                label: BoxLabel {
+                    class,
+                    cx: (x as f32 + tx) / g as f32,
+                    cy: (y as f32 + ty) / g as f32,
+                    w: tw.max(1e-3),
+                    h: th.max(1e-3),
+                },
+                score: sig(obj_raw),
+            });
+        }
+        dets
+    }
+
+    /// Fraction (percent) of images whose responsible-cell class argmax is
+    /// correct — the "Class Acc" column of Table 3.
+    pub fn class_accuracy(&self, raw: &Tensor, labels: &[BoxLabel]) -> f32 {
+        let (b, c, g, _) = (raw.dim(0), raw.dim(1), raw.dim(2), raw.dim(3));
+        let mut correct = 0;
+        for (bi, label) in labels.iter().enumerate() {
+            let cell_x = ((label.cx * g as f32) as usize).min(g - 1);
+            let cell_y = ((label.cy * g as f32) as usize).min(g - 1);
+            let at = |ch: usize| ((bi * c + ch) * g + cell_y) * g + cell_x;
+            let pred = (0..self.classes)
+                .max_by(|&a, &bk| raw.data()[at(5 + a)].total_cmp(&raw.data()[at(5 + bk)]))
+                .unwrap_or(0);
+            if pred == label.class {
+                correct += 1;
+            }
+        }
+        100.0 * correct as f32 / b.max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{ForwardCtx, Module};
+
+    #[test]
+    fn backbone_output_grid() {
+        let mut rng = Prng::seed_from_u64(0);
+        let cfg = ModelConfig::tiny(20);
+        let mut net = yolo_v3_tiny(&cfg, 20, &mut rng);
+        let x = Tensor::ones(&[2, 3, 32, 32]);
+        let y = net.forward(&x, &mut ForwardCtx::train());
+        assert_eq!(y.shape(), &[2, 25, 4, 4]);
+    }
+
+    fn label(class: usize) -> BoxLabel {
+        BoxLabel {
+            class,
+            cx: 0.55,
+            cy: 0.55,
+            w: 0.3,
+            h: 0.3,
+        }
+    }
+
+    #[test]
+    fn loss_is_finite_and_grad_shaped() {
+        let head = YoloHead::new(4);
+        let raw = Tensor::zeros(&[2, 9, 4, 4]);
+        let labels = vec![label(0), label(3)];
+        let (loss, grad) = head.loss(&raw, &labels);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert_eq!(grad.shape(), raw.shape());
+        assert!(grad.norm() > 0.0);
+    }
+
+    #[test]
+    fn loss_gradient_fd() {
+        let head = YoloHead::new(3);
+        let mut rng = Prng::seed_from_u64(1);
+        let raw = adagp_tensor::init::gaussian(&[1, 8, 2, 2], 0.0, 0.5, &mut rng);
+        let labels = vec![label(1)];
+        let (_, grad) = head.loss(&raw, &labels);
+        let eps = 1e-2;
+        for i in 0..raw.len() {
+            let mut rp = raw.clone();
+            rp.data_mut()[i] += eps;
+            let mut rm = raw.clone();
+            rm.data_mut()[i] -= eps;
+            let num = (head.loss(&rp, &labels).0 - head.loss(&rm, &labels).0) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[i]).abs() < 5e-3,
+                "grad[{i}] numeric {num} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn decode_finds_planted_object() {
+        let head = YoloHead::new(2);
+        let mut raw = Tensor::full(&[1, 7, 4, 4], -4.0);
+        // Plant a strong object at cell (1, 2), class 1.
+        let g = 4;
+        let at = |ch: usize, y: usize, x: usize| ((ch) * g + y) * g + x;
+        raw.data_mut()[at(4, 1, 2)] = 6.0; // objectness
+        raw.data_mut()[at(6, 1, 2)] = 5.0; // class 1 logit
+        let dets = head.decode(&raw);
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].label.class, 1);
+        // Center is inside cell (row 1, col 2).
+        assert!(dets[0].label.cx > 0.5 && dets[0].label.cx < 0.75);
+        assert!(dets[0].label.cy > 0.25 && dets[0].label.cy < 0.5);
+    }
+
+    #[test]
+    fn class_accuracy_counts_argmax() {
+        let head = YoloHead::new(2);
+        let mut raw = Tensor::zeros(&[1, 7, 2, 2]);
+        // Responsible cell for (0.55, 0.55) on a 2-grid is (1, 1).
+        let at = |ch: usize, y: usize, x: usize| ((ch) * 2 + y) * 2 + x;
+        raw.data_mut()[at(6, 1, 1)] = 3.0;
+        assert_eq!(head.class_accuracy(&raw, &[label(1)]), 100.0);
+        assert_eq!(head.class_accuracy(&raw, &[label(0)]), 0.0);
+    }
+}

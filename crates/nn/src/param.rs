@@ -1,0 +1,90 @@
+//! Trainable parameters: a value tensor paired with its gradient
+//! accumulator.
+
+use adagp_tensor::Tensor;
+
+/// A trainable parameter with its accumulated gradient.
+///
+/// Layers own their `Param`s; optimizers visit them through
+/// [`crate::Module::visit_params`]. ADA-GP's Phase GP writes *predicted*
+/// gradients directly into [`Param::grad`] before the optimizer step —
+/// which is precisely how the backpropagation pass is skipped.
+///
+/// ```
+/// use adagp_nn::Param;
+/// use adagp_tensor::Tensor;
+/// let mut p = Param::new(Tensor::ones(&[2, 2]));
+/// assert_eq!(p.grad.data(), &[0.0; 4]);
+/// p.grad = Tensor::ones(&[2, 2]);
+/// p.zero_grad();
+/// assert_eq!(p.grad.data(), &[0.0; 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Accumulates `g` into the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different shape than the parameter.
+    pub fn accumulate_grad(&mut self, g: &Tensor) {
+        self.grad.add_assign(g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::ones(&[2]));
+        p.accumulate_grad(&Tensor::ones(&[2]));
+        assert_eq!(p.grad.data(), &[2.0, 2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn accumulate_shape_mismatch_panics() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::ones(&[3]));
+    }
+}

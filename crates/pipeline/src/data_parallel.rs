@@ -1,0 +1,139 @@
+//! Data-parallel training model (§2: "Data Parallelism … encounters
+//! efficiency challenges due to gradient synchronization").
+//!
+//! In data-parallel training every worker computes gradients on its shard
+//! and an all-reduce synchronizes them each batch. ADA-GP changes the
+//! accounting in two ways (§6.5.1: "ADA-GP reduces the number of
+//! synchronization steps to half"):
+//!
+//! * GP batches skip the backward pass, shrinking per-batch compute; and
+//! * at the steady 1:1 ratio, only every second batch produces true
+//!   gradients that need a full all-reduce — predicted gradients are
+//!   produced *locally* from locally-computed activations.
+
+use serde::{Deserialize, Serialize};
+
+/// Data-parallel cluster configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataParallelConfig {
+    /// Number of workers.
+    pub workers: usize,
+    /// Compute steps for one worker's forward pass per batch.
+    pub fw_steps: f64,
+    /// Compute steps for one worker's backward pass per batch.
+    pub bw_steps: f64,
+    /// Steps for one gradient all-reduce (ring all-reduce grows with
+    /// model size, roughly independent of worker count).
+    pub allreduce_steps: f64,
+    /// Predictor latency per batch (α·layers) in steps.
+    pub alpha_steps: f64,
+}
+
+impl Default for DataParallelConfig {
+    /// FW 1 unit, BW 2 units (the paper's ratio), all-reduce comparable to
+    /// one forward pass, small predictor.
+    fn default() -> Self {
+        DataParallelConfig {
+            workers: 4,
+            fw_steps: 1.0,
+            bw_steps: 2.0,
+            allreduce_steps: 1.0,
+            alpha_steps: 0.1,
+        }
+    }
+}
+
+/// Per-batch costs and sync counts of a data-parallel training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataParallelCost {
+    /// Average steps per batch.
+    pub steps_per_batch: f64,
+    /// All-reduce synchronizations per batch (averaged over the phase mix).
+    pub syncs_per_batch: f64,
+}
+
+/// Baseline data-parallel cost: every batch computes FW+BW and
+/// synchronizes gradients.
+pub fn baseline_cost(cfg: &DataParallelConfig) -> DataParallelCost {
+    DataParallelCost {
+        steps_per_batch: cfg.fw_steps + cfg.bw_steps + cfg.allreduce_steps,
+        syncs_per_batch: 1.0,
+    }
+}
+
+/// ADA-GP data-parallel cost at GP fraction `g`:
+///
+/// * BP batches: FW + BW + predictor (3α) + all-reduce;
+/// * GP batches: FW + predictor (α) only — gradients are predicted locally
+///   from locally averaged activations, so no gradient all-reduce is
+///   issued.
+///
+/// # Panics
+///
+/// Panics if `g` is outside `[0, 1]`.
+pub fn adagp_cost(cfg: &DataParallelConfig, g: f64) -> DataParallelCost {
+    assert!((0.0..=1.0).contains(&g), "GP fraction must be in [0, 1]");
+    let bp = cfg.fw_steps + cfg.bw_steps + 3.0 * cfg.alpha_steps + cfg.allreduce_steps;
+    let gp = cfg.fw_steps + cfg.alpha_steps;
+    DataParallelCost {
+        steps_per_batch: g * gp + (1.0 - g) * bp,
+        syncs_per_batch: 1.0 - g,
+    }
+}
+
+/// ADA-GP speed-up over baseline data parallelism at GP fraction `g`.
+pub fn adagp_speedup(cfg: &DataParallelConfig, g: f64) -> f64 {
+    baseline_cost(cfg).steps_per_batch / adagp_cost(cfg, g).steps_per_batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_halves_syncs() {
+        // §6.5.1: at the steady 1:1 ratio, synchronization steps halve.
+        let cfg = DataParallelConfig::default();
+        let c = adagp_cost(&cfg, 0.5);
+        assert!((c.syncs_per_batch - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_grows_with_gp_fraction() {
+        let cfg = DataParallelConfig::default();
+        let s0 = adagp_speedup(&cfg, 0.0);
+        let s5 = adagp_speedup(&cfg, 0.5);
+        let s8 = adagp_speedup(&cfg, 0.8);
+        assert!(s0 < s5 && s5 < s8);
+        // At g=0 ADA-GP pays only the predictor overhead.
+        assert!(s0 <= 1.0);
+    }
+
+    #[test]
+    fn steady_state_speedup_in_expected_band() {
+        // (1+2+1) / (0.5*(1+0.1) + 0.5*(1+2+0.3+1)) = 4 / 2.7 ≈ 1.48 —
+        // consistent with the single-chip 1.47x average once sync is free.
+        let cfg = DataParallelConfig::default();
+        let s = adagp_speedup(&cfg, 0.5);
+        assert!((1.3..1.7).contains(&s), "speed-up {s}");
+    }
+
+    #[test]
+    fn expensive_allreduce_amplifies_benefit() {
+        let cheap = DataParallelConfig {
+            allreduce_steps: 0.1,
+            ..Default::default()
+        };
+        let costly = DataParallelConfig {
+            allreduce_steps: 3.0,
+            ..Default::default()
+        };
+        assert!(adagp_speedup(&costly, 0.5) > adagp_speedup(&cheap, 0.5));
+    }
+
+    #[test]
+    fn all_gp_never_syncs() {
+        let cfg = DataParallelConfig::default();
+        assert_eq!(adagp_cost(&cfg, 1.0).syncs_per_batch, 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// A buffer length did not match the requested shape.
+///
+/// ```
+/// use adagp_tensor::Tensor;
+/// let err = Tensor::try_from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
+/// assert!(err.to_string().contains("5"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    shape: Vec<usize>,
+    actual_len: usize,
+}
+
+impl ShapeError {
+    /// Creates a new shape error for `shape` and the offending length.
+    pub fn new(shape: &[usize], actual_len: usize) -> Self {
+        ShapeError {
+            shape: shape.to_vec(),
+            actual_len,
+        }
+    }
+
+    /// The shape that was requested.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The buffer length that was provided.
+    pub fn actual_len(&self) -> usize {
+        self.actual_len
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer of length {} does not match shape {:?} (expected {})",
+            self.actual_len,
+            self.shape,
+            self.shape.iter().product::<usize>()
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Errors produced by higher-level tensor kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes were incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+        /// Operation name (e.g. `"matmul"`).
+        op: &'static str,
+    },
+    /// A kernel received a tensor of unexpected rank.
+    BadRank {
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+        /// Operation name.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "{op}: incompatible shapes {left:?} and {right:?}")
+            }
+            TensorError::BadRank { expected, actual, op } => {
+                write!(f, "{op}: expected rank {expected}, got rank {actual}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_error_display() {
+        let e = ShapeError::new(&[2, 3], 5);
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('6'));
+        assert_eq!(e.shape(), &[2, 3]);
+        assert_eq!(e.actual_len(), 5);
+    }
+
+    #[test]
+    fn tensor_error_display() {
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![4, 5],
+            op: "matmul",
+        };
+        assert!(e.to_string().contains("matmul"));
+        let e = TensorError::BadRank {
+            expected: 4,
+            actual: 2,
+            op: "conv2d",
+        };
+        assert!(e.to_string().contains("conv2d"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+        assert_send_sync::<TensorError>();
+    }
+}

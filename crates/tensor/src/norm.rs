@@ -1,0 +1,401 @@
+//! Normalization kernels: batch normalization (2-D) and layer
+//! normalization, forward and backward.
+//!
+//! ResNet/DenseNet/Inception/MobileNet all rely on BatchNorm; the
+//! transformer model uses LayerNorm.
+
+use crate::Tensor;
+
+/// Saved state from a batch-norm forward pass, needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct BatchNormCache {
+    /// Normalized activations `x_hat`.
+    pub x_hat: Tensor,
+    /// Per-channel batch standard deviation (with epsilon folded in).
+    pub std: Vec<f32>,
+}
+
+/// Batch normalization over `(N, C, H, W)`: normalizes each channel across
+/// `N, H, W`, then applies per-channel scale `gamma` and shift `beta`.
+///
+/// Returns `(output, cache, batch_mean, batch_var)` — the mean/var feed the
+/// running statistics kept by the layer.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatch.
+pub fn batchnorm2d_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, BatchNormCache, Vec<f32>, Vec<f32>) {
+    assert_eq!(x.ndim(), 4, "batchnorm2d: input must be (N, C, H, W)");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(gamma.len(), c, "batchnorm2d: gamma length mismatch");
+    assert_eq!(beta.len(), c, "batchnorm2d: beta length mismatch");
+    let per_c = n * h * w;
+    let inv = 1.0 / per_c as f32;
+
+    let mut mean = vec![0.0f32; c];
+    let mut var = vec![0.0f32; c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for &v in &x.data()[base..base + h * w] {
+                mean[ci] += v;
+            }
+        }
+    }
+    for m in &mut mean {
+        *m *= inv;
+    }
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let m = mean[ci];
+            for &v in &x.data()[base..base + h * w] {
+                var[ci] += (v - m) * (v - m);
+            }
+        }
+    }
+    for v in &mut var {
+        *v *= inv;
+    }
+
+    let std: Vec<f32> = var.iter().map(|&v| (v + eps).sqrt()).collect();
+    let mut x_hat = vec![0.0f32; x.len()];
+    let mut out = vec![0.0f32; x.len()];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let m = mean[ci];
+            let s = 1.0 / std[ci];
+            let g = gamma.data()[ci];
+            let b = beta.data()[ci];
+            for i in base..base + h * w {
+                let xh = (x.data()[i] - m) * s;
+                x_hat[i] = xh;
+                out[i] = g * xh + b;
+            }
+        }
+    }
+    (
+        Tensor::from_vec(out, x.shape()),
+        BatchNormCache {
+            x_hat: Tensor::from_vec(x_hat, x.shape()),
+            std,
+        },
+        mean,
+        var,
+    )
+}
+
+/// Batch-norm inference pass using running statistics.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatch.
+pub fn batchnorm2d_infer(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    running_mean: &[f32],
+    running_var: &[f32],
+    eps: f32,
+) -> Tensor {
+    assert_eq!(x.ndim(), 4, "batchnorm2d_infer: input must be rank-4");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(running_mean.len(), c);
+    assert_eq!(running_var.len(), c);
+    let mut out = vec![0.0f32; x.len()];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let m = running_mean[ci];
+            let s = 1.0 / (running_var[ci] + eps).sqrt();
+            let g = gamma.data()[ci];
+            let b = beta.data()[ci];
+            for i in base..base + h * w {
+                out[i] = g * (x.data()[i] - m) * s + b;
+            }
+        }
+    }
+    Tensor::from_vec(out, x.shape())
+}
+
+/// Batch-norm backward pass.
+///
+/// Returns `(dx, dgamma, dbeta)` using the standard closed-form batch-norm
+/// gradient.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatch with the cache.
+pub fn batchnorm2d_backward(
+    dy: &Tensor,
+    cache: &BatchNormCache,
+    gamma: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    assert_eq!(dy.shape(), cache.x_hat.shape(), "batchnorm2d_backward: shape mismatch");
+    let (n, c, h, w) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
+    let per_c = (n * h * w) as f32;
+
+    let mut dgamma = vec![0.0f32; c];
+    let mut dbeta = vec![0.0f32; c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for i in base..base + h * w {
+                dgamma[ci] += dy.data()[i] * cache.x_hat.data()[i];
+                dbeta[ci] += dy.data()[i];
+            }
+        }
+    }
+
+    let mut dx = vec![0.0f32; dy.len()];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let g = gamma.data()[ci];
+            let inv_std = 1.0 / cache.std[ci];
+            let dg = dgamma[ci];
+            let db = dbeta[ci];
+            for i in base..base + h * w {
+                let xh = cache.x_hat.data()[i];
+                dx[i] = g * inv_std / per_c * (per_c * dy.data()[i] - db - xh * dg);
+            }
+        }
+    }
+    (
+        Tensor::from_vec(dx, dy.shape()),
+        Tensor::from_vec(dgamma, &[c]),
+        Tensor::from_vec(dbeta, &[c]),
+    )
+}
+
+/// Saved state from a layer-norm forward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    /// Normalized activations.
+    pub x_hat: Tensor,
+    /// Per-row inverse standard deviation.
+    pub inv_std: Vec<f32>,
+}
+
+/// Layer normalization over the last dimension of a rank-2 tensor
+/// `(rows, features)`.
+///
+/// # Panics
+///
+/// Panics on rank or length mismatch.
+pub fn layernorm_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, LayerNormCache) {
+    assert_eq!(x.ndim(), 2, "layernorm: input must be (rows, features)");
+    let (r, f) = (x.dim(0), x.dim(1));
+    assert_eq!(gamma.len(), f, "layernorm: gamma length mismatch");
+    assert_eq!(beta.len(), f, "layernorm: beta length mismatch");
+    let mut out = vec![0.0f32; x.len()];
+    let mut x_hat = vec![0.0f32; x.len()];
+    let mut inv_std = vec![0.0f32; r];
+    for i in 0..r {
+        let row = &x.data()[i * f..(i + 1) * f];
+        let mean = row.iter().sum::<f32>() / f as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / f as f32;
+        let is = 1.0 / (var + eps).sqrt();
+        inv_std[i] = is;
+        for j in 0..f {
+            let xh = (row[j] - mean) * is;
+            x_hat[i * f + j] = xh;
+            out[i * f + j] = gamma.data()[j] * xh + beta.data()[j];
+        }
+    }
+    (
+        Tensor::from_vec(out, x.shape()),
+        LayerNormCache {
+            x_hat: Tensor::from_vec(x_hat, x.shape()),
+            inv_std,
+        },
+    )
+}
+
+/// Layer-norm backward pass. Returns `(dx, dgamma, dbeta)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch with the cache.
+pub fn layernorm_backward(
+    dy: &Tensor,
+    cache: &LayerNormCache,
+    gamma: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    assert_eq!(dy.shape(), cache.x_hat.shape(), "layernorm_backward: shape mismatch");
+    let (r, f) = (dy.dim(0), dy.dim(1));
+    let mut dgamma = vec![0.0f32; f];
+    let mut dbeta = vec![0.0f32; f];
+    let mut dx = vec![0.0f32; dy.len()];
+    for i in 0..r {
+        let xh = &cache.x_hat.data()[i * f..(i + 1) * f];
+        let gy = &dy.data()[i * f..(i + 1) * f];
+        let mut sum_gyg = 0.0f32;
+        let mut sum_gyg_xh = 0.0f32;
+        for j in 0..f {
+            let gyg = gy[j] * gamma.data()[j];
+            sum_gyg += gyg;
+            sum_gyg_xh += gyg * xh[j];
+            dgamma[j] += gy[j] * xh[j];
+            dbeta[j] += gy[j];
+        }
+        let is = cache.inv_std[i];
+        let nf = f as f32;
+        for j in 0..f {
+            let gyg = gy[j] * gamma.data()[j];
+            dx[i * f + j] = is / nf * (nf * gyg - sum_gyg - xh[j] * sum_gyg_xh);
+        }
+    }
+    (
+        Tensor::from_vec(dx, dy.shape()),
+        Tensor::from_vec(dgamma, &[f]),
+        Tensor::from_vec(dbeta, &[f]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, Prng};
+
+    #[test]
+    fn batchnorm_output_is_normalized() {
+        let mut rng = Prng::seed_from_u64(1);
+        let x = init::gaussian(&[4, 3, 5, 5], 2.0, 3.0, &mut rng);
+        let gamma = Tensor::ones(&[3]);
+        let beta = Tensor::zeros(&[3]);
+        let (y, _, _, _) = batchnorm2d_forward(&x, &gamma, &beta, 1e-5);
+        // Each channel of y should have ~zero mean and ~unit variance.
+        let (n, c, h, w) = (4, 3, 5, 5);
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                vals.extend_from_slice(&y.data()[base..base + h * w]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gamma_beta_applied() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 1, 1, 2]);
+        let gamma = Tensor::from_vec(vec![2.0], &[1]);
+        let beta = Tensor::from_vec(vec![10.0], &[1]);
+        let (y, _, _, _) = batchnorm2d_forward(&x, &gamma, &beta, 1e-5);
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        assert!((mean - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn batchnorm_backward_fd() {
+        let mut rng = Prng::seed_from_u64(2);
+        let x = init::gaussian(&[2, 2, 3, 3], 0.0, 1.0, &mut rng);
+        let gamma = init::uniform(&[2], 0.5, 1.5, &mut rng);
+        let beta = init::uniform(&[2], -0.5, 0.5, &mut rng);
+        let (_, cache, _, _) = batchnorm2d_forward(&x, &gamma, &beta, 1e-5);
+        let dy = Tensor::ones(x.shape());
+        let (dx, dgamma, dbeta) = batchnorm2d_backward(&dy, &cache, &gamma);
+
+        let f = |x: &Tensor, g: &Tensor, b: &Tensor| batchnorm2d_forward(x, g, b, 1e-5).0.sum();
+        let eps = 1e-2;
+        for i in (0..x.len()).step_by(4) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (f(&xp, &gamma, &beta) - f(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}] numeric {num} vs {}",
+                dx.data()[i]
+            );
+        }
+        for i in 0..gamma.len() {
+            let mut gp = gamma.clone();
+            gp.data_mut()[i] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[i] -= eps;
+            let num = (f(&x, &gp, &beta) - f(&x, &gm, &beta)) / (2.0 * eps);
+            assert!((num - dgamma.data()[i]).abs() < 2e-2);
+        }
+        // dbeta is the plain sum of dy per channel = n*h*w.
+        assert!(dbeta.data().iter().all(|&v| (v - 18.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn batchnorm_infer_uses_running_stats() {
+        let x = Tensor::from_vec(vec![1.0, 3.0], &[2, 1, 1, 1]);
+        let y = batchnorm2d_infer(
+            &x,
+            &Tensor::ones(&[1]),
+            &Tensor::zeros(&[1]),
+            &[2.0],
+            &[1.0],
+            0.0,
+        );
+        assert!((y.data()[0] + 1.0).abs() < 1e-6);
+        assert!((y.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layernorm_rows_normalized() {
+        let mut rng = Prng::seed_from_u64(3);
+        let x = init::gaussian(&[4, 16], 5.0, 2.0, &mut rng);
+        let (y, _) = layernorm_forward(&x, &Tensor::ones(&[16]), &Tensor::zeros(&[16]), 1e-5);
+        for i in 0..4 {
+            let row = &y.data()[i * 16..(i + 1) * 16];
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_fd() {
+        let mut rng = Prng::seed_from_u64(4);
+        let x = init::gaussian(&[3, 8], 0.0, 1.0, &mut rng);
+        let gamma = init::uniform(&[8], 0.5, 1.5, &mut rng);
+        let beta = Tensor::zeros(&[8]);
+        let (_, cache) = layernorm_forward(&x, &gamma, &beta, 1e-5);
+        let dy = Tensor::ones(x.shape());
+        let (dx, dgamma, _) = layernorm_backward(&dy, &cache, &gamma);
+
+        let f = |x: &Tensor, g: &Tensor| layernorm_forward(x, g, &beta, 1e-5).0.sum();
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (f(&xp, &gamma) - f(&xm, &gamma)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}] numeric {num} vs {}",
+                dx.data()[i]
+            );
+        }
+        for i in 0..gamma.len() {
+            let mut gp = gamma.clone();
+            gp.data_mut()[i] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[i] -= eps;
+            let num = (f(&x, &gp) - f(&x, &gm)) / (2.0 * eps);
+            assert!((num - dgamma.data()[i]).abs() < 2e-2);
+        }
+    }
+}

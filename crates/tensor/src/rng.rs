@@ -1,0 +1,197 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! Every experiment in the reproduction must be deterministic so that
+//! paper-vs-measured comparisons are stable. [`Prng`] wraps a
+//! splitmix64/xoshiro-style generator seeded explicitly; it also provides
+//! Gaussian sampling via the Box–Muller transform (avoiding an extra
+//! dependency on `rand_distr`).
+
+/// Deterministic pseudo-random generator (xoshiro256++ core).
+///
+/// ```
+/// use adagp_tensor::Prng;
+/// let mut a = Prng::seed_from_u64(7);
+/// let mut b = Prng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prng {
+    s: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    gauss_spare: Option<f32>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Prng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        // Use the top 24 bits for a uniformly distributed mantissa.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform_range requires lo <= hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn gaussian(&mut self) -> f32 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Avoid log(0).
+        let u1 = (1.0 - self.uniform()).max(f32::MIN_POSITIVE);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f32::consts::TAU * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.gaussian()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        if xs.is_empty() {
+            return;
+        }
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Prng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut r = Prng::seed_from_u64(4);
+        let n = 50_000;
+        let mean: f32 = (0..n).map(|_| r.uniform()).sum::<f32>() / n as f32;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Prng::seed_from_u64(5);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var was {var}");
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = Prng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Prng::seed_from_u64(7);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // With overwhelming probability the shuffle moved something.
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_empty_ok() {
+        let mut r = Prng::seed_from_u64(8);
+        let mut xs: Vec<u8> = vec![];
+        r.shuffle(&mut xs);
+        assert!(xs.is_empty());
+    }
+}

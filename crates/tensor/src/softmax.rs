@@ -1,0 +1,323 @@
+//! Softmax, log-softmax, cross-entropy loss and elementwise activations
+//! (forward + backward).
+//!
+//! The loss kernels close the training loop: the paper's baseline is
+//! standard backpropagation from a cross-entropy loss at the last layer
+//! (§2), which Phase GP then skips.
+
+use crate::Tensor;
+
+/// Row-wise softmax of a rank-2 tensor `(n, classes)`.
+///
+/// Numerically stabilized by subtracting the row max.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2.
+///
+/// ```
+/// use adagp_tensor::{Tensor, softmax::softmax};
+/// let l = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+/// let p = softmax(&l);
+/// assert!((p.data()[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "softmax: logits must be (n, classes)");
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    let mut out = vec![0.0f32; n * c];
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (o, &x) in out[i * c..(i + 1) * c].iter_mut().zip(row.iter()) {
+            let e = (x - m).exp();
+            *o = e;
+            denom += e;
+        }
+        let inv = 1.0 / denom;
+        for o in &mut out[i * c..(i + 1) * c] {
+            *o *= inv;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Row-wise log-softmax (stable).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2.
+pub fn log_softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "log_softmax: logits must be (n, classes)");
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    let mut out = vec![0.0f32; n * c];
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln() + m;
+        for (o, &x) in out[i * c..(i + 1) * c].iter_mut().zip(row.iter()) {
+            *o = x - lse;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Mean cross-entropy loss and its gradient with respect to the logits.
+///
+/// Returns `(loss, dlogits)` where `dlogits = (softmax - onehot) / n`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any target index is out of range.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 2, "cross_entropy: logits must be (n, classes)");
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    assert_eq!(n, targets.len(), "cross_entropy: batch size mismatch");
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < c, "cross_entropy: target {t} out of range (classes={c})");
+        let p = probs.data()[i * c + t].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[i * c + t] -= 1.0;
+    }
+    grad.scale_in_place(inv_n);
+    (loss * inv_n, grad)
+}
+
+/// Mean squared error loss and gradient: `(mean((a-b)^2), 2(a-b)/len)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse_loss: shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = pred.sub(target);
+    let loss = grad.data().iter().map(|d| d * d).sum::<f32>() / n;
+    grad.scale_in_place(2.0 / n);
+    (loss, grad)
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise activations
+// ---------------------------------------------------------------------------
+
+/// ReLU forward.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: passes gradient where the *input* was positive.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    x.zip_with(dy, |xv, g| if xv > 0.0 { g } else { 0.0 })
+}
+
+/// Leaky ReLU forward with negative slope `alpha` (YOLO uses 0.1).
+pub fn leaky_relu(x: &Tensor, alpha: f32) -> Tensor {
+    x.map(|v| if v > 0.0 { v } else { alpha * v })
+}
+
+/// Leaky ReLU backward.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn leaky_relu_backward(x: &Tensor, dy: &Tensor, alpha: f32) -> Tensor {
+    x.zip_with(dy, |xv, g| if xv > 0.0 { g } else { alpha * g })
+}
+
+/// Logistic sigmoid forward.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Sigmoid backward given the forward *output* `y`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn sigmoid_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    y.zip_with(dy, |yv, g| yv * (1.0 - yv) * g)
+}
+
+/// Hyperbolic tangent forward.
+pub fn tanh(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Tanh backward given the forward *output* `y`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn tanh_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    y.zip_with(dy, |yv, g| (1.0 - yv * yv) * g)
+}
+
+/// GELU forward (tanh approximation), used by the transformer model.
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+fn gelu_scalar(v: f32) -> f32 {
+    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh())
+}
+
+/// GELU backward using the analytic derivative of the tanh approximation.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    const C: f32 = 0.797_884_56;
+    x.zip_with(dy, |v, g| {
+        let inner = C * (v + 0.044715 * v * v * v);
+        let t = inner.tanh();
+        let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * v * v);
+        g * (0.5 * (1.0 + t) + 0.5 * v * dt)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, Prng};
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Prng::seed_from_u64(1);
+        let l = init::gaussian(&[5, 7], 0.0, 3.0, &mut rng);
+        let p = softmax(&l);
+        for i in 0..5 {
+            let s: f32 = p.data()[i * 7..(i + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(p.min() >= 0.0);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let l = Tensor::from_vec(vec![1000.0, 1000.0], &[1, 2]);
+        let p = softmax(&l);
+        assert!((p.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let l = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.1, 0.0, -0.5], &[2, 3]);
+        let ls = log_softmax(&l);
+        let s = softmax(&l);
+        for (a, b) in ls.data().iter().zip(s.data().iter()) {
+            assert!((a.exp() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_small_loss() {
+        let l = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]);
+        let (loss, _) = cross_entropy(&l, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let l = Tensor::zeros(&[1, 10]);
+        let (loss, _) = cross_entropy(&l, &[3]);
+        assert!((loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_fd() {
+        let mut rng = Prng::seed_from_u64(2);
+        let l = init::gaussian(&[3, 4], 0.0, 1.0, &mut rng);
+        let targets = [1usize, 3, 0];
+        let (_, grad) = cross_entropy(&l, &targets);
+        let eps = 1e-3;
+        for i in 0..l.len() {
+            let mut lp = l.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = l.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (cross_entropy(&lp, &targets).0 - cross_entropy(&lm, &targets).0)
+                / (2.0 * eps);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "grad[{i}] numeric {num} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let (loss, grad) = mse_loss(&a, &b);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        let y = relu(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let dy = Tensor::ones(&[3]);
+        let dx = relu_backward(&x, &dy);
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_slope() {
+        let x = Tensor::from_vec(vec![-10.0, 10.0], &[2]);
+        let y = leaky_relu(&x, 0.1);
+        assert_eq!(y.data(), &[-1.0, 10.0]);
+        let dx = leaky_relu_backward(&x, &Tensor::ones(&[2]), 0.1);
+        assert_eq!(dx.data(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_grad() {
+        let x = Tensor::from_vec(vec![-5.0, 0.0, 5.0], &[3]);
+        let y = sigmoid(&x);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.min() > 0.0 && y.max() < 1.0);
+        let dx = sigmoid_backward(&y, &Tensor::ones(&[3]));
+        assert!((dx.data()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_fd() {
+        let x = Tensor::from_vec(vec![0.5, -0.3, 1.2], &[3]);
+        let y = tanh(&x);
+        let dx = tanh_backward(&y, &Tensor::ones(&[3]));
+        let eps = 1e-3;
+        for i in 0..3 {
+            let num = ((x.data()[i] + eps).tanh() - (x.data()[i] - eps).tanh()) / (2.0 * eps);
+            assert!((num - dx.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gelu_gradient_fd() {
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.0], &[4]);
+        let dx = gelu_backward(&x, &Tensor::ones(&[4]));
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (gelu(&xp).sum() - gelu(&xm).sum()) / (2.0 * eps);
+            assert!((num - dx.data()[i]).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Evaluates the accelerator cycle model: training speed-up and energy
+//! saving of the three ADA-GP hardware designs for a few paper-scale
+//! models (the Figures 17/21 computation on a small slice).
+//!
+//! ```sh
+//! cargo run --release --example accelerator_speedup
+//! ```
+
+use ada_gp::accel::dataflow::{AcceleratorConfig, Dataflow};
+use ada_gp::accel::designs::AdaGpDesign;
+use ada_gp::accel::energy::{energy_saving_percent, EnergyConfig};
+use ada_gp::accel::speedup::{training_speedup, EpochMix};
+use ada_gp::nn::models::shapes::{model_shapes, InputScale};
+use ada_gp::nn::models::CnnModel;
+
+fn main() {
+    let cfg = AcceleratorConfig::default();
+    let mix = EpochMix::paper();
+    let energy_cfg = EnergyConfig::default();
+
+    println!("180-PE accelerator, weight-stationary dataflow, 90-epoch run");
+    println!();
+    println!(
+        "{:<14} {:>10} {:>12} {:>10} {:>12}",
+        "Model", "LOW", "Efficient", "MAX", "Energy save"
+    );
+    for model in [
+        CnnModel::Vgg13,
+        CnnModel::ResNet50,
+        CnnModel::DenseNet121,
+        CnnModel::MobileNetV2,
+    ] {
+        let layers = model_shapes(model, InputScale::ImageNet);
+        let s = |d| training_speedup(&cfg, Dataflow::WeightStationary, d, &layers, &mix);
+        let saving = energy_saving_percent(&energy_cfg, &layers, &mix, AdaGpDesign::Efficient);
+        println!(
+            "{:<14} {:>9.2}x {:>11.2}x {:>9.2}x {:>11.1}%",
+            model.name(),
+            s(AdaGpDesign::Low),
+            s(AdaGpDesign::Efficient),
+            s(AdaGpDesign::Max),
+            saving
+        );
+    }
+    println!();
+    println!("(paper: avg 1.47x speed-up, 34% energy reduction)");
+}

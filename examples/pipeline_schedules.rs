@@ -1,0 +1,48 @@
+//! Renders the GPipe schedule grid and compares all three pipeline
+//! schemes with and without ADA-GP (the §3.8 / Figure 20 setting).
+//!
+//! ```sh
+//! cargo run --release --example pipeline_schedules
+//! ```
+
+use ada_gp::pipeline::{simulate_gpipe, PipelineConfig, PipelineScheme, SlotKind};
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    let grid = simulate_gpipe(cfg.devices, cfg.microbatches, cfg.fw, cfg.bw);
+
+    println!("GPipe schedule, 4 devices x 4 micro-batches (F=forward, B=backward, .=bubble):");
+    for (d, row) in grid.grid.iter().enumerate() {
+        print!("device {d}: ");
+        for slot in row {
+            match slot {
+                SlotKind::Idle => print!(" ."),
+                SlotKind::Forward(m) => print!("F{m}"),
+                SlotKind::Backward(m) => print!("B{m}"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "makespan {} steps, {:.0}% bubbles",
+        grid.makespan(),
+        100.0 * grid.bubble_fraction()
+    );
+    println!();
+
+    println!(
+        "{:<10} {:>14} {:>18} {:>10}",
+        "Scheme", "steps/batch", "ADA-GP steps/pair", "speed-up"
+    );
+    for scheme in PipelineScheme::all() {
+        println!(
+            "{:<10} {:>14} {:>18} {:>9.2}x",
+            scheme.name(),
+            scheme.batch_steps(&cfg),
+            scheme.adagp_pair_steps(&cfg),
+            scheme.adagp_speedup(&cfg, 0.0)
+        );
+    }
+    println!();
+    println!("(paper: GPipe 21 steps, Chimera 16; ADA-GP pairs 25 and 20)");
+}

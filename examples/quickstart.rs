@@ -1,0 +1,66 @@
+//! Quickstart: attach ADA-GP to a small CNN and watch it alternate
+//! between backprop and gradient-prediction phases.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ada_gp::adagp::{AdaGp, AdaGpConfig, ScheduleConfig};
+use ada_gp::nn::containers::Sequential;
+use ada_gp::nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use ada_gp::nn::optim::Sgd;
+use ada_gp::tensor::{init, Prng};
+
+fn main() {
+    let mut rng = Prng::seed_from_u64(7);
+
+    // A 3-layer CNN for 10-class classification of 3x16x16 images.
+    let mut model = Sequential::new();
+    model.push(Conv2d::new(3, 8, 3, 1, 1, true, &mut rng).with_label("conv1"));
+    model.push(Relu::new());
+    model.push(MaxPool2d::new(2, 2));
+    model.push(Conv2d::new(8, 16, 3, 1, 1, true, &mut rng).with_label("conv2"));
+    model.push(Relu::new());
+    model.push(Flatten::new());
+    model.push(Linear::new(16 * 8 * 8, 10, true, &mut rng).with_label("fc"));
+
+    // ADA-GP: one epoch of warm-up, then the 4:1 -> 1:1 annealed schedule.
+    let cfg = AdaGpConfig {
+        schedule: ScheduleConfig {
+            warmup_epochs: 1,
+            epochs_per_stage: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut adagp = AdaGp::new(cfg, &mut model, &mut rng);
+    println!(
+        "model has {} prediction sites; predictor row capacity = {}",
+        adagp.sites().len(),
+        adagp.predictor_mut().max_row_len()
+    );
+
+    let mut opt = Sgd::new(0.01, 0.9);
+    for epoch in 0..4 {
+        for batch in 0..10 {
+            let x = init::gaussian(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+            let y: Vec<usize> = (0..8).map(|i| (i + batch) % 10).collect();
+            let stats = adagp.train_batch(&mut model, &mut opt, &x, &y);
+            if batch < 5 {
+                println!(
+                    "epoch {epoch} batch {batch}: phase {:?}, loss {:.3}{}",
+                    stats.phase,
+                    stats.loss,
+                    stats
+                        .mape
+                        .map(|m| format!(", predictor MAPE {m:.1}%"))
+                        .unwrap_or_default()
+                );
+            }
+        }
+        adagp.controller_mut().end_epoch();
+    }
+    let (warmup, bp, gp) = adagp.controller_mut().phase_counts();
+    println!("phase counts: warm-up {warmup}, BP {bp}, GP {gp}");
+    println!("GP batches skipped their backward pass entirely.");
+}

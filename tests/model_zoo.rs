@@ -1,0 +1,89 @@
+//! Integration tests over the model zoo: every CNN builds, runs forward +
+//! backward, and works under ADA-GP end to end.
+
+use ada_gp::adagp::{AdaGp, AdaGpConfig, ScheduleConfig};
+use ada_gp::nn::models::{build_cnn, CnnModel, ModelConfig};
+use ada_gp::nn::module::{count_sites, ForwardCtx, Module};
+use ada_gp::nn::optim::Sgd;
+use ada_gp::tensor::{Prng, Tensor};
+
+/// Every one of the thirteen models trains one BP and one GP batch under
+/// ADA-GP without panicking and with finite losses.
+#[test]
+fn all_thirteen_models_run_under_adagp() {
+    let cfg = ModelConfig {
+        width: 0.0625,
+        depth_div: 8,
+        classes: 4,
+    };
+    for model_kind in CnnModel::all() {
+        let mut rng = Prng::seed_from_u64(11);
+        let mut model = build_cnn(model_kind, &cfg, 3, 16, &mut rng);
+        assert!(
+            count_sites(&mut model) > 0,
+            "{} has no prediction sites",
+            model_kind.name()
+        );
+        let adagp_cfg = AdaGpConfig {
+            schedule: ScheduleConfig {
+                warmup_epochs: 0,
+                ratios: [(1, 1); 4], // alternate GP/BP from the start
+                ..Default::default()
+            },
+            track_metrics: false,
+            ..Default::default()
+        };
+        let mut adagp = AdaGp::new(adagp_cfg, &mut model, &mut rng);
+        let mut opt = Sgd::new(0.01, 0.9);
+        let x = Tensor::ones(&[2, 3, 16, 16]);
+        let s1 = adagp.train_batch(&mut model, &mut opt, &x, &[0, 1]);
+        let s2 = adagp.train_batch(&mut model, &mut opt, &x, &[2, 3]);
+        assert!(
+            s1.loss.is_finite() && s2.loss.is_finite(),
+            "{}: non-finite loss",
+            model_kind.name()
+        );
+        assert_ne!(s1.phase, s2.phase, "{}: phases must alternate", model_kind.name());
+    }
+}
+
+/// Model outputs have the right shape and respond to input changes.
+#[test]
+fn models_forward_shapes_and_sensitivity() {
+    let cfg = ModelConfig {
+        width: 0.0625,
+        depth_div: 8,
+        classes: 7,
+    };
+    for model_kind in CnnModel::all() {
+        let mut rng = Prng::seed_from_u64(13);
+        let mut model = build_cnn(model_kind, &cfg, 3, 16, &mut rng);
+        let a = model.forward(&Tensor::zeros(&[1, 3, 16, 16]), &mut ForwardCtx::eval());
+        let b = model.forward(&Tensor::ones(&[1, 3, 16, 16]), &mut ForwardCtx::eval());
+        assert_eq!(a.shape(), &[1, 7], "{}", model_kind.name());
+        assert!(
+            a.sub(&b).norm() > 0.0,
+            "{}: output insensitive to input",
+            model_kind.name()
+        );
+    }
+}
+
+/// Backward returns an input gradient of the input's shape for every model.
+#[test]
+fn models_backward_input_gradients() {
+    let cfg = ModelConfig {
+        width: 0.0625,
+        depth_div: 8,
+        classes: 3,
+    };
+    for model_kind in CnnModel::all() {
+        let mut rng = Prng::seed_from_u64(17);
+        let mut model = build_cnn(model_kind, &cfg, 3, 16, &mut rng);
+        let x = Tensor::ones(&[2, 3, 16, 16]);
+        let y = model.forward(&x, &mut ForwardCtx::train());
+        let dx = model.backward(&Tensor::ones(y.shape()));
+        assert_eq!(dx.shape(), x.shape(), "{}", model_kind.name());
+        assert!(dx.norm().is_finite(), "{}", model_kind.name());
+    }
+}
