@@ -117,7 +117,12 @@ pub fn model_fw_traffic(
 
 /// Ratio of tiled traffic to ideal (infinite-buffer) traffic — 1.0 means
 /// the buffer is large enough for perfect reuse.
-pub fn reuse_efficiency(cfg: &BufferConfig, df: Dataflow, layers: &[LayerShape], batch: usize) -> f64 {
+pub fn reuse_efficiency(
+    cfg: &BufferConfig,
+    df: Dataflow,
+    layers: &[LayerShape],
+    batch: usize,
+) -> f64 {
     let infinite = BufferConfig {
         capacity_words: u64::MAX,
     };

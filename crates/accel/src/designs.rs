@@ -100,9 +100,21 @@ mod tests {
 
     fn costs() -> Vec<LayerCost> {
         vec![
-            LayerCost { fw: 1000, bw: 2000, alpha: 100 },
-            LayerCost { fw: 500, bw: 1000, alpha: 80 },
-            LayerCost { fw: 2000, bw: 4000, alpha: 150 },
+            LayerCost {
+                fw: 1000,
+                bw: 2000,
+                alpha: 100,
+            },
+            LayerCost {
+                fw: 500,
+                bw: 1000,
+                alpha: 80,
+            },
+            LayerCost {
+                fw: 2000,
+                bw: 4000,
+                alpha: 150,
+            },
         ]
     }
 

@@ -149,7 +149,11 @@ mod tests {
                 &EpochMix::paper(),
             );
             assert!(s > 1.0, "{}: {s}", design.name());
-            assert!(s < 3.0, "{}: {s} (3x is the theoretical ceiling)", design.name());
+            assert!(
+                s < 3.0,
+                "{}: {s} (3x is the theoretical ceiling)",
+                design.name()
+            );
         }
     }
 

@@ -173,6 +173,9 @@ mod tests {
         let sim = simulate_gemm(&cfg, m, k, n);
         // 1.2G MACs on 180 PEs: at least 6.7M cycles.
         assert!(sim.cycles >= (m * k * n) as u64 / 180);
-        assert!(sim.throughput(cfg.pes()) > 0.8, "conv GEMM should use the array well");
+        assert!(
+            sim.throughput(cfg.pes()) > 0.8,
+            "conv GEMM should use the array well"
+        );
     }
 }

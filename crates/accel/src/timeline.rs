@@ -136,8 +136,16 @@ mod tests {
         (
             vec!["l1".into(), "l2".into()],
             vec![
-                LayerCost { fw: 100, bw: 200, alpha: 10 },
-                LayerCost { fw: 300, bw: 600, alpha: 20 },
+                LayerCost {
+                    fw: 100,
+                    bw: 200,
+                    alpha: 10,
+                },
+                LayerCost {
+                    fw: 300,
+                    bw: 600,
+                    alpha: 20,
+                },
             ],
         )
     }

@@ -19,7 +19,11 @@ fn conv_meta(out_ch: usize, in_ch: usize, k: usize) -> SiteMeta {
 fn bench_predictor(c: &mut Criterion) {
     let mut rng = Prng::seed_from_u64(0);
     let meta = conv_meta(32, 16, 3);
-    let mut predictor = Predictor::for_sites(PredictorConfig::default(), &[meta.clone()], &mut rng);
+    let mut predictor = Predictor::for_sites(
+        PredictorConfig::default(),
+        std::slice::from_ref(&meta),
+        &mut rng,
+    );
     let act = init::gaussian(&[8, 32, 14, 14], 0.0, 1.0, &mut rng);
     let grad = init::gaussian(&[32, 16, 3, 3], 0.0, 0.01, &mut rng);
 

@@ -6,13 +6,13 @@
 //! comparison of interest is the BP-vs-ADA-GP *delta*, which is what
 //! Table 1 demonstrates (ADA-GP tracks or slightly beats BP).
 
-use adagp_core::{AdaGp, AdaGpConfig, BaselineTrainer, ScheduleConfig};
 use adagp_core::trainer::evaluate_accuracy;
+use adagp_core::{AdaGp, AdaGpConfig, BaselineTrainer, ScheduleConfig};
 use adagp_nn::data::{DatasetSpec, VisionDataset};
 use adagp_nn::models::{build_cnn, CnnModel, ModelConfig};
+use adagp_nn::optim::Optimizer;
 use adagp_nn::optim::Sgd;
 use adagp_nn::sched::ReduceLrOnPlateau;
-use adagp_nn::optim::Optimizer;
 use adagp_tensor::Prng;
 
 /// Budget of one accuracy experiment.
@@ -91,7 +91,9 @@ pub fn run_accuracy_experiment(
         let mut epoch_loss = 0.0f32;
         for b in 0..budget.batches_per_epoch {
             let (x, y) = dataset.train_batch(b, budget.batch);
-            epoch_loss += baseline.train_batch(&mut bp_model, &mut bp_opt, &x, &y).loss;
+            epoch_loss += baseline
+                .train_batch(&mut bp_model, &mut bp_opt, &x, &y)
+                .loss;
         }
         let lr = bp_sched.step(epoch_loss, bp_opt.lr());
         bp_opt.set_lr(lr);
@@ -178,7 +180,10 @@ pub fn predictor_error_series(
             let e = adagp
                 .metrics()
                 .layer_mean(l)
-                .unwrap_or(adagp_core::GradientErrors { mape: 0.0, mse: 0.0 });
+                .unwrap_or(adagp_core::GradientErrors {
+                    mape: 0.0,
+                    mse: 0.0,
+                });
             series[l].push((e.mape, e.mse));
         }
         adagp.reset_metrics();
@@ -223,8 +228,8 @@ mod tests {
         let series = predictor_error_series(DatasetSpec::tiny(4, 12), &budget, 3);
         assert!(!series.is_empty());
         assert!(series.iter().all(|row| row.len() == 2));
-        assert!(series
+        assert!(series.iter().all(|row| row
             .iter()
-            .all(|row| row.iter().all(|(mape, mse)| mape.is_finite() && mse.is_finite())));
+            .all(|(mape, mse)| mape.is_finite() && mse.is_finite())));
     }
 }

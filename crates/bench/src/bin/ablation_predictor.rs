@@ -62,7 +62,13 @@ fn main() {
         "{}",
         render_table(
             "Ablation 1: shared predictor vs per-layer predictors (storage)",
-            &["Model", "Layers", "Shared params", "Per-layer params", "Reduction"],
+            &[
+                "Model",
+                "Layers",
+                "Shared params",
+                "Per-layer params",
+                "Reduction"
+            ],
             &rows,
         )
     );
@@ -76,8 +82,14 @@ fn main() {
     let feat = (cfg.conv_channels * cfg.pooled_size * cfg.pooled_size) as u64;
     let reorg_weights = feat * (in_ch * k * k);
     println!("Ablation 2: flat FC vs tensor reorganization for VGG13 Conv2d(128,256,3x3) @28^2");
-    println!("  flat FC predictor weights:        {:.2e}", flat_weights as f64);
-    println!("  reorganized FC predictor weights: {:.2e}", reorg_weights as f64);
+    println!(
+        "  flat FC predictor weights:        {:.2e}",
+        flat_weights as f64
+    );
+    println!(
+        "  reorganized FC predictor weights: {:.2e}",
+        reorg_weights as f64
+    );
     println!(
         "  reduction: {:.1e}x",
         flat_weights as f64 / reorg_weights as f64

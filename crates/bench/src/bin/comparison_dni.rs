@@ -91,7 +91,12 @@ fn main() {
         "{}",
         render_table(
             "Related work: DNI-style synthetic gradients vs ADA-GP (VGG13, C10 stand-in)",
-            &["Scheme", "Accuracy", "Backward passes skipped", "Steps/batch (13-layer model)"],
+            &[
+                "Scheme",
+                "Accuracy",
+                "Backward passes skipped",
+                "Steps/batch (13-layer model)"
+            ],
             &rows,
         )
     );

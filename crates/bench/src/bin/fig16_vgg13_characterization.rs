@@ -24,7 +24,15 @@ fn main() {
         "{}",
         render_table(
             "Figure 16: VGG13 per-layer cycles (baseline vs ADA-GP-Efficient phases)",
-            &["Layer", "Baseline", "Warm-up", "Phase-BP", "Phase-GP", "ADA-GP total", "Ratio"],
+            &[
+                "Layer",
+                "Baseline",
+                "Warm-up",
+                "Phase-BP",
+                "Phase-GP",
+                "ADA-GP total",
+                "Ratio"
+            ],
             &rows,
         )
     );

@@ -22,7 +22,13 @@ fn main() {
         "{}",
         render_table(
             "Figure 21: training memory energy (J)",
-            &["Model", "Baseline-WS", "ADA-GP-Efficient", "ADA-GP-MAX", "Saving"],
+            &[
+                "Model",
+                "Baseline-WS",
+                "ADA-GP-Efficient",
+                "ADA-GP-MAX",
+                "Saving"
+            ],
             &table,
         )
     );

@@ -29,8 +29,10 @@ fn main() {
             for &m in CnnModel::all().iter() {
                 let layers = model_shapes(m, dataset.input_scale());
                 // How much the extra PEs alone buy the baseline.
-                let plain = baseline_training_cycles(&cfg, Dataflow::WeightStationary, &layers, &mix);
-                let fast = baseline_training_cycles(&boosted, Dataflow::WeightStationary, &layers, &mix);
+                let plain =
+                    baseline_training_cycles(&cfg, Dataflow::WeightStationary, &layers, &mix);
+                let fast =
+                    baseline_training_cycles(&boosted, Dataflow::WeightStationary, &layers, &mix);
                 base_gain.push(plain / fast);
                 // ADA-GP-MAX's advantage over that boosted baseline.
                 adagp_residual.push(iso_resource_speedup(

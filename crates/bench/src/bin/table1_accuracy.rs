@@ -43,15 +43,33 @@ fn main() {
         vec![
             (
                 "CIFAR10",
-                DatasetSpec { classes: 10, channels: 3, size: 12, train_len: 160, test_len: 64 },
+                DatasetSpec {
+                    classes: 10,
+                    channels: 3,
+                    size: 12,
+                    train_len: 160,
+                    test_len: 64,
+                },
             ),
             (
                 "CIFAR100",
-                DatasetSpec { classes: 20, channels: 3, size: 12, train_len: 160, test_len: 64 },
+                DatasetSpec {
+                    classes: 20,
+                    channels: 3,
+                    size: 12,
+                    train_len: 160,
+                    test_len: 64,
+                },
             ),
             (
                 "ImageNet",
-                DatasetSpec { classes: 40, channels: 3, size: 16, train_len: 160, test_len: 64 },
+                DatasetSpec {
+                    classes: 40,
+                    channels: 3,
+                    size: 16,
+                    train_len: 160,
+                    test_len: 64,
+                },
             ),
         ]
     };
@@ -79,9 +97,12 @@ fn main() {
             "Table 1: Accuracy, BP vs ADA-GP (synthetic CIFAR10/CIFAR100/ImageNet stand-ins)",
             &[
                 "Model",
-                "C10 BP", "C10 ADA-GP",
-                "C100 BP", "C100 ADA-GP",
-                "ImgNet BP", "ImgNet ADA-GP",
+                "C10 BP",
+                "C10 ADA-GP",
+                "C100 BP",
+                "C100 ADA-GP",
+                "ImgNet BP",
+                "ImgNet ADA-GP",
             ],
             &rows,
         )

@@ -27,7 +27,14 @@ fn main() {
         "{}",
         render_table(
             "Table 5a: ASIC area (um^2)",
-            &["Design", "Combinational", "Buf/Inv", "Net Intercon.", "Total Cell", "Total"],
+            &[
+                "Design",
+                "Combinational",
+                "Buf/Inv",
+                "Net Intercon.",
+                "Total Cell",
+                "Total"
+            ],
             &rows,
         )
     );
@@ -55,6 +62,10 @@ fn main() {
         )
     );
     for d in AdaGpDesign::all() {
-        println!("{} area overhead: {:.1}%", d.name(), m.area_overhead_percent(d));
+        println!(
+            "{} area overhead: {:.1}%",
+            d.name(),
+            m.area_overhead_percent(d)
+        );
     }
 }

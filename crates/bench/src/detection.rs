@@ -95,7 +95,10 @@ fn evaluate(
 }
 
 /// Runs both arms of the Table 3 experiment; returns `(bp, adagp)`.
-pub fn run_detection_experiment(budget: &DetectionBudget, seed: u64) -> (DetectionArm, DetectionArm) {
+pub fn run_detection_experiment(
+    budget: &DetectionBudget,
+    seed: u64,
+) -> (DetectionArm, DetectionArm) {
     let data = DetectionDataset::new(budget.classes, budget.size, 256, 64, seed);
     let head = YoloHead::new(budget.classes);
     let cfg = ModelConfig {

@@ -17,5 +17,7 @@ pub mod translation;
 
 /// Whether the harness should use the full (slow) experiment budget.
 pub fn full_budget() -> bool {
-    std::env::var("ADAGP_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ADAGP_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }

@@ -37,7 +37,11 @@ pub enum DatasetScale {
 impl DatasetScale {
     /// All three dataset columns.
     pub fn all() -> [DatasetScale; 3] {
-        [DatasetScale::Cifar10, DatasetScale::Cifar100, DatasetScale::ImageNet]
+        [
+            DatasetScale::Cifar10,
+            DatasetScale::Cifar100,
+            DatasetScale::ImageNet,
+        ]
     }
 
     /// Display name.
@@ -94,7 +98,13 @@ pub fn vgg13_characterization() -> Vec<LayerCharacterization> {
         .into_iter()
         .filter(|l| l.kind == LayerKind::Conv)
         .collect();
-    let costs = model_costs(&cfg, Dataflow::WeightStationary, &PredictorCostModel::default(), &layers, MODEL_BATCH);
+    let costs = model_costs(
+        &cfg,
+        Dataflow::WeightStationary,
+        &PredictorCostModel::default(),
+        &layers,
+        MODEL_BATCH,
+    );
     let labels: Vec<String> = layers.iter().map(|l| l.label.clone()).collect();
     let mix = EpochMix::paper();
     // Average GP fraction over the post-warm-up epochs.
@@ -138,7 +148,10 @@ pub fn pipeline_speedup_rows(scheme: PipelineScheme) -> Vec<(String, f64)> {
             let fw: u64 = costs.iter().map(|c| c.fw).sum();
             let alpha: u64 = costs.iter().map(|c| c.alpha).sum();
             let alpha_ratio = pcfg.devices as f64 * alpha as f64 / fw as f64;
-            (m.name().to_string(), scheme.adagp_speedup(&pcfg, alpha_ratio))
+            (
+                m.name().to_string(),
+                scheme.adagp_speedup(&pcfg, alpha_ratio),
+            )
         })
         .collect();
     let g = geomean(&rows.iter().map(|(_, s)| *s).collect::<Vec<_>>());
@@ -247,8 +260,19 @@ pub fn cycle_pair(layers: &[LayerShape], design: AdaGpDesign) -> (f64, f64) {
     let cfg = AcceleratorConfig::default();
     let mix = EpochMix::paper();
     (
-        adagp_accel::speedup::baseline_training_cycles(&cfg, Dataflow::WeightStationary, layers, &mix),
-        adagp_accel::speedup::adagp_training_cycles(&cfg, Dataflow::WeightStationary, design, layers, &mix),
+        adagp_accel::speedup::baseline_training_cycles(
+            &cfg,
+            Dataflow::WeightStationary,
+            layers,
+            &mix,
+        ),
+        adagp_accel::speedup::adagp_training_cycles(
+            &cfg,
+            Dataflow::WeightStationary,
+            design,
+            layers,
+            &mix,
+        ),
     )
 }
 

@@ -76,7 +76,12 @@ fn flat_targets(tgt: &[Vec<usize>]) -> Vec<usize> {
     tgt.iter().flat_map(|r| r.iter().copied()).collect()
 }
 
-fn evaluate(model: &mut Transformer, data: &TranslationDataset, batches: usize, batch: usize) -> TransformerArm {
+fn evaluate(
+    model: &mut Transformer,
+    data: &TranslationDataset,
+    batches: usize,
+    batch: usize,
+) -> TransformerArm {
     let mut correct = 0usize;
     let mut total = 0usize;
     let mut loss_sum = 0.0f32;

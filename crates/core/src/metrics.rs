@@ -91,7 +91,9 @@ impl PredictorMetrics {
             .acc
             .iter()
             .filter(|(_, _, c)| *c > 0)
-            .fold((0.0f64, 0u64), |(s, n), (m, _, c)| (s + m / *c as f64, n + 1));
+            .fold((0.0f64, 0u64), |(s, n), (m, _, c)| {
+                (s + m / *c as f64, n + 1)
+            });
         if n == 0 {
             0.0
         } else {
@@ -142,8 +144,20 @@ mod tests {
     #[test]
     fn tracker_means() {
         let mut t = PredictorMetrics::new(2);
-        t.record(0, GradientErrors { mape: 2.0, mse: 0.5 });
-        t.record(0, GradientErrors { mape: 4.0, mse: 1.5 });
+        t.record(
+            0,
+            GradientErrors {
+                mape: 2.0,
+                mse: 0.5,
+            },
+        );
+        t.record(
+            0,
+            GradientErrors {
+                mape: 4.0,
+                mse: 1.5,
+            },
+        );
         let m = t.layer_mean(0).unwrap();
         assert!((m.mape - 3.0).abs() < 1e-6);
         assert!((m.mse - 1.0).abs() < 1e-6);
@@ -154,7 +168,13 @@ mod tests {
     #[test]
     fn reset_clears() {
         let mut t = PredictorMetrics::new(1);
-        t.record(0, GradientErrors { mape: 1.0, mse: 1.0 });
+        t.record(
+            0,
+            GradientErrors {
+                mape: 1.0,
+                mse: 1.0,
+            },
+        );
         t.reset();
         assert!(t.layer_mean(0).is_none());
     }

@@ -179,7 +179,10 @@ impl Predictor {
         let rows = pooled.dim(0);
         let (pooled, target_rows) = if rows > self.cfg.max_rows_per_batch {
             let stride = rows.div_ceil(self.cfg.max_rows_per_batch);
-            (subsample_rows(&pooled, stride), subsample_rows(&target_rows, stride))
+            (
+                subsample_rows(&pooled, stride),
+                subsample_rows(&target_rows, stride),
+            )
         } else {
             (pooled, target_rows)
         };
@@ -258,7 +261,11 @@ mod tests {
     fn predict_shapes_match_weights() {
         let mut rng = Prng::seed_from_u64(0);
         let meta = conv_meta(8, 4, 3);
-        let mut p = Predictor::for_sites(PredictorConfig::default(), &[meta.clone()], &mut rng);
+        let mut p = Predictor::for_sites(
+            PredictorConfig::default(),
+            std::slice::from_ref(&meta),
+            &mut rng,
+        );
         let act = init::gaussian(&[2, 8, 6, 6], 0.0, 1.0, &mut rng);
         let g = p.predict_gradient(&meta, &act);
         assert_eq!(g.shape(), &[8, 4, 3, 3]);
@@ -286,7 +293,7 @@ mod tests {
             lr: 3e-3,
             ..Default::default()
         };
-        let mut p = Predictor::for_sites(cfg, &[meta.clone()], &mut rng);
+        let mut p = Predictor::for_sites(cfg, std::slice::from_ref(&meta), &mut rng);
         let act = init::gaussian(&[2, 4, 5, 5], 0.0, 1.0, &mut rng);
         let grad = init::gaussian(&[4, 2, 3, 3], 0.0, 0.05, &mut rng);
         let first = p.train_step(&meta, &act, &grad);
@@ -309,8 +316,11 @@ mod tests {
             weight_shape: vec![6, 12],
             label: "l".into(),
         };
-        let mut p =
-            Predictor::for_sites(PredictorConfig::default(), &[m1.clone(), m2.clone()], &mut rng);
+        let mut p = Predictor::for_sites(
+            PredictorConfig::default(),
+            &[m1.clone(), m2.clone()],
+            &mut rng,
+        );
         let act1 = init::gaussian(&[2, 4, 5, 5], 0.0, 1.0, &mut rng);
         let act2 = init::gaussian(&[2, 6], 0.0, 1.0, &mut rng);
         assert_eq!(p.predict_gradient(&m1, &act1).shape(), &[4, 2, 3, 3]);
@@ -336,7 +346,7 @@ mod tests {
             max_rows_per_batch: 64,
             ..Default::default()
         };
-        let mut p = Predictor::for_sites(cfg, &[meta.clone()], &mut rng);
+        let mut p = Predictor::for_sites(cfg, std::slice::from_ref(&meta), &mut rng);
         let act = init::gaussian(&[1, 512, 2, 2], 0.0, 1.0, &mut rng);
         let grad = init::gaussian(&[512, 2, 1, 1], 0.0, 0.05, &mut rng);
         // Must not panic and must return a finite loss.

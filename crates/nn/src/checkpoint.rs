@@ -49,7 +49,11 @@ impl fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not an ADA-GP checkpoint (bad magic)"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint data ended prematurely"),
-            CheckpointError::Mismatch { index, stored, expected } => write!(
+            CheckpointError::Mismatch {
+                index,
+                stored,
+                expected,
+            } => write!(
                 f,
                 "parameter {index} shape mismatch: checkpoint {stored:?} vs model {expected:?}"
             ),
@@ -68,7 +72,10 @@ pub fn save(model: &mut dyn Module) -> Bytes {
     let mut params: Vec<Tensor> = Vec::new();
     model.visit_params(&mut |p| params.push(p.value.clone()));
     let mut buf = BytesMut::with_capacity(
-        16 + params.iter().map(|t| 4 + t.ndim() * 8 + t.len() * 4).sum::<usize>(),
+        16 + params
+            .iter()
+            .map(|t| 4 + t.ndim() * 8 + t.len() * 4)
+            .sum::<usize>(),
     );
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);

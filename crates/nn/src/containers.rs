@@ -175,7 +175,10 @@ impl Module for Residual {
 ///
 /// Panics if `parts` is empty or N/H/W dimensions disagree.
 pub fn cat_channels(parts: &[&Tensor]) -> Tensor {
-    assert!(!parts.is_empty(), "cat_channels requires at least one tensor");
+    assert!(
+        !parts.is_empty(),
+        "cat_channels requires at least one tensor"
+    );
     let (n, h, w) = (parts[0].dim(0), parts[0].dim(2), parts[0].dim(3));
     let mut c_total = 0;
     for p in parts {
@@ -249,7 +252,10 @@ impl Branches {
     ///
     /// Panics if `branches` is empty.
     pub fn new(branches: Vec<Sequential>) -> Self {
-        assert!(!branches.is_empty(), "Branches requires at least one branch");
+        assert!(
+            !branches.is_empty(),
+            "Branches requires at least one branch"
+        );
         Branches {
             branches,
             out_channels: Vec::new(),
@@ -308,7 +314,11 @@ pub struct DenseCat {
 
 impl std::fmt::Debug for DenseCat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DenseCat(in={}, growth={})", self.in_channels, self.body_channels)
+        write!(
+            f,
+            "DenseCat(in={}, growth={})",
+            self.in_channels, self.body_channels
+        )
     }
 }
 

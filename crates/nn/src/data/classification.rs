@@ -114,8 +114,7 @@ impl VisionDataset {
                         let s = ((fx * x) as f32 / spec.size as f32 * std::f32::consts::TAU
                             + phase)
                             .sin()
-                            * ((fy * y) as f32 / spec.size as f32 * std::f32::consts::TAU)
-                                .cos();
+                            * ((fy * y) as f32 / spec.size as f32 * std::f32::consts::TAU).cos();
                         data[(c * spec.size + y) * spec.size + x] += 1.5 * s;
                     }
                 }
@@ -152,7 +151,9 @@ impl VisionDataset {
     fn sample(&self, split: u64, index: usize) -> (Vec<f32>, usize) {
         let class = index % self.spec.classes;
         let mut rng = Prng::seed_from_u64(
-            self.seed ^ (split.wrapping_mul(0x9E37_79B9)) ^ (index as u64).wrapping_mul(0x85EB_CA6B),
+            self.seed
+                ^ (split.wrapping_mul(0x9E37_79B9))
+                ^ (index as u64).wrapping_mul(0x85EB_CA6B),
         );
         let proto = &self.prototypes[class];
         let data: Vec<f32> = proto
@@ -199,7 +200,12 @@ impl VisionDataset {
         (
             Tensor::from_vec(
                 data,
-                &[batch_size, self.spec.channels, self.spec.size, self.spec.size],
+                &[
+                    batch_size,
+                    self.spec.channels,
+                    self.spec.size,
+                    self.spec.size,
+                ],
             ),
             labels,
         )
@@ -226,12 +232,12 @@ impl VisionDataset {
         let mut data = vec![0.0f32; batch_size * plen];
         let mut labels = vec![0usize; batch_size];
         let chunk = batch_size.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let label_chunks = labels.chunks_mut(chunk);
             for ((t, chunk_data), chunk_labels) in
                 data.chunks_mut(chunk * plen).enumerate().zip(label_chunks)
             {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, (sample_out, label_out)) in chunk_data
                         .chunks_mut(plen)
                         .zip(chunk_labels.iter_mut())
@@ -245,12 +251,16 @@ impl VisionDataset {
                     }
                 });
             }
-        })
-        .expect("batch generation worker panicked");
+        });
         (
             Tensor::from_vec(
                 data,
-                &[batch_size, self.spec.channels, self.spec.size, self.spec.size],
+                &[
+                    batch_size,
+                    self.spec.channels,
+                    self.spec.size,
+                    self.spec.size,
+                ],
             ),
             labels,
         )

@@ -193,15 +193,39 @@ mod tests {
 
     #[test]
     fn iou_disjoint_is_zero() {
-        let a = BoxLabel { class: 0, cx: 0.2, cy: 0.2, w: 0.2, h: 0.2 };
-        let b = BoxLabel { class: 0, cx: 0.8, cy: 0.8, w: 0.2, h: 0.2 };
+        let a = BoxLabel {
+            class: 0,
+            cx: 0.2,
+            cy: 0.2,
+            w: 0.2,
+            h: 0.2,
+        };
+        let b = BoxLabel {
+            class: 0,
+            cx: 0.8,
+            cy: 0.8,
+            w: 0.2,
+            h: 0.2,
+        };
         assert_eq!(a.iou(&b), 0.0);
     }
 
     #[test]
     fn iou_half_overlap() {
-        let a = BoxLabel { class: 0, cx: 0.25, cy: 0.5, w: 0.5, h: 1.0 };
-        let b = BoxLabel { class: 0, cx: 0.5, cy: 0.5, w: 0.5, h: 1.0 };
+        let a = BoxLabel {
+            class: 0,
+            cx: 0.25,
+            cy: 0.5,
+            w: 0.5,
+            h: 1.0,
+        };
+        let b = BoxLabel {
+            class: 0,
+            cx: 0.5,
+            cy: 0.5,
+            w: 0.5,
+            h: 1.0,
+        };
         // Intersection 0.25, union 0.75.
         assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-6);
     }

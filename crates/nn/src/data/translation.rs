@@ -34,7 +34,13 @@ impl TranslationDataset {
     /// # Panics
     ///
     /// Panics if `vocab < 8` or `sentence_len == 0`.
-    pub fn new(vocab: usize, sentence_len: usize, train_len: usize, test_len: usize, seed: u64) -> Self {
+    pub fn new(
+        vocab: usize,
+        sentence_len: usize,
+        train_len: usize,
+        test_len: usize,
+        seed: u64,
+    ) -> Self {
         assert!(vocab >= 8, "vocabulary too small");
         assert!(sentence_len > 0, "sentence length must be positive");
         // Build the target-language permutation of content tokens.
@@ -90,7 +96,7 @@ impl TranslationDataset {
         let mut out: Vec<usize> = src.iter().map(|&t| self.permutation[t]).collect();
         let mut i = 0;
         while i + 1 < out.len() {
-            if src[i] % 2 == 0 {
+            if src[i].is_multiple_of(2) {
                 out.swap(i, i + 1);
                 i += 2;
             } else {
@@ -125,7 +131,11 @@ impl TranslationDataset {
 
     /// A batch of training pairs as `(sources, targets)` row-major id
     /// matrices of width `sentence_len`.
-    pub fn train_batch(&self, batch_idx: usize, batch_size: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    pub fn train_batch(
+        &self,
+        batch_idx: usize,
+        batch_size: usize,
+    ) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
         let mut srcs = Vec::with_capacity(batch_size);
         let mut tgts = Vec::with_capacity(batch_size);
         for i in 0..batch_size {
@@ -144,7 +154,7 @@ mod tests {
     #[test]
     fn permutation_is_bijective_on_content() {
         let ds = TranslationDataset::new(32, 6, 10, 10, 1);
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for t in 3..32 {
             let p = ds.permutation[t];
             assert!(p >= 3, "content maps to content");

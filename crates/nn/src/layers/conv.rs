@@ -47,7 +47,10 @@ impl Conv2d {
         bias: bool,
         rng: &mut Prng,
     ) -> Self {
-        assert!(in_ch > 0 && out_ch > 0 && k > 0, "conv dims must be positive");
+        assert!(
+            in_ch > 0 && out_ch > 0 && k > 0,
+            "conv dims must be positive"
+        );
         let fan_in = in_ch * k * k;
         let weight = Param::new(init::kaiming_normal(&[out_ch, in_ch, k, k], fan_in, rng));
         let bias = bias.then(|| Param::new(Tensor::zeros(&[out_ch])));

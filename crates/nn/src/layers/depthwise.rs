@@ -63,13 +63,11 @@ impl Module for DepthwiseConv2d {
             let mut chan = vec![0.0f32; n * h * w];
             for ni in 0..n {
                 let base = (ni * c + ci) * h * w;
-                chan[ni * h * w..(ni + 1) * h * w]
-                    .copy_from_slice(&x.data()[base..base + h * w]);
+                chan[ni * h * w..(ni + 1) * h * w].copy_from_slice(&x.data()[base..base + h * w]);
             }
             let chan_t = Tensor::from_vec(chan, &[n, 1, h, w]);
             let wslice = Tensor::from_vec(
-                self.weight.value.data()[ci * self.k * self.k..(ci + 1) * self.k * self.k]
-                    .to_vec(),
+                self.weight.value.data()[ci * self.k * self.k..(ci + 1) * self.k * self.k].to_vec(),
                 &[1, 1, self.k, self.k],
             );
             let y = conv2d(&chan_t, &wslice, None, &self.params);
@@ -103,9 +101,8 @@ impl Module for DepthwiseConv2d {
             let mut xc = vec![0.0f32; n * h * w];
             let mut dyc = vec![0.0f32; n * ho * wo];
             for ni in 0..n {
-                xc[ni * h * w..(ni + 1) * h * w].copy_from_slice(
-                    &x.data()[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w],
-                );
+                xc[ni * h * w..(ni + 1) * h * w]
+                    .copy_from_slice(&x.data()[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w]);
                 dyc[ni * ho * wo..(ni + 1) * ho * wo].copy_from_slice(
                     &dy.data()[(ni * c + ci) * ho * wo..(ni * c + ci + 1) * ho * wo],
                 );
@@ -113,8 +110,7 @@ impl Module for DepthwiseConv2d {
             let xc_t = Tensor::from_vec(xc, &[n, 1, h, w]);
             let dyc_t = Tensor::from_vec(dyc, &[n, 1, ho, wo]);
             let wslice = Tensor::from_vec(
-                self.weight.value.data()[ci * self.k * self.k..(ci + 1) * self.k * self.k]
-                    .to_vec(),
+                self.weight.value.data()[ci * self.k * self.k..(ci + 1) * self.k * self.k].to_vec(),
                 &[1, 1, self.k, self.k],
             );
             let dxc = conv2d_backward_data(&dyc_t, &wslice, h, w, &self.params);

@@ -26,7 +26,10 @@ impl Linear {
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut Prng) -> Self {
-        assert!(in_features > 0 && out_features > 0, "linear dims must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "linear dims must be positive"
+        );
         let weight = Param::new(init::kaiming_uniform(
             &[out_features, in_features],
             in_features,
@@ -169,9 +172,7 @@ mod tests {
 
         let eps = 1e-2;
         let w0 = lin.weight.value.clone();
-        let f = |lin: &mut Linear, x: &Tensor| {
-            lin.forward(x, &mut ForwardCtx::eval()).sum()
-        };
+        let f = |lin: &mut Linear, x: &Tensor| lin.forward(x, &mut ForwardCtx::eval()).sum();
         // Check weight gradient.
         for i in (0..w0.len()).step_by(3) {
             lin.weight.value = w0.clone();

@@ -54,7 +54,10 @@ impl Dropout {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         Dropout {
             p,
             rng: Prng::seed_from_u64(seed),
@@ -72,7 +75,13 @@ impl Module for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask_data: Vec<f32> = (0..x.len())
-            .map(|_| if self.rng.uniform() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.uniform() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Tensor::from_vec(mask_data, x.shape());
         let y = x.mul(&mask);

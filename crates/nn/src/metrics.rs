@@ -17,7 +17,11 @@ use adagp_tensor::Tensor;
 /// assert_eq!(top1_accuracy(&logits, &[1, 0]), 100.0);
 /// ```
 pub fn top1_accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
-    assert_eq!(logits.ndim(), 2, "top1_accuracy: logits must be (n, classes)");
+    assert_eq!(
+        logits.ndim(),
+        2,
+        "top1_accuracy: logits must be (n, classes)"
+    );
     let (n, c) = (logits.dim(0), logits.dim(1));
     assert_eq!(n, targets.len(), "top1_accuracy: batch mismatch");
     if n == 0 {
@@ -111,7 +115,11 @@ fn ngram_counts(seq: &[usize], n: usize) -> std::collections::HashMap<&[usize], 
 ///
 /// Panics if `logits` is not rank-2, batch sizes differ, or `k == 0`.
 pub fn topk_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f32 {
-    assert_eq!(logits.ndim(), 2, "topk_accuracy: logits must be (n, classes)");
+    assert_eq!(
+        logits.ndim(),
+        2,
+        "topk_accuracy: logits must be (n, classes)"
+    );
     assert!(k > 0, "topk_accuracy: k must be positive");
     let (n, c) = (logits.dim(0), logits.dim(1));
     assert_eq!(n, targets.len(), "topk_accuracy: batch mismatch");
@@ -277,7 +285,7 @@ mod tests {
     fn bleu_brevity_penalty_reduces_short_hyps() {
         let re = vec![vec![5, 6, 7, 8, 9, 10, 11, 12]];
         let full = bleu(&re, &re);
-        let short = bleu(&[re[0][..5].to_vec()].to_vec(), &re);
+        let short = bleu([re[0][..5].to_vec()].as_ref(), &re);
         assert!(short < full);
     }
 
@@ -295,8 +303,16 @@ mod tests {
     fn map_perfect_detections() {
         let gt = vec![make_box(0, 0.3), make_box(1, 0.7)];
         let dets = vec![
-            Detection { image: 0, label: gt[0], score: 0.9 },
-            Detection { image: 1, label: gt[1], score: 0.8 },
+            Detection {
+                image: 0,
+                label: gt[0],
+                score: 0.9,
+            },
+            Detection {
+                image: 1,
+                label: gt[1],
+                score: 0.8,
+            },
         ];
         let map = mean_average_precision(&dets, &gt, 0.5, 2);
         assert!((map - 1.0).abs() < 1e-5, "map {map}");
@@ -307,7 +323,11 @@ mod tests {
         let gt = vec![make_box(0, 0.3)];
         let mut wrong = gt[0];
         wrong.class = 1;
-        let dets = vec![Detection { image: 0, label: wrong, score: 0.9 }];
+        let dets = vec![Detection {
+            image: 0,
+            label: wrong,
+            score: 0.9,
+        }];
         assert_eq!(mean_average_precision(&dets, &gt, 0.5, 2), 0.0);
     }
 
@@ -315,14 +335,22 @@ mod tests {
     fn map_poor_localization_scores_zero() {
         let gt = vec![make_box(0, 0.2)];
         let off = make_box(0, 0.8); // disjoint
-        let dets = vec![Detection { image: 0, label: off, score: 0.9 }];
+        let dets = vec![Detection {
+            image: 0,
+            label: off,
+            score: 0.9,
+        }];
         assert_eq!(mean_average_precision(&dets, &gt, 0.5, 1), 0.0);
     }
 
     #[test]
     fn map_half_right() {
         let gt = vec![make_box(0, 0.3), make_box(0, 0.7)];
-        let dets = vec![Detection { image: 0, label: gt[0], score: 0.9 }];
+        let dets = vec![Detection {
+            image: 0,
+            label: gt[0],
+            score: 0.9,
+        }];
         let map = mean_average_precision(&dets, &gt, 0.5, 1);
         // Recall tops out at 0.5 with precision 1 -> 11-pt AP ≈ 6/11.
         assert!((map - 6.0 / 11.0).abs() < 1e-4, "map {map}");

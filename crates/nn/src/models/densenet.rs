@@ -58,8 +58,7 @@ pub fn densenet(depth: usize, cfg: &ModelConfig, in_ch: usize, rng: &mut Prng) -
             net.push(BatchNorm2d::new(ch));
             net.push(Relu::new());
             net.push(
-                Conv2d::new(ch, out, 1, 1, 0, false, rng)
-                    .with_label(format!("trans{}", stage + 1)),
+                Conv2d::new(ch, out, 1, 1, 0, false, rng).with_label(format!("trans{}", stage + 1)),
             );
             net.push(AvgPool2d::new(2, 2));
             ch = out;

@@ -10,7 +10,15 @@ use crate::containers::{Branches, Sequential};
 use crate::layers::{BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu};
 use adagp_tensor::Prng;
 
-fn conv_bn(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, label: &str, rng: &mut Prng) -> Sequential {
+fn conv_bn(
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    label: &str,
+    rng: &mut Prng,
+) -> Sequential {
     let mut s = Sequential::new();
     s.push(Conv2d::new(in_ch, out_ch, k, stride, pad, false, rng).with_label(label.to_string()));
     s.push(BatchNorm2d::new(out_ch));
@@ -27,13 +35,53 @@ fn inception_module(in_ch: usize, base: usize, label: &str, rng: &mut Prng) -> B
     let b1 = conv_bn(in_ch, base, 1, 1, 0, &format!("{label}.b1"), rng);
     // Branch 2: 1x1 -> 3x3.
     let mut b2 = Sequential::new();
-    b2.push_boxed(Box::new(conv_bn(in_ch, base, 1, 1, 0, &format!("{label}.b2a"), rng)));
-    b2.push_boxed(Box::new(conv_bn(base, base, 3, 1, 1, &format!("{label}.b2b"), rng)));
+    b2.push_boxed(Box::new(conv_bn(
+        in_ch,
+        base,
+        1,
+        1,
+        0,
+        &format!("{label}.b2a"),
+        rng,
+    )));
+    b2.push_boxed(Box::new(conv_bn(
+        base,
+        base,
+        3,
+        1,
+        1,
+        &format!("{label}.b2b"),
+        rng,
+    )));
     // Branch 3: 1x1 -> 3x3 -> 3x3 (factorized 5x5).
     let mut b3 = Sequential::new();
-    b3.push_boxed(Box::new(conv_bn(in_ch, base, 1, 1, 0, &format!("{label}.b3a"), rng)));
-    b3.push_boxed(Box::new(conv_bn(base, base, 3, 1, 1, &format!("{label}.b3b"), rng)));
-    b3.push_boxed(Box::new(conv_bn(base, base, 3, 1, 1, &format!("{label}.b3c"), rng)));
+    b3.push_boxed(Box::new(conv_bn(
+        in_ch,
+        base,
+        1,
+        1,
+        0,
+        &format!("{label}.b3a"),
+        rng,
+    )));
+    b3.push_boxed(Box::new(conv_bn(
+        base,
+        base,
+        3,
+        1,
+        1,
+        &format!("{label}.b3b"),
+        rng,
+    )));
+    b3.push_boxed(Box::new(conv_bn(
+        base,
+        base,
+        3,
+        1,
+        1,
+        &format!("{label}.b3c"),
+        rng,
+    )));
     // Branch 4: 1x1 projection.
     let b4 = conv_bn(in_ch, base, 1, 1, 0, &format!("{label}.b4"), rng);
     Branches::new(vec![b1, b2, b3, b4])

@@ -66,8 +66,19 @@ impl CnnModel {
     pub fn all() -> [CnnModel; 13] {
         use CnnModel::*;
         [
-            ResNet50, ResNet101, ResNet152, InceptionV4, InceptionV3, Vgg13, Vgg16, Vgg19,
-            DenseNet121, DenseNet161, DenseNet169, DenseNet201, MobileNetV2,
+            ResNet50,
+            ResNet101,
+            ResNet152,
+            InceptionV4,
+            InceptionV3,
+            Vgg13,
+            Vgg16,
+            Vgg19,
+            DenseNet121,
+            DenseNet161,
+            DenseNet169,
+            DenseNet201,
+            MobileNetV2,
         ]
     }
 

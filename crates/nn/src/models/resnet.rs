@@ -17,13 +17,7 @@ fn stage_blocks(depth: usize) -> [usize; 4] {
 
 /// A bottleneck: 1×1 reduce → 3×3 → 1×1 expand (×4), each with BN+ReLU,
 /// plus a projection shortcut when the shape changes.
-fn bottleneck(
-    in_ch: usize,
-    mid_ch: usize,
-    stride: usize,
-    label: &str,
-    rng: &mut Prng,
-) -> Residual {
+fn bottleneck(in_ch: usize, mid_ch: usize, stride: usize, label: &str, rng: &mut Prng) -> Residual {
     let out_ch = mid_ch * 4;
     let mut body = Sequential::new();
     body.push(Conv2d::new(in_ch, mid_ch, 1, 1, 0, false, rng).with_label(format!("{label}.a")));

@@ -38,7 +38,13 @@ pub struct LayerShape {
 
 impl LayerShape {
     /// Convolution shape constructor.
-    pub fn conv(label: impl Into<String>, in_ch: usize, out_ch: usize, k: usize, out: usize) -> Self {
+    pub fn conv(
+        label: impl Into<String>,
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        out: usize,
+    ) -> Self {
         LayerShape {
             label: label.into(),
             kind: LayerKind::Conv,
@@ -208,7 +214,13 @@ fn densenet_shapes(blocks: &[usize; 4], growth: usize, input: usize) -> Vec<Laye
     let mut shapes = Vec::new();
     let mut size = if input >= 64 { input / 4 } else { input };
     let mut ch = 2 * growth;
-    shapes.push(LayerShape::conv("stem", 3, ch, if input >= 64 { 7 } else { 3 }, size));
+    shapes.push(LayerShape::conv(
+        "stem",
+        3,
+        ch,
+        if input >= 64 { 7 } else { 3 },
+        size,
+    ));
     for (stage, &n) in blocks.iter().enumerate() {
         for l in 0..n {
             // Bottleneck 1x1 to 4*growth, then 3x3 to growth.
@@ -230,7 +242,13 @@ fn densenet_shapes(blocks: &[usize; 4], growth: usize, input: usize) -> Vec<Laye
         }
         if stage + 1 < blocks.len() {
             let out = ch / 2;
-            shapes.push(LayerShape::conv(format!("trans{}", stage + 1), ch, out, 1, size));
+            shapes.push(LayerShape::conv(
+                format!("trans{}", stage + 1),
+                ch,
+                out,
+                1,
+                size,
+            ));
             if size >= 2 {
                 size /= 2;
             }
@@ -241,7 +259,11 @@ fn densenet_shapes(blocks: &[usize; 4], growth: usize, input: usize) -> Vec<Laye
     shapes
 }
 
-fn inception_shapes(stage_modules: &[usize; 3], stem_depth: usize, input: usize) -> Vec<LayerShape> {
+fn inception_shapes(
+    stage_modules: &[usize; 3],
+    stem_depth: usize,
+    input: usize,
+) -> Vec<LayerShape> {
     let mut shapes = Vec::new();
     let mut size = if input >= 64 { input / 4 } else { input };
     let mut ch = 3usize;
@@ -293,7 +315,11 @@ fn mobilenet_shapes(input: usize) -> Vec<LayerShape> {
     for (stage, &(e, out, n, stride)) in STAGES.iter().enumerate() {
         for b in 0..n {
             // CIFAR-scale MobileNets keep stage 2 at stride 1.
-            let s = if b == 0 && !(input < 64 && stage == 1) { stride } else { 1 };
+            let s = if b == 0 && !(input < 64 && stage == 1) {
+                stride
+            } else {
+                1
+            };
             if s == 2 && size >= 2 {
                 size /= 2;
             }
@@ -330,7 +356,10 @@ mod tests {
     fn vgg13_has_10_convs_3_fcs() {
         let shapes = model_shapes(CnnModel::Vgg13, InputScale::Cifar);
         let convs = shapes.iter().filter(|s| s.kind == LayerKind::Conv).count();
-        let fcs = shapes.iter().filter(|s| s.kind == LayerKind::Linear).count();
+        let fcs = shapes
+            .iter()
+            .filter(|s| s.kind == LayerKind::Linear)
+            .count();
         assert_eq!(convs, 10);
         assert_eq!(fcs, 3);
     }
@@ -352,9 +381,18 @@ mod tests {
     #[test]
     fn deeper_models_cost_more() {
         for scale in [InputScale::Cifar, InputScale::ImageNet] {
-            let m50: u64 = model_shapes(CnnModel::ResNet50, scale).iter().map(|s| s.macs()).sum();
-            let m101: u64 = model_shapes(CnnModel::ResNet101, scale).iter().map(|s| s.macs()).sum();
-            let m152: u64 = model_shapes(CnnModel::ResNet152, scale).iter().map(|s| s.macs()).sum();
+            let m50: u64 = model_shapes(CnnModel::ResNet50, scale)
+                .iter()
+                .map(|s| s.macs())
+                .sum();
+            let m101: u64 = model_shapes(CnnModel::ResNet101, scale)
+                .iter()
+                .map(|s| s.macs())
+                .sum();
+            let m152: u64 = model_shapes(CnnModel::ResNet152, scale)
+                .iter()
+                .map(|s| s.macs())
+                .sum();
             assert!(m50 < m101 && m101 < m152);
         }
     }
@@ -362,8 +400,14 @@ mod tests {
     #[test]
     fn imagenet_scale_exceeds_cifar_scale() {
         for model in CnnModel::all() {
-            let c: u64 = model_shapes(model, InputScale::Cifar).iter().map(|s| s.macs()).sum();
-            let i: u64 = model_shapes(model, InputScale::ImageNet).iter().map(|s| s.macs()).sum();
+            let c: u64 = model_shapes(model, InputScale::Cifar)
+                .iter()
+                .map(|s| s.macs())
+                .sum();
+            let i: u64 = model_shapes(model, InputScale::ImageNet)
+                .iter()
+                .map(|s| s.macs())
+                .sum();
             assert!(i > c, "{}: imagenet {i} <= cifar {c}", model.name());
         }
     }

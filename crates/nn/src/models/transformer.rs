@@ -179,7 +179,8 @@ impl MultiHeadAttention {
                 // Score matrix (lq, lk).
                 let mut scores = vec![0.0f32; lq * lk];
                 for i in 0..lq {
-                    let qrow = &q.data()[((b * lq + i) * d + h * dh)..((b * lq + i) * d + (h + 1) * dh)];
+                    let qrow =
+                        &q.data()[((b * lq + i) * d + h * dh)..((b * lq + i) * d + (h + 1) * dh)];
                     for j in 0..lk {
                         if self.causal && j > i {
                             scores[i * lk + j] = f32::NEG_INFINITY;
@@ -198,8 +199,8 @@ impl MultiHeadAttention {
                 let p = adagp_tensor::softmax::softmax(&Tensor::from_vec(scores, &[lq, lk]));
                 // Output rows: o_i = sum_j p_ij * v_j.
                 for i in 0..lq {
-                    let orow = &mut out
-                        [((b * lq + i) * d + h * dh)..((b * lq + i) * d + (h + 1) * dh)];
+                    let orow =
+                        &mut out[((b * lq + i) * d + h * dh)..((b * lq + i) * d + (h + 1) * dh)];
                     for j in 0..lk {
                         let pij = p.data()[i * lk + j];
                         if pij == 0.0 {
@@ -263,8 +264,8 @@ impl MultiHeadAttention {
                         dp[i * lk + j] = acc;
                         let pij = p.data()[i * lk + j];
                         if pij != 0.0 {
-                            let dvrow = &mut dv[((b * lk + j) * d + h * dh)
-                                ..((b * lk + j) * d + (h + 1) * dh)];
+                            let dvrow = &mut dv
+                                [((b * lk + j) * d + h * dh)..((b * lk + j) * d + (h + 1) * dh)];
                             for (g, &go) in dvrow.iter_mut().zip(dorow.iter()) {
                                 *g += pij * go;
                             }
@@ -346,7 +347,10 @@ impl FeedForward {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let da = self.fc2.backward(dy);
-        let h = self.pre_gelu.as_ref().expect("FFN::backward before forward");
+        let h = self
+            .pre_gelu
+            .as_ref()
+            .expect("FFN::backward before forward");
         let dh = gelu_backward(h, &da);
         self.fc1.backward(&dh)
     }
@@ -497,8 +501,12 @@ impl Transformer {
             src_embed: Embedding::new(cfg.vocab, cfg.d_model, rng),
             tgt_embed: Embedding::new(cfg.vocab, cfg.d_model, rng),
             pos: positional_encoding(cfg.max_len, cfg.d_model),
-            encoder: (0..cfg.n_enc).map(|i| EncoderLayer::new(&cfg, i, rng)).collect(),
-            decoder: (0..cfg.n_dec).map(|i| DecoderLayer::new(&cfg, i, rng)).collect(),
+            encoder: (0..cfg.n_enc)
+                .map(|i| EncoderLayer::new(&cfg, i, rng))
+                .collect(),
+            decoder: (0..cfg.n_dec)
+                .map(|i| DecoderLayer::new(&cfg, i, rng))
+                .collect(),
             head: Linear::new(cfg.d_model, cfg.vocab, true, rng).with_label("head"),
             cfg,
             batch: 0,
@@ -565,7 +573,10 @@ impl Transformer {
         tgt_in: &[Vec<usize>],
         ctx: &mut ForwardCtx,
     ) -> Tensor {
-        assert!(!src.is_empty() && src.len() == tgt_in.len(), "batch mismatch");
+        assert!(
+            !src.is_empty() && src.len() == tgt_in.len(),
+            "batch mismatch"
+        );
         let (mut h, batch, ls) = self.embed(src, true, ctx.train);
         for layer in &mut self.encoder {
             h = layer.forward(&h, batch, ls, ctx);
@@ -600,7 +611,12 @@ impl Transformer {
     }
 
     /// Greedy autoregressive decode of `max_steps` tokens given `src`.
-    pub fn greedy_decode(&mut self, src: &[Vec<usize>], bos: usize, max_steps: usize) -> Vec<Vec<usize>> {
+    pub fn greedy_decode(
+        &mut self,
+        src: &[Vec<usize>],
+        bos: usize,
+        max_steps: usize,
+    ) -> Vec<Vec<usize>> {
         let batch = src.len();
         let mut outputs: Vec<Vec<usize>> = vec![vec![bos]; batch];
         for _ in 0..max_steps {
@@ -619,10 +635,13 @@ impl Transformer {
                 out_row.push(next);
             }
         }
-        outputs.into_iter().map(|mut o| {
-            o.remove(0);
-            o
-        }).collect()
+        outputs
+            .into_iter()
+            .map(|mut o| {
+                o.remove(0);
+                o
+            })
+            .collect()
     }
 }
 

@@ -39,8 +39,11 @@ pub fn vgg(
     for (stage, (&n_convs, &width)) in stages.iter().zip(widths.iter()).enumerate() {
         for i in 0..n_convs {
             net.push(
-                Conv2d::new(ch, width, 3, 1, 1, true, rng)
-                    .with_label(format!("conv{}_{}", stage + 1, i + 1)),
+                Conv2d::new(ch, width, 3, 1, 1, true, rng).with_label(format!(
+                    "conv{}_{}",
+                    stage + 1,
+                    i + 1
+                )),
             );
             net.push(Relu::new());
             ch = width;

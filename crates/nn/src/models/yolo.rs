@@ -86,8 +86,8 @@ impl YoloHead {
                     let target = if y == cell_y && x == cell_x { 1.0 } else { 0.0 };
                     let weight = if target > 0.5 { 1.0 } else { self.lambda_noobj };
                     let p_c = p.clamp(1e-6, 1.0 - 1e-6);
-                    loss -= weight * (target * p_c.ln() + (1.0 - target) * (1.0 - p_c).ln())
-                        / n_cells;
+                    loss -=
+                        weight * (target * p_c.ln() + (1.0 - target) * (1.0 - p_c).ln()) / n_cells;
                     // d(BCE with sigmoid)/draw = p - target.
                     grad.data_mut()[idx] += weight * (p - target) / n_cells;
                 }
@@ -102,8 +102,7 @@ impl YoloHead {
                 let p = sig(raw.data()[idx]);
                 let diff = p - t;
                 loss += self.lambda_box * diff * diff / b as f32;
-                grad.data_mut()[idx] +=
-                    self.lambda_box * 2.0 * diff * p * (1.0 - p) / b as f32;
+                grad.data_mut()[idx] += self.lambda_box * 2.0 * diff * p * (1.0 - p) / b as f32;
             }
 
             // Classification CE at the responsible cell.
@@ -147,7 +146,9 @@ impl YoloHead {
             let tw = sig(raw.data()[at(2, y, x)]);
             let th = sig(raw.data()[at(3, y, x)]);
             let class = (0..self.classes)
-                .max_by(|&a, &bk| raw.data()[at(5 + a, y, x)].total_cmp(&raw.data()[at(5 + bk, y, x)]))
+                .max_by(|&a, &bk| {
+                    raw.data()[at(5 + a, y, x)].total_cmp(&raw.data()[at(5 + bk, y, x)])
+                })
                 .unwrap_or(0);
             dets.push(Detection {
                 image: bi,

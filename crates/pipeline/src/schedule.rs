@@ -82,7 +82,11 @@ pub fn simulate_gpipe(devices: usize, microbatches: usize, fw: usize, bw: usize)
     let mut free = vec![all_fw_done; devices];
     for m in 0..microbatches {
         for d in (0..devices).rev() {
-            let upstream = if d == devices - 1 { 0 } else { bw_end[d + 1][m] };
+            let upstream = if d == devices - 1 {
+                0
+            } else {
+                bw_end[d + 1][m]
+            };
             let start = upstream.max(free[d]);
             bw_end[d][m] = start + bw;
             free[d] = bw_end[d][m];

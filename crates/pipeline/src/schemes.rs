@@ -69,9 +69,7 @@ impl PipelineScheme {
     pub fn batch_steps(&self, cfg: &PipelineConfig) -> usize {
         let (d, m) = (cfg.devices, cfg.microbatches);
         match self {
-            PipelineScheme::GPipe | PipelineScheme::Dapple => {
-                (d + m - 1) * (cfg.fw + cfg.bw)
-            }
+            PipelineScheme::GPipe | PipelineScheme::Dapple => (d + m - 1) * (cfg.fw + cfg.bw),
             PipelineScheme::Chimera => (d + m.div_ceil(2) - 1) * (cfg.fw + cfg.bw) + cfg.fw,
         }
     }

@@ -139,7 +139,11 @@ fn col2im(
 /// ```
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: &Conv2dParams) -> Tensor {
     assert_eq!(input.ndim(), 4, "conv2d: input must be (N, C, H, W)");
-    assert_eq!(weight.ndim(), 4, "conv2d: weight must be (Cout, Cin, kh, kw)");
+    assert_eq!(
+        weight.ndim(),
+        4,
+        "conv2d: weight must be (Cout, Cin, kh, kw)"
+    );
     let (n, cin, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let (cout, cin_w, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
     assert_eq!(cin, cin_w, "conv2d: channel mismatch");
@@ -200,7 +204,11 @@ pub fn conv2d_backward_data(
     p: &Conv2dParams,
 ) -> Tensor {
     assert_eq!(dy.ndim(), 4, "conv2d_backward_data: dy must be rank-4");
-    assert_eq!(weight.ndim(), 4, "conv2d_backward_data: weight must be rank-4");
+    assert_eq!(
+        weight.ndim(),
+        4,
+        "conv2d_backward_data: weight must be rank-4"
+    );
     let (n, cout, ho, wo) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
     let (cout_w, cin, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
     assert_eq!(cout, cout_w, "conv2d_backward_data: channel mismatch");
@@ -260,7 +268,11 @@ pub fn conv2d_backward_weight(
     kw: usize,
     p: &Conv2dParams,
 ) -> (Tensor, Tensor) {
-    assert_eq!(input.ndim(), 4, "conv2d_backward_weight: input must be rank-4");
+    assert_eq!(
+        input.ndim(),
+        4,
+        "conv2d_backward_weight: input must be rank-4"
+    );
     assert_eq!(dy.ndim(), 4, "conv2d_backward_weight: dy must be rank-4");
     let (n, cin, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let (n2, cout, ho, wo) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));

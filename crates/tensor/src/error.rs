@@ -79,7 +79,11 @@ impl fmt::Display for TensorError {
             TensorError::ShapeMismatch { left, right, op } => {
                 write!(f, "{op}: incompatible shapes {left:?} and {right:?}")
             }
-            TensorError::BadRank { expected, actual, op } => {
+            TensorError::BadRank {
+                expected,
+                actual,
+                op,
+            } => {
                 write!(f, "{op}: expected rank {expected}, got rank {actual}")
             }
         }

@@ -77,11 +77,18 @@ mod tests {
         let fan_in = 64;
         let w = kaiming_normal(&[40_000], fan_in, &mut rng);
         let mean = w.mean();
-        let var = w.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = w
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / w.len() as f32;
         let expected = 2.0 / fan_in as f32;
         assert!(mean.abs() < 0.005, "mean {mean}");
-        assert!((var - expected).abs() / expected < 0.1, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() / expected < 0.1,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

@@ -236,7 +236,13 @@ impl Tensor {
         debug_assert_eq!(idx.len(), self.shape.len());
         let mut off = 0;
         for (i, (&ix, &dim)) in idx.iter().zip(self.shape.iter()).enumerate() {
-            debug_assert!(ix < dim, "index {} out of bounds for axis {} (size {})", ix, i, dim);
+            debug_assert!(
+                ix < dim,
+                "index {} out of bounds for axis {} (size {})",
+                ix,
+                i,
+                dim
+            );
             off = off * dim + ix;
         }
         off

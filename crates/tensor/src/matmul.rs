@@ -26,7 +26,8 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (k2, n) = (other.dim(0), other.dim(1));
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul: inner dimensions disagree ({:?} x {:?})",
             self.shape(),
             other.shape()

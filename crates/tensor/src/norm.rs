@@ -137,7 +137,11 @@ pub fn batchnorm2d_backward(
     cache: &BatchNormCache,
     gamma: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
-    assert_eq!(dy.shape(), cache.x_hat.shape(), "batchnorm2d_backward: shape mismatch");
+    assert_eq!(
+        dy.shape(),
+        cache.x_hat.shape(),
+        "batchnorm2d_backward: shape mismatch"
+    );
     let (n, c, h, w) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
     let per_c = (n * h * w) as f32;
 
@@ -233,7 +237,11 @@ pub fn layernorm_backward(
     cache: &LayerNormCache,
     gamma: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
-    assert_eq!(dy.shape(), cache.x_hat.shape(), "layernorm_backward: shape mismatch");
+    assert_eq!(
+        dy.shape(),
+        cache.x_hat.shape(),
+        "layernorm_backward: shape mismatch"
+    );
     let (r, f) = (dy.dim(0), dy.dim(1));
     let mut dgamma = vec![0.0f32; f];
     let mut dbeta = vec![0.0f32; f];

@@ -31,7 +31,10 @@ pub struct MaxPoolOutput {
 /// ```
 pub fn maxpool2d(input: &Tensor, k: usize, s: usize) -> MaxPoolOutput {
     assert_eq!(input.ndim(), 4, "maxpool2d: input must be (N, C, H, W)");
-    assert!(k > 0 && s > 0, "maxpool2d: kernel and stride must be positive");
+    assert!(
+        k > 0 && s > 0,
+        "maxpool2d: kernel and stride must be positive"
+    );
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let ho = (h.saturating_sub(k)) / s + 1;
     let wo = (w.saturating_sub(k)) / s + 1;
@@ -95,7 +98,10 @@ pub fn maxpool2d_backward(fwd: &MaxPoolOutput, dy: &Tensor, input_shape: &[usize
 /// Panics if `input` is not rank-4 or `k`/`s` are zero.
 pub fn avgpool2d(input: &Tensor, k: usize, s: usize) -> Tensor {
     assert_eq!(input.ndim(), 4, "avgpool2d: input must be (N, C, H, W)");
-    assert!(k > 0 && s > 0, "avgpool2d: kernel and stride must be positive");
+    assert!(
+        k > 0 && s > 0,
+        "avgpool2d: kernel and stride must be positive"
+    );
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let ho = (h.saturating_sub(k)) / s + 1;
     let wo = (w.saturating_sub(k)) / s + 1;
@@ -129,7 +135,11 @@ pub fn avgpool2d(input: &Tensor, k: usize, s: usize) -> Tensor {
 /// Panics if shapes are inconsistent with the forward parameters.
 pub fn avgpool2d_backward(dy: &Tensor, input_shape: &[usize], k: usize, s: usize) -> Tensor {
     assert_eq!(dy.ndim(), 4, "avgpool2d_backward: dy must be rank-4");
-    assert_eq!(input_shape.len(), 4, "avgpool2d_backward: input shape must be rank-4");
+    assert_eq!(
+        input_shape.len(),
+        4,
+        "avgpool2d_backward: input shape must be rank-4"
+    );
     let (n, c, h, w) = (
         input_shape[0],
         input_shape[1],
@@ -209,7 +219,10 @@ pub fn global_avgpool_backward(dy: &Tensor, input_shape: &[usize]) -> Tensor {
 /// Panics if `input` is not rank-4 or a target dimension is zero.
 pub fn adaptive_avgpool(input: &Tensor, out_h: usize, out_w: usize) -> Tensor {
     assert_eq!(input.ndim(), 4, "adaptive_avgpool: input must be rank-4");
-    assert!(out_h > 0 && out_w > 0, "adaptive_avgpool: target size must be positive");
+    assert!(
+        out_h > 0 && out_w > 0,
+        "adaptive_avgpool: target size must be positive"
+    );
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let mut out = vec![0.0f32; n * c * out_h * out_w];
     for ni in 0..n {

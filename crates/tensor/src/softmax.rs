@@ -70,7 +70,11 @@ pub fn log_softmax(logits: &Tensor) -> Tensor {
 ///
 /// Panics if shapes disagree or any target index is out of range.
 pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
-    assert_eq!(logits.ndim(), 2, "cross_entropy: logits must be (n, classes)");
+    assert_eq!(
+        logits.ndim(),
+        2,
+        "cross_entropy: logits must be (n, classes)"
+    );
     let (n, c) = (logits.dim(0), logits.dim(1));
     assert_eq!(n, targets.len(), "cross_entropy: batch size mismatch");
     let probs = softmax(logits);
@@ -78,7 +82,10 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
     let mut grad = probs.clone();
     let inv_n = 1.0 / n as f32;
     for (i, &t) in targets.iter().enumerate() {
-        assert!(t < c, "cross_entropy: target {t} out of range (classes={c})");
+        assert!(
+            t < c,
+            "cross_entropy: target {t} out of range (classes={c})"
+        );
         let p = probs.data()[i * c + t].max(1e-12);
         loss -= p.ln();
         grad.data_mut()[i * c + t] -= 1.0;
@@ -167,7 +174,7 @@ pub fn gelu(x: &Tensor) -> Tensor {
 }
 
 fn gelu_scalar(v: f32) -> f32 {
-    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh())
 }
 
@@ -177,7 +184,7 @@ fn gelu_scalar(v: f32) -> f32 {
 ///
 /// Panics if shapes differ.
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
-    const C: f32 = 0.797_884_56;
+    const C: f32 = 0.797_884_6;
     x.zip_with(dy, |v, g| {
         let inner = C * (v + 0.044715 * v * v * v);
         let t = inner.tanh();
@@ -246,8 +253,8 @@ mod tests {
             lp.data_mut()[i] += eps;
             let mut lm = l.clone();
             lm.data_mut()[i] -= eps;
-            let num = (cross_entropy(&lp, &targets).0 - cross_entropy(&lm, &targets).0)
-                / (2.0 * eps);
+            let num =
+                (cross_entropy(&lp, &targets).0 - cross_entropy(&lm, &targets).0) / (2.0 * eps);
             assert!(
                 (num - grad.data()[i]).abs() < 1e-3,
                 "grad[{i}] numeric {num} vs {}",

@@ -40,7 +40,10 @@ fn main() {
             let (x, y) = dataset.train_batch(b, batch);
             loss += bp.train_batch(&mut bp_model, &mut opt, &x, &y).loss;
         }
-        println!("BP     epoch {epoch}: mean loss {:.3}", loss / batches as f32);
+        println!(
+            "BP     epoch {epoch}: mean loss {:.3}",
+            loss / batches as f32
+        );
     }
     let bp_acc = evaluate_accuracy(&mut bp_model, (0..4).map(|b| dataset.test_batch(b, batch)));
 
@@ -64,7 +67,10 @@ fn main() {
             let (x, y) = dataset.train_batch(b, batch);
             loss += adagp.train_batch(&mut gp_model, &mut opt, &x, &y).loss;
         }
-        println!("ADA-GP epoch {epoch}: mean loss {:.3}", loss / batches as f32);
+        println!(
+            "ADA-GP epoch {epoch}: mean loss {:.3}",
+            loss / batches as f32
+        );
         adagp.controller_mut().end_epoch();
     }
     let gp_acc = evaluate_accuracy(&mut gp_model, (0..4).map(|b| dataset.test_batch(b, batch)));

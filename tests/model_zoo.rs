@@ -43,7 +43,12 @@ fn all_thirteen_models_run_under_adagp() {
             "{}: non-finite loss",
             model_kind.name()
         );
-        assert_ne!(s1.phase, s2.phase, "{}: phases must alternate", model_kind.name());
+        assert_ne!(
+            s1.phase,
+            s2.phase,
+            "{}: phases must alternate",
+            model_kind.name()
+        );
     }
 }
 

@@ -1,8 +1,16 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants of the reproduction.
+//! Property-based tests over the core data structures and invariants of the
+//! reproduction.
+//!
+//! The build environment is offline, so instead of proptest these are
+//! seeded randomized sweeps driven by the workspace's own [`Prng`]: each
+//! property is checked across `CASES` pseudo-random configurations drawn
+//! from the same ranges the original proptest strategies used. Failures are
+//! reproducible from the printed case seed.
 
-use ada_gp::accel::dataflow::{utilization, AcceleratorConfig, Dataflow};
-use ada_gp::accel::designs::{baseline_batch_cycles, bp_batch_cycles, gp_batch_cycles, AdaGpDesign};
+use ada_gp::accel::dataflow::{utilization, Dataflow};
+use ada_gp::accel::designs::{
+    baseline_batch_cycles, bp_batch_cycles, gp_batch_cycles, AdaGpDesign,
+};
 use ada_gp::accel::layer_cost::LayerCost;
 use ada_gp::adagp::controller::{PhaseController, ScheduleConfig};
 use ada_gp::adagp::reorg;
@@ -10,65 +18,92 @@ use ada_gp::nn::models::shapes::LayerShape;
 use ada_gp::nn::{SiteKind, SiteMeta};
 use ada_gp::pipeline::{simulate_gpipe, PipelineConfig, PipelineScheme};
 use ada_gp::tensor::{init, Prng, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Reorganization round-trip: gradient rows -> gradient is lossless
-    /// for arbitrary conv site shapes.
-    #[test]
-    fn reorg_gradient_roundtrip(out_ch in 1usize..16, in_ch in 1usize..8, k in 1usize..4, seed in 0u64..1000) {
+/// Uniform draw from `lo..hi` (half-open, like a proptest range strategy).
+fn draw(rng: &mut Prng, lo: usize, hi: usize) -> usize {
+    lo + rng.below(hi - lo)
+}
+
+/// Runs `body` for `CASES` seeded cases.
+fn cases(mut body: impl FnMut(&mut Prng)) {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xada0_0000 + case);
+        body(&mut rng);
+    }
+}
+
+/// Reorganization round-trip: gradient rows -> gradient is lossless for
+/// arbitrary conv site shapes.
+#[test]
+fn reorg_gradient_roundtrip() {
+    cases(|rng| {
+        let out_ch = draw(rng, 1, 16);
+        let in_ch = draw(rng, 1, 8);
+        let k = draw(rng, 1, 4);
         let meta = SiteMeta {
             kind: SiteKind::Conv2d,
             weight_shape: vec![out_ch, in_ch, k, k],
             label: "p".into(),
         };
-        let mut rng = Prng::seed_from_u64(seed);
-        let grad = init::gaussian(&[out_ch, in_ch, k, k], 0.0, 0.1, &mut rng);
+        let grad = init::gaussian(&[out_ch, in_ch, k, k], 0.0, 0.1, rng);
         let rows = reorg::gradient_rows(&meta, &grad);
         let back = reorg::rows_to_gradient(&meta, &rows);
-        prop_assert_eq!(back, grad);
-    }
+        assert_eq!(back, grad);
+    });
+}
 
-    /// The reorganized predictor input always has `out_ch` rows and one
-    /// channel, regardless of batch and spatial size.
-    #[test]
-    fn reorg_shape_invariant(batch in 1usize..8, out_ch in 1usize..12, hw in 1usize..9, seed in 0u64..1000) {
+/// The reorganized predictor input always has `out_ch` rows and one channel,
+/// regardless of batch and spatial size.
+#[test]
+fn reorg_shape_invariant() {
+    cases(|rng| {
+        let batch = draw(rng, 1, 8);
+        let out_ch = draw(rng, 1, 12);
+        let hw = draw(rng, 1, 9);
         let meta = SiteMeta {
             kind: SiteKind::Conv2d,
             weight_shape: vec![out_ch, 2, 3, 3],
             label: "p".into(),
         };
-        let mut rng = Prng::seed_from_u64(seed);
-        let act = init::gaussian(&[batch, out_ch, hw, hw], 0.0, 1.0, &mut rng);
+        let act = init::gaussian(&[batch, out_ch, hw, hw], 0.0, 1.0, rng);
         let r = reorg::reorganize(&meta, &act);
-        prop_assert_eq!(r.input.shape(), &[out_ch, 1, hw, hw]);
-        prop_assert_eq!(r.row_len, 2 * 9);
-    }
+        assert_eq!(r.input.shape(), &[out_ch, 1, hw, hw]);
+        assert_eq!(r.row_len, 2 * 9);
+    });
+}
 
-    /// Batch-mean reorganization is linear: scaling all activations scales
-    /// the predictor input.
-    #[test]
-    fn reorg_is_linear(scale in 0.1f32..10.0, seed in 0u64..1000) {
+/// Batch-mean reorganization is linear: scaling all activations scales the
+/// predictor input.
+#[test]
+fn reorg_is_linear() {
+    cases(|rng| {
+        let scale = rng.uniform_range(0.1, 10.0);
         let meta = SiteMeta {
             kind: SiteKind::Conv2d,
             weight_shape: vec![4, 2, 3, 3],
             label: "p".into(),
         };
-        let mut rng = Prng::seed_from_u64(seed);
-        let act = init::gaussian(&[3, 4, 5, 5], 0.0, 1.0, &mut rng);
+        let act = init::gaussian(&[3, 4, 5, 5], 0.0, 1.0, rng);
         let r1 = reorg::reorganize(&meta, &act);
         let r2 = reorg::reorganize(&meta, &act.scale(scale));
         let scaled = r1.input.scale(scale);
-        prop_assert!(r2.input.allclose(&scaled, 1e-3 * scale.max(1.0)));
-    }
+        assert!(r2.input.allclose(&scaled, 1e-3 * scale.max(1.0)));
+    });
+}
 
-    /// Phase controller: a full epoch's phases respect the k:m ratio
-    /// exactly over whole cycles.
-    #[test]
-    fn controller_respects_ratio(epoch_offset in 0usize..16, batches in 1usize..100) {
-        let cfg = ScheduleConfig { warmup_epochs: 0, ..Default::default() };
+/// Phase controller: a full epoch's phases respect the k:m ratio exactly
+/// over whole cycles.
+#[test]
+fn controller_respects_ratio() {
+    cases(|rng| {
+        let epoch_offset = draw(rng, 0, 16);
+        let batches = draw(rng, 1, 100);
+        let cfg = ScheduleConfig {
+            warmup_epochs: 0,
+            ..Default::default()
+        };
         let mut c = PhaseController::new(cfg);
         for _ in 0..epoch_offset {
             c.end_epoch();
@@ -84,99 +119,147 @@ proptest! {
         let full_cycles = batches / cycle;
         let rem = batches % cycle;
         let expected_gp = full_cycles * k + rem.min(k);
-        prop_assert_eq!(gp, expected_gp);
-    }
+        assert_eq!(gp, expected_gp);
+    });
+}
 
-    /// Utilization is always within (0, 1] for any dataflow and layer.
-    #[test]
-    fn utilization_bounds(in_ch in 1usize..512, out_ch in 1usize..512, k in 1usize..8, out in 1usize..64) {
+/// Utilization is always within (0, 1] for any dataflow and layer.
+#[test]
+fn utilization_bounds() {
+    cases(|rng| {
+        let in_ch = draw(rng, 1, 512);
+        let out_ch = draw(rng, 1, 512);
+        let k = draw(rng, 1, 8);
+        let out = draw(rng, 1, 64);
         let layer = LayerShape::conv("l", in_ch, out_ch, k, out);
-        for df in [Dataflow::WeightStationary, Dataflow::OutputStationary, Dataflow::InputStationary, Dataflow::RowStationary] {
+        for df in [
+            Dataflow::WeightStationary,
+            Dataflow::OutputStationary,
+            Dataflow::InputStationary,
+            Dataflow::RowStationary,
+        ] {
             let u = utilization(df, &layer, 180);
-            prop_assert!(u > 0.0 && u <= 1.0, "{:?}: {}", df, u);
+            assert!(u > 0.0 && u <= 1.0, "{:?}: {}", df, u);
         }
-    }
+    });
+}
 
-    /// For any cost vector: GP < baseline <= BP, and the design ordering
-    /// MAX <= Efficient <= LOW holds in GP.
-    #[test]
-    fn design_cycle_ordering(costs in prop::collection::vec((1u64..100_000, 1u64..1_000), 1..20)) {
-        let costs: Vec<LayerCost> = costs
-            .into_iter()
-            .map(|(fw, alpha)| LayerCost { fw, bw: 2 * fw, alpha })
+/// For any cost vector: GP < baseline <= BP, and the design ordering
+/// MAX <= Efficient <= LOW holds in GP.
+#[test]
+fn design_cycle_ordering() {
+    cases(|rng| {
+        let n = draw(rng, 1, 20);
+        let costs: Vec<LayerCost> = (0..n)
+            .map(|_| {
+                let fw = 1 + rng.below(100_000) as u64;
+                let alpha = 1 + rng.below(1_000) as u64;
+                LayerCost {
+                    fw,
+                    bw: 2 * fw,
+                    alpha,
+                }
+            })
             .collect();
         let b = baseline_batch_cycles(&costs);
         for d in AdaGpDesign::all() {
-            prop_assert!(bp_batch_cycles(d, &costs) >= b);
+            assert!(bp_batch_cycles(d, &costs) >= b);
         }
         let max = gp_batch_cycles(AdaGpDesign::Max, &costs);
         let eff = gp_batch_cycles(AdaGpDesign::Efficient, &costs);
         let low = gp_batch_cycles(AdaGpDesign::Low, &costs);
-        prop_assert!(max <= eff && eff <= low);
-        prop_assert!(eff < b, "GP must beat the baseline when alpha < fw");
-    }
+        assert!(max <= eff && eff <= low);
+        assert!(eff < b, "GP must beat the baseline when alpha < fw");
+    });
+}
 
-    /// GPipe simulation: makespan matches the closed form and all work is
-    /// scheduled, for arbitrary device/micro-batch counts.
-    #[test]
-    fn gpipe_simulation_consistent(d in 1usize..8, m in 1usize..8, fw in 1usize..3, bw in 1usize..4) {
+/// GPipe simulation: makespan matches the closed form and all work is
+/// scheduled, for arbitrary device/micro-batch counts.
+#[test]
+fn gpipe_simulation_consistent() {
+    cases(|rng| {
+        let d = draw(rng, 1, 8);
+        let m = draw(rng, 1, 8);
+        let fw = draw(rng, 1, 3);
+        let bw = draw(rng, 1, 4);
         let g = simulate_gpipe(d, m, fw, bw);
-        prop_assert_eq!(g.makespan(), (d + m - 1) * fw + (d + m - 1) * bw);
-        let busy: usize = g.grid.iter().flat_map(|r| r.iter()).filter(|s| **s != ada_gp::pipeline::SlotKind::Idle).count();
-        prop_assert_eq!(busy, d * m * (fw + bw));
-    }
+        assert_eq!(g.makespan(), (d + m - 1) * fw + (d + m - 1) * bw);
+        let busy: usize = g
+            .grid
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|s| **s != ada_gp::pipeline::SlotKind::Idle)
+            .count();
+        assert_eq!(busy, d * m * (fw + bw));
+    });
+}
 
-    /// ADA-GP pipeline speed-up is bounded by (2·batch)/(batch + M·fw) and
-    /// decreases monotonically with the predictor latency.
-    #[test]
-    fn pipeline_speedup_bounds(alpha in 0.0f64..0.5) {
+/// ADA-GP pipeline speed-up is bounded by (2·batch)/(batch + M·fw) and
+/// decreases monotonically with the predictor latency.
+#[test]
+fn pipeline_speedup_bounds() {
+    cases(|rng| {
+        let alpha = rng.uniform_range(0.0, 0.5) as f64;
         let cfg = PipelineConfig::default();
         for scheme in PipelineScheme::all() {
             let s = scheme.adagp_speedup(&cfg, alpha);
-            let ceiling = 2.0 * scheme.batch_steps(&cfg) as f64 / scheme.adagp_pair_steps(&cfg) as f64;
-            prop_assert!(s > 1.0, "{}: {}", scheme.name(), s);
-            prop_assert!(s <= ceiling + 1e-12);
+            let ceiling =
+                2.0 * scheme.batch_steps(&cfg) as f64 / scheme.adagp_pair_steps(&cfg) as f64;
+            assert!(s > 1.0, "{}: {}", scheme.name(), s);
+            assert!(s <= ceiling + 1e-12);
         }
-    }
+    });
+}
 
-    /// Tensor elementwise algebra: (a + b) - b == a within float tolerance.
-    #[test]
-    fn tensor_add_sub_inverse(len in 1usize..64, seed in 0u64..1000) {
-        let mut rng = Prng::seed_from_u64(seed);
-        let a = init::gaussian(&[len], 0.0, 10.0, &mut rng);
-        let b = init::gaussian(&[len], 0.0, 10.0, &mut rng);
+/// Tensor elementwise algebra: (a + b) - b == a within float tolerance.
+#[test]
+fn tensor_add_sub_inverse() {
+    cases(|rng| {
+        let len = draw(rng, 1, 64);
+        let a = init::gaussian(&[len], 0.0, 10.0, rng);
+        let b = init::gaussian(&[len], 0.0, 10.0, rng);
         let roundtrip = a.add(&b).sub(&b);
-        prop_assert!(roundtrip.allclose(&a, 1e-3));
-    }
+        assert!(roundtrip.allclose(&a, 1e-3));
+    });
+}
 
-    /// Softmax output is a probability distribution for any logits.
-    #[test]
-    fn softmax_is_distribution(rows in 1usize..6, cols in 1usize..10, seed in 0u64..1000) {
-        let mut rng = Prng::seed_from_u64(seed);
-        let logits = init::gaussian(&[rows, cols], 0.0, 5.0, &mut rng);
+/// Softmax output is a probability distribution for any logits.
+#[test]
+fn softmax_is_distribution() {
+    cases(|rng| {
+        let rows = draw(rng, 1, 6);
+        let cols = draw(rng, 1, 10);
+        let logits = init::gaussian(&[rows, cols], 0.0, 5.0, rng);
         let p = ada_gp::tensor::softmax::softmax(&logits);
         for i in 0..rows {
             let s: f32 = p.data()[i * cols..(i + 1) * cols].iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-4);
+            assert!((s - 1.0).abs() < 1e-4);
         }
-        prop_assert!(p.min() >= 0.0);
-    }
+        assert!(p.min() >= 0.0);
+    });
+}
 
-    /// Conv output shape formula holds for arbitrary parameters.
-    #[test]
-    fn conv_shape_formula(
-        n in 1usize..3, cin in 1usize..4, cout in 1usize..4,
-        hw in 3usize..10, k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
-    ) {
-        prop_assume!(hw + 2 * pad >= k);
-        let mut rng = Prng::seed_from_u64(0);
-        let x = init::gaussian(&[n, cin, hw, hw], 0.0, 1.0, &mut rng);
-        let w = init::gaussian(&[cout, cin, k, k], 0.0, 1.0, &mut rng);
+/// Conv output shape formula holds for arbitrary parameters.
+#[test]
+fn conv_shape_formula() {
+    cases(|rng| {
+        let n = draw(rng, 1, 3);
+        let cin = draw(rng, 1, 4);
+        let cout = draw(rng, 1, 4);
+        let hw = draw(rng, 3, 10);
+        let k = draw(rng, 1, 4);
+        let stride = draw(rng, 1, 3);
+        let pad = draw(rng, 0, 2);
+        if hw + 2 * pad < k {
+            return; // proptest's prop_assume! equivalent
+        }
+        let x = init::gaussian(&[n, cin, hw, hw], 0.0, 1.0, rng);
+        let w = init::gaussian(&[cout, cin, k, k], 0.0, 1.0, rng);
         let p = ada_gp::tensor::conv::Conv2dParams::new(stride, pad);
         let y = ada_gp::tensor::conv::conv2d(&x, &w, None, &p);
         let expected = (hw + 2 * pad - k) / stride + 1;
-        prop_assert_eq!(y.shape(), &[n, cout, expected, expected]);
-    }
+        assert_eq!(y.shape(), &[n, cout, expected, expected]);
+    });
 }
 
 /// Non-proptest sanity: Tensor equality/cloning semantics.

@@ -1,0 +1,33 @@
+//! Smoke test that the documented entry point — `cargo run --release
+//! --example quickstart` — builds and runs to completion, so the README's
+//! first command can never silently rot.
+//!
+//! The test shells out to the same `cargo` that is running the test suite
+//! and reuses its target directory, so after a tier-1 `cargo build
+//! --release` the example is an incremental rebuild, not a cold one.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs_to_completion() {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["run", "--release", "--example", "quickstart"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn cargo");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    // The example ends by reporting its phase statistics; their presence
+    // means the full warm-up -> BP/GP training loop actually ran.
+    assert!(
+        stdout.contains("phase counts:"),
+        "quickstart did not reach its final report\nstdout:\n{stdout}"
+    );
+}

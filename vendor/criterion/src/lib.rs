@@ -1,0 +1,171 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset used by `crates/bench/benches/*`: benchmark groups
+//! with a configurable sample count, `bench_function` with a
+//! [`Bencher::iter`] closure, and the `criterion_group!`/`criterion_main!`
+//! macros. Timing is a simple median-of-samples over an adaptively chosen
+//! iteration count — good enough for relative comparisons, with none of
+//! real criterion's statistics.
+//!
+//! Like the real crate, measurement only happens when the binary is passed
+//! `--bench` (which `cargo bench` does); under `cargo test` each benchmark
+//! body runs exactly once so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; anything else (notably `cargo
+        // test`, which passes `--test` or nothing) gets the fast run-once
+        // mode, matching real criterion's behavior.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = !args.iter().any(|a| a == "--bench");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            test_mode: self.test_mode,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample count.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures `f` and prints a `group/name: median ns/iter` line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = if self.name.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        if self.test_mode {
+            let mut b = Bencher { mode: Mode::Once };
+            f(&mut b);
+            println!("test {label} ... ok (ran once)");
+            return self;
+        }
+        let mut b = Bencher {
+            mode: Mode::Measure {
+                samples: self.sample_size,
+                results: Vec::with_capacity(self.sample_size),
+            },
+        };
+        f(&mut b);
+        if let Mode::Measure { results, .. } = &mut b.mode {
+            results.sort();
+            let median = results.get(results.len() / 2).copied().unwrap_or(0);
+            println!(
+                "{label:<40} median {median:>12} ns/iter ({} samples)",
+                results.len()
+            );
+        }
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    /// `cargo test` pass: execute the body a single time, no timing.
+    Once,
+    Measure {
+        samples: usize,
+        /// Median per-iteration nanoseconds of each sample.
+        results: Vec<u128>,
+    },
+}
+
+/// Timing harness passed to the benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match &mut self.mode {
+            Mode::Once => {
+                std::hint::black_box(routine());
+            }
+            Mode::Measure { samples, results } => {
+                // Warm up and size the batch so one sample ≈ SAMPLE_TARGET.
+                let t0 = Instant::now();
+                std::hint::black_box(routine());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+                for _ in 0..*samples {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(routine());
+                    }
+                    results.push(t.elapsed().as_nanos() / iters as u128);
+                }
+            }
+        }
+    }
+}
+
+/// Declares `fn $name()` that runs each benchmark function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `fn main()` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

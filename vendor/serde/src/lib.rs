@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros from `serde_derive` and provides
+//! blanket-implemented `Serialize`/`Deserialize` marker traits so generic
+//! bounds written against serde still compile. No actual serialization is
+//! performed anywhere in the workspace yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

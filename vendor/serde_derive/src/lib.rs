@@ -1,0 +1,22 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace annotates config/result structs with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for real serde, but
+//! nothing in the tree actually serializes them yet and the build
+//! environment is offline. These derives therefore expand to nothing; the
+//! companion `vendor/serde` crate provides blanket trait impls so any
+//! `T: Serialize` bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` annotation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` annotation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
