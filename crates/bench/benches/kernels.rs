@@ -1,4 +1,9 @@
 //! Micro-benchmarks of the tensor kernels that dominate training time.
+//!
+//! The kernels run on the shared `adagp_runtime` pool; set `ADAGP_THREADS`
+//! to compare thread counts (`ADAGP_THREADS=1` is the scalar baseline, and
+//! results are bit-identical at every setting). The `*_large` shapes are
+//! the speed-up acceptance benchmarks for the parallel kernels.
 
 use adagp_tensor::conv::{conv2d, conv2d_backward_data, conv2d_backward_weight, Conv2dParams};
 use adagp_tensor::norm::batchnorm2d_forward;
@@ -36,6 +41,32 @@ fn bench_kernels(c: &mut Criterion) {
     let beta = Tensor::zeros(&[16]);
     g.bench_function("batchnorm_fw", |b| {
         b.iter(|| batchnorm2d_forward(black_box(&x), &gamma, &beta, 1e-5))
+    });
+
+    // Large shapes: the parallel-kernel acceptance benchmarks.
+    let xl = init::gaussian(&[8, 32, 32, 32], 0.0, 1.0, &mut rng);
+    let wl = init::gaussian(&[64, 32, 3, 3], 0.0, 0.1, &mut rng);
+    let yl = conv2d(&xl, &wl, None, &p);
+    g.bench_function("conv2d_fw_large", |b| {
+        b.iter(|| conv2d(black_box(&xl), black_box(&wl), None, &p))
+    });
+    g.bench_function("conv2d_bw_data_large", |b| {
+        b.iter(|| conv2d_backward_data(black_box(&yl), black_box(&wl), 32, 32, &p))
+    });
+    g.bench_function("conv2d_bw_weight_large", |b| {
+        b.iter(|| conv2d_backward_weight(black_box(&xl), black_box(&yl), 3, 3, &p))
+    });
+
+    let al = init::gaussian(&[256, 256], 0.0, 1.0, &mut rng);
+    let bl = init::gaussian(&[256, 256], 0.0, 1.0, &mut rng);
+    g.bench_function("matmul_large_256", |b| {
+        b.iter(|| black_box(&al).matmul(black_box(&bl)))
+    });
+
+    let gl = Tensor::ones(&[32]);
+    let betal = Tensor::zeros(&[32]);
+    g.bench_function("batchnorm_fw_large", |b| {
+        b.iter(|| batchnorm2d_forward(black_box(&xl), &gl, &betal, 1e-5))
     });
     g.finish();
 }

@@ -1,9 +1,11 @@
 //! Figure 17: ADA-GP speed-up over the Weight-Stationary baseline for all
 //! models × datasets × designs.
+//!
+//! Pass `--csv <path>` to also emit the rows as machine-readable CSV.
 
 use adagp_accel::Dataflow;
-use adagp_bench::speedup_tables::print_speedup_figure;
+use adagp_bench::speedup_tables::run_speedup_figure;
 
 fn main() {
-    print_speedup_figure("Figure 17", Dataflow::WeightStationary);
+    run_speedup_figure("Figure 17", Dataflow::WeightStationary);
 }

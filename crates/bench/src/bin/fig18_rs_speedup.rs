@@ -1,8 +1,10 @@
 //! Figure 18: ADA-GP speed-up over the Row-Stationary baseline.
+//!
+//! Pass `--csv <path>` to also emit the rows as machine-readable CSV.
 
 use adagp_accel::Dataflow;
-use adagp_bench::speedup_tables::print_speedup_figure;
+use adagp_bench::speedup_tables::run_speedup_figure;
 
 fn main() {
-    print_speedup_figure("Figure 18", Dataflow::RowStationary);
+    run_speedup_figure("Figure 18", Dataflow::RowStationary);
 }

@@ -1,4 +1,7 @@
-//! Plain-text table rendering for the harness binaries.
+//! Plain-text table rendering and CSV emission for the harness binaries.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// Renders a table with a header row and aligned columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
@@ -32,6 +35,59 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
     out
 }
 
+/// Writes a header plus rows as RFC-4180-ish CSV (fields containing a
+/// comma, quote or newline are quoted; quotes are doubled).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    let escape = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "{}",
+        header
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
+    for row in rows {
+        writeln!(
+            f,
+            "{}",
+            row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses `--csv <path>` from the process arguments (the machine-readable
+/// output flag shared by the fig17–19 binaries).
+///
+/// # Panics
+///
+/// Panics with a usage message if `--csv` is present without a path.
+pub fn csv_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--csv" {
+            let path = args
+                .next()
+                .unwrap_or_else(|| panic!("--csv requires a path argument (usage: --csv <path>)"));
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
 /// Formats an `f64` with 2 decimal places.
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")
@@ -63,5 +119,25 @@ mod tests {
     fn columns_align() {
         let t = render_table("x", &["a"], &[vec!["longvalue".into()]]);
         assert!(t.contains("longvalue"));
+    }
+
+    #[test]
+    fn csv_roundtrip_with_escaping() {
+        let path = std::env::temp_dir().join(format!("adagp-csv-{}.csv", std::process::id()));
+        write_csv(
+            &path,
+            &["model", "note"],
+            &[
+                vec!["VGG13".into(), "plain".into()],
+                vec!["Res,Net".into(), "has \"quotes\"".into()],
+            ],
+        )
+        .unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            got,
+            "model,note\nVGG13,plain\n\"Res,Net\",\"has \"\"quotes\"\"\"\n"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -201,6 +201,53 @@ pub fn print_speedup_figure(figure: &str, df: Dataflow) {
     }
 }
 
+/// CSV header shared by the fig17–19 speed-up exports.
+pub const SPEEDUP_CSV_HEADER: [&str; 6] = [
+    "dataflow",
+    "dataset",
+    "model",
+    "adagp_low",
+    "adagp_efficient",
+    "adagp_max",
+];
+
+/// Machine-readable rows for one of Figures 17–19: every dataset panel
+/// flattened into `(dataflow, dataset, model, low, efficient, max)`
+/// records — the format the future sweep driver diffs across PRs.
+pub fn speedup_figure_csv_rows(df: Dataflow) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for dataset in DatasetScale::all() {
+        for r in speedup_rows(df, dataset) {
+            rows.push(vec![
+                df.name().to_string(),
+                dataset.name().to_string(),
+                r.model.clone(),
+                format!("{:.6}", r.low),
+                format!("{:.6}", r.efficient),
+                format!("{:.6}", r.max),
+            ]);
+        }
+    }
+    rows
+}
+
+/// Shared driver for the fig17–19 binaries: prints the pretty tables and,
+/// when `--csv <path>` was passed on the command line, writes the same
+/// data as CSV next to them.
+pub fn run_speedup_figure(figure: &str, df: Dataflow) {
+    print_speedup_figure(figure, df);
+    if let Some(path) = crate::report::csv_path_from_args() {
+        let rows = speedup_figure_csv_rows(df);
+        match crate::report::write_csv(&path, &SPEEDUP_CSV_HEADER, &rows) {
+            Ok(()) => println!("wrote {} rows to {}", rows.len(), path.display()),
+            Err(e) => {
+                eprintln!("failed to write CSV to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Paper-scale layer shapes of the Table 2 Transformer (3 encoder + 3
 /// decoder layers, d_model 512, FFN 2048, sequence length 32). Per-token
 /// linear layers are encoded as 1×1 convs over the sequence axis, which
@@ -297,6 +344,22 @@ mod tests {
         let c = speedup_rows(Dataflow::WeightStationary, DatasetScale::Cifar10);
         let i = speedup_rows(Dataflow::WeightStationary, DatasetScale::ImageNet);
         assert!(i.last().unwrap().max >= c.last().unwrap().max - 0.02);
+    }
+
+    #[test]
+    fn csv_rows_flatten_every_dataset_panel() {
+        let rows = speedup_figure_csv_rows(Dataflow::WeightStationary);
+        // 3 datasets × (13 models + geomean).
+        assert_eq!(rows.len(), 3 * 14);
+        assert!(rows.iter().all(|r| r.len() == SPEEDUP_CSV_HEADER.len()));
+        let df_name = Dataflow::WeightStationary.name();
+        assert!(rows.iter().all(|r| r[0] == df_name), "dataflow column");
+        // Numeric columns parse back.
+        for r in &rows {
+            for v in &r[3..6] {
+                v.parse::<f64>().expect("numeric CSV cell");
+            }
+        }
     }
 
     #[test]

@@ -52,4 +52,4 @@ pub use controller::{Phase, PhaseController, ScheduleConfig};
 pub use dni::DniTrainer;
 pub use metrics::{GradientErrors, PredictorMetrics};
 pub use predictor::{Predictor, PredictorConfig};
-pub use trainer::{AdaGp, AdaGpConfig, BaselineTrainer, BatchStats};
+pub use trainer::{AdaGp, AdaGpConfig, BaselineTrainer, BatchStats, PipelinedEpochReport};

@@ -8,6 +8,11 @@
 //!   writes predicted gradients into each site's weight parameter →
 //!   optimizer step. **No backward pass runs** — this is where the
 //!   hardware speed-up comes from.
+//!
+//! [`AdaGp::train_epoch_pipelined`] realizes the paper's overlap at batch
+//! granularity: batch generation, the model's forward/backward work and
+//! the predictor's training updates run on three concurrent stages joined
+//! by bounded queues, while staying bit-identical to the serial loop.
 
 use crate::controller::{Phase, PhaseController, ScheduleConfig};
 use crate::metrics::{gradient_errors, GradientErrors, PredictorMetrics};
@@ -15,8 +20,10 @@ use crate::predictor::{Predictor, PredictorConfig};
 use adagp_nn::module::{site_metas, ForwardCtx, Module};
 use adagp_nn::optim::Optimizer;
 use adagp_nn::SiteMeta;
+use adagp_runtime::{BoundedQueue, PipelineStats, StageReport, WaitGroup};
 use adagp_tensor::softmax::cross_entropy;
 use adagp_tensor::{Prng, Tensor};
+use std::sync::Mutex;
 
 /// ADA-GP configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -204,18 +211,14 @@ impl AdaGp {
             let meta = site.meta();
             if let Some(act) = site.take_activation() {
                 let true_grad = site.weight_param().grad.clone();
-                let norm = true_grad.norm();
-                norm_ema[site_idx] = Some(match norm_ema[site_idx] {
-                    Some(prev) => decay * prev + (1.0 - decay) * norm,
-                    None => norm,
-                });
-                if track {
-                    let predicted = predictor.predict_gradient(&meta, &act);
-                    let e: GradientErrors = gradient_errors(&predicted, &true_grad, eps);
-                    metrics.record(site_idx, e);
-                    mapes.push(e.mape);
+                update_norm_ema(&mut norm_ema[site_idx], decay, true_grad.norm());
+                let (loss, mape) = train_predictor_on_example(
+                    predictor, metrics, track, eps, site_idx, &meta, &act, &true_grad,
+                );
+                if let Some(m) = mape {
+                    mapes.push(m);
                 }
-                losses.push(predictor.train_step(&meta, &act, &true_grad));
+                losses.push(loss);
             }
             site_idx += 1;
         });
@@ -236,34 +239,362 @@ impl AdaGp {
     /// parameter. Call after a recording forward pass, then run the
     /// optimizer step; no backward pass is needed.
     pub fn apply_predicted_gradients(&mut self, model: &mut dyn Module) {
-        let predictor = &mut self.predictor;
-        let norm_ema = &self.grad_norm_ema;
-        let calibrate = self.cfg.norm_calibration;
-        let mut site_idx = 0usize;
-        model.visit_sites(&mut |site| {
-            let meta = site.meta();
-            if let Some(act) = site.take_activation() {
-                let mut grad = predictor.predict_gradient(&meta, &act);
-                if calibrate {
-                    if let Some(target_norm) = norm_ema[site_idx] {
-                        let norm = grad.norm();
-                        if norm > 1e-12 {
-                            // Shrink freely toward the observed true-norm
-                            // scale, but amplify by at most 2x: an
-                            // undertrained predictor (near-zero head) must
-                            // not have its noise inflated to full gradient
-                            // magnitude.
-                            let factor = (target_norm / norm).min(2.0);
-                            grad.scale_in_place(factor);
-                        }
+        apply_predicted_gradients_with(
+            &mut self.predictor,
+            &self.grad_norm_ema,
+            self.cfg.norm_calibration,
+            model,
+        );
+    }
+}
+
+/// Folds one observed true-gradient norm into a site's EMA.
+fn update_norm_ema(ema: &mut Option<f32>, decay: f32, norm: f32) {
+    *ema = Some(match *ema {
+        Some(prev) => decay * prev + (1.0 - decay) * norm,
+        None => norm,
+    });
+}
+
+/// One site's Phase-BP predictor work: optional metrics pass, then a
+/// training step. Shared by the serial loop and the pipelined predictor
+/// stage so both touch the predictor in exactly the same order.
+#[allow(clippy::too_many_arguments)]
+fn train_predictor_on_example(
+    predictor: &mut Predictor,
+    metrics: &mut PredictorMetrics,
+    track: bool,
+    eps: f32,
+    site_idx: usize,
+    meta: &SiteMeta,
+    act: &Tensor,
+    true_grad: &Tensor,
+) -> (f32, Option<f32>) {
+    let mut mape = None;
+    if track {
+        let predicted = predictor.predict_gradient(meta, act);
+        let e: GradientErrors = gradient_errors(&predicted, true_grad, eps);
+        metrics.record(site_idx, e);
+        mape = Some(e.mape);
+    }
+    (predictor.train_step(meta, act, true_grad), mape)
+}
+
+/// Phase-GP core: predicts, (optionally) norm-calibrates and installs a
+/// gradient for every recorded site.
+fn apply_predicted_gradients_with(
+    predictor: &mut Predictor,
+    norm_ema: &[Option<f32>],
+    calibrate: bool,
+    model: &mut dyn Module,
+) {
+    let mut site_idx = 0usize;
+    model.visit_sites(&mut |site| {
+        let meta = site.meta();
+        if let Some(act) = site.take_activation() {
+            let mut grad = predictor.predict_gradient(&meta, &act);
+            if calibrate {
+                if let Some(target_norm) = norm_ema[site_idx] {
+                    let norm = grad.norm();
+                    if norm > 1e-12 {
+                        // Shrink freely toward the observed true-norm
+                        // scale, but amplify by at most 2x: an
+                        // undertrained predictor (near-zero head) must
+                        // not have its noise inflated to full gradient
+                        // magnitude.
+                        let factor = (target_norm / norm).min(2.0);
+                        grad.scale_in_place(factor);
                     }
                 }
-                let w = site.weight_param();
-                w.zero_grad();
-                w.accumulate_grad(&grad);
             }
-            site_idx += 1;
+            let w = site.weight_param();
+            w.zero_grad();
+            w.accumulate_grad(&grad);
+        }
+        site_idx += 1;
+    });
+}
+
+/// One site's `(activation, true gradient)` pair queued for the pipelined
+/// predictor stage.
+struct PredictorExample {
+    site_idx: usize,
+    meta: SiteMeta,
+    act: Tensor,
+    true_grad: Tensor,
+}
+
+/// All predictor work produced by one Phase-BP batch.
+struct PredictorJob {
+    batch: usize,
+    examples: Vec<PredictorExample>,
+}
+
+/// Outcome of [`AdaGp::train_epoch_pipelined`]: per-batch stats plus
+/// per-stage busy/idle utilization counters.
+#[derive(Debug, Clone)]
+pub struct PipelinedEpochReport {
+    /// Per-batch statistics in batch order. BP batches carry the predictor
+    /// loss/MAPE computed by the (asynchronous) predictor stage.
+    pub batches: Vec<BatchStats>,
+    /// Busy/idle counters for the `datagen`, `train` and `predictor`
+    /// stages.
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelinedEpochReport {
+    /// Mean task loss across the epoch.
+    pub fn mean_loss(&self) -> f32 {
+        if self.batches.is_empty() {
+            0.0
+        } else {
+            self.batches.iter().map(|b| b.loss).sum::<f32>() / self.batches.len() as f32
+        }
+    }
+}
+
+impl AdaGp {
+    /// Trains one epoch with the batch pipeline of §3.4 realized at batch
+    /// granularity: three stages — data generation, the model's
+    /// forward/backward + optimizer work, and predictor training — run on
+    /// separate threads joined by bounded queues ([`BoundedQueue`]).
+    ///
+    /// `gen(b)` must be a pure function of the batch index (the synthetic
+    /// datasets in `adagp_nn::data` qualify), because it runs on the
+    /// producer thread.
+    ///
+    /// **Determinism:** predictor updates are applied in batch order by a
+    /// single worker, and every Phase-GP read of the predictor first drains
+    /// the update queue (a [`WaitGroup`] flush barrier). The trained model,
+    /// predictor, metrics and norm EMAs are therefore *bit-identical* to
+    /// running [`AdaGp::train_batch`] serially over the same batches — the
+    /// overlap buys wall-clock time, not different math. When the schedule's
+    /// `mape_guard` is active (and metrics are tracked), the queue is also
+    /// drained before each phase decision so the guard sees exactly the
+    /// MAPEs the serial loop would.
+    ///
+    /// Call [`PhaseController::end_epoch`] afterwards, as with the serial
+    /// loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth == 0`.
+    pub fn train_epoch_pipelined<G>(
+        &mut self,
+        model: &mut dyn Module,
+        opt: &mut dyn Optimizer,
+        batches: usize,
+        queue_depth: usize,
+        gen: G,
+    ) -> PipelinedEpochReport
+    where
+        G: Fn(usize) -> (Tensor, Vec<usize>) + Sync,
+    {
+        assert!(queue_depth > 0, "queue_depth must be positive");
+        let AdaGp {
+            cfg,
+            predictor,
+            controller,
+            metrics,
+            sites: _,
+            grad_norm_ema,
+        } = self;
+        let track = cfg.track_metrics;
+        let eps = cfg.mape_eps;
+        let decay = cfg.norm_ema_decay;
+        let calibrate = cfg.norm_calibration;
+        // With the reactive guard on, phase decisions depend on the
+        // predictor stage's MAPEs, so parity with the serial loop requires
+        // draining the stage before every decision.
+        let flush_every_batch = cfg.schedule.mape_guard.is_some() && track;
+
+        let stats = PipelineStats::new(&["datagen", "train", "predictor"]);
+        let batch_queue: BoundedQueue<(usize, Tensor, Vec<usize>)> = BoundedQueue::new(queue_depth);
+        let pred_queue: BoundedQueue<PredictorJob> = BoundedQueue::new(queue_depth);
+        let pending = WaitGroup::new();
+        let predictor_cell = Mutex::new(predictor);
+        let metrics_cell = Mutex::new(metrics);
+        // (batch, mean predictor loss, mean MAPE) per BP batch, pushed by
+        // the predictor stage as jobs complete.
+        let bp_outcomes: Mutex<Vec<(usize, f32, Option<f32>)>> = Mutex::new(Vec::new());
+        let mut out: Vec<(usize, BatchStats)> = Vec::with_capacity(batches);
+
+        std::thread::scope(|s| {
+            // Stage 0: batch generation.
+            s.spawn(|| {
+                for b in 0..batches {
+                    let (x, y) = stats.stage(0).busy(|| gen(b));
+                    if stats.stage(0).idle(|| batch_queue.push((b, x, y))).is_err() {
+                        break;
+                    }
+                }
+                batch_queue.close();
+            });
+
+            // Stage 2: predictor training (single worker => batch order).
+            s.spawn(|| {
+                while let Some(job) = stats.stage(2).idle(|| pred_queue.pop()) {
+                    stats.stage(2).busy(|| {
+                        let mut predictor = predictor_cell.lock().unwrap();
+                        let mut metrics = metrics_cell.lock().unwrap();
+                        let mut losses = Vec::with_capacity(job.examples.len());
+                        let mut mapes = Vec::new();
+                        for ex in &job.examples {
+                            let (loss, mape) = train_predictor_on_example(
+                                &mut predictor,
+                                &mut metrics,
+                                track,
+                                eps,
+                                ex.site_idx,
+                                &ex.meta,
+                                &ex.act,
+                                &ex.true_grad,
+                            );
+                            if let Some(m) = mape {
+                                mapes.push(m);
+                            }
+                            losses.push(loss);
+                        }
+                        let mean_loss = if losses.is_empty() {
+                            0.0
+                        } else {
+                            losses.iter().sum::<f32>() / losses.len() as f32
+                        };
+                        let mean_mape = if mapes.is_empty() {
+                            None
+                        } else {
+                            Some(mapes.iter().sum::<f32>() / mapes.len() as f32)
+                        };
+                        bp_outcomes
+                            .lock()
+                            .unwrap()
+                            .push((job.batch, mean_loss, mean_mape));
+                    });
+                    pending.done();
+                }
+            });
+
+            // Stage 1: the training loop (this thread).
+            for _ in 0..batches {
+                let Some((b, x, y)) = stats.stage(1).idle(|| batch_queue.pop()) else {
+                    break;
+                };
+                if flush_every_batch {
+                    stats.stage(1).idle(|| pending.wait());
+                    report_latest_mape(controller, &bp_outcomes);
+                }
+                let phase = controller.next_phase();
+                let batch_stats = match phase {
+                    Phase::WarmUp | Phase::BP => stats.stage(1).busy(|| {
+                        let logits = model.forward(&x, &mut ForwardCtx::train_recording());
+                        let (loss, dlogits) = cross_entropy(&logits, &y);
+                        model.backward(&dlogits);
+                        // Harvest (activation, true gradient) pairs and EMAs
+                        // on this thread (batch order), then hand the
+                        // predictor work to stage 2.
+                        let mut examples = Vec::new();
+                        let mut site_idx = 0usize;
+                        model.visit_sites(&mut |site| {
+                            let meta = site.meta();
+                            if let Some(act) = site.take_activation() {
+                                let true_grad = site.weight_param().grad.clone();
+                                update_norm_ema(
+                                    &mut grad_norm_ema[site_idx],
+                                    decay,
+                                    true_grad.norm(),
+                                );
+                                examples.push(PredictorExample {
+                                    site_idx,
+                                    meta,
+                                    act,
+                                    true_grad,
+                                });
+                            }
+                            site_idx += 1;
+                        });
+                        pending.add(1);
+                        if pred_queue
+                            .push(PredictorJob { batch: b, examples })
+                            .is_err()
+                        {
+                            pending.done();
+                        }
+                        opt.step(model);
+                        BatchStats {
+                            phase,
+                            loss,
+                            predictor_loss: None, // merged from stage 2 below
+                            mape: None,
+                        }
+                    }),
+                    Phase::GP => {
+                        let loss = stats.stage(1).busy(|| {
+                            let logits = model.forward(&x, &mut ForwardCtx::train_recording());
+                            // Loss is computed for reporting only — no
+                            // backward.
+                            cross_entropy(&logits, &y).0
+                        });
+                        // Flush barrier: every queued predictor update must
+                        // land before the predictor is read. This is
+                        // waiting on stage 2, so it books as idle time.
+                        stats.stage(1).idle(|| pending.wait());
+                        stats.stage(1).busy_more(|| {
+                            let mut predictor = predictor_cell.lock().unwrap();
+                            apply_predicted_gradients_with(
+                                &mut predictor,
+                                grad_norm_ema,
+                                calibrate,
+                                model,
+                            );
+                            drop(predictor);
+                            opt.step(model);
+                        });
+                        BatchStats {
+                            phase,
+                            loss,
+                            predictor_loss: None,
+                            mape: None,
+                        }
+                    }
+                };
+                out.push((b, batch_stats));
+            }
+            pred_queue.close();
+            pending.wait();
         });
+
+        report_latest_mape(controller, &bp_outcomes);
+
+        // Merge the predictor stage's outcomes into the BP batches' stats.
+        let outcomes = bp_outcomes.into_inner().unwrap();
+        let mut report_batches = Vec::with_capacity(out.len());
+        for (b, mut st) in out {
+            if let Some(&(_, loss, mape)) = outcomes.iter().find(|&&(ob, _, _)| ob == b) {
+                st.predictor_loss = Some(loss);
+                st.mape = mape;
+            }
+            report_batches.push(st);
+        }
+        PipelinedEpochReport {
+            batches: report_batches,
+            stages: stats.reports(),
+        }
+    }
+}
+
+/// Feeds the controller the MAPE of the most recent completed BP batch —
+/// the same "latest wins" semantics as the serial loop's `report_mape`.
+fn report_latest_mape(
+    controller: &mut PhaseController,
+    outcomes: &Mutex<Vec<(usize, f32, Option<f32>)>>,
+) {
+    let guard = outcomes.lock().unwrap();
+    if let Some(&(_, _, Some(mape))) = guard
+        .iter()
+        .filter(|&&(_, _, m)| m.is_some())
+        .max_by_key(|&&(b, _, _)| b)
+    {
+        controller.report_mape(mape);
     }
 }
 
@@ -433,6 +764,118 @@ mod tests {
         assert_eq!(adagp.metrics().layers(), 2);
         assert!(adagp.metrics().layer_mean(0).is_some());
         assert!(adagp.metrics().layer_mean(1).is_some());
+    }
+
+    /// Runs `batches` batches serially and pipelined from identical seeds
+    /// and asserts the resulting model weights are bit-identical.
+    fn assert_pipeline_matches_serial(cfg: AdaGpConfig, batches: usize, depth: usize) {
+        let ds = |b: usize| {
+            // Deterministic synthetic batches: pure function of b.
+            let mut rng = Prng::seed_from_u64(1000 + b as u64);
+            let x = adagp_tensor::init::gaussian(&[2, 1, 4, 4], 0.0, 1.0, &mut rng);
+            (x, vec![b % 3, (b + 1) % 3])
+        };
+
+        // Serial arm.
+        let mut rng = Prng::seed_from_u64(42);
+        let mut m_serial = tiny_model(&mut rng);
+        let mut adagp_serial = AdaGp::new(cfg, &mut m_serial, &mut rng);
+        let mut opt_serial = Sgd::new(0.05, 0.9);
+        let mut serial_stats = Vec::new();
+        for b in 0..batches {
+            let (x, y) = ds(b);
+            serial_stats.push(adagp_serial.train_batch(&mut m_serial, &mut opt_serial, &x, &y));
+        }
+
+        // Pipelined arm (same seeds).
+        let mut rng = Prng::seed_from_u64(42);
+        let mut m_pipe = tiny_model(&mut rng);
+        let mut adagp_pipe = AdaGp::new(cfg, &mut m_pipe, &mut rng);
+        let mut opt_pipe = Sgd::new(0.05, 0.9);
+        let report =
+            adagp_pipe.train_epoch_pipelined(&mut m_pipe, &mut opt_pipe, batches, depth, ds);
+
+        // Model weights must match bit for bit.
+        let mut ws = Vec::new();
+        m_serial.visit_params(&mut |p| ws.push(p.value.clone()));
+        let mut wp = Vec::new();
+        m_pipe.visit_params(&mut |p| wp.push(p.value.clone()));
+        assert_eq!(ws, wp, "pipelined weights diverged from serial");
+
+        // Phases, losses, predictor losses and MAPEs must match too.
+        assert_eq!(report.batches.len(), serial_stats.len());
+        for (b, (s, p)) in serial_stats.iter().zip(report.batches.iter()).enumerate() {
+            assert_eq!(s.phase, p.phase, "batch {b} phase");
+            assert_eq!(s.loss, p.loss, "batch {b} loss");
+            assert_eq!(
+                s.predictor_loss, p.predictor_loss,
+                "batch {b} predictor loss"
+            );
+            assert_eq!(s.mape, p.mape, "batch {b} mape");
+        }
+
+        // And the predictor state: both arms must predict identically.
+        let meta = adagp_serial.sites()[0].clone();
+        let act = Tensor::ones(&[2, 4, 4, 4]);
+        let gs = adagp_serial.predictor_mut().predict_gradient(&meta, &act);
+        let gp = adagp_pipe.predictor_mut().predict_gradient(&meta, &act);
+        assert_eq!(gs, gp, "predictor state diverged");
+
+        // Stage accounting saw every batch.
+        assert_eq!(report.stages[0].items as usize, batches);
+        assert_eq!(report.stages[1].items as usize, batches);
+    }
+
+    #[test]
+    fn pipelined_epoch_is_bit_identical_to_serial_warmup() {
+        // All-BP (warm-up) epoch: maximum predictor-stage overlap.
+        assert_pipeline_matches_serial(AdaGpConfig::default(), 10, 3);
+    }
+
+    #[test]
+    fn pipelined_epoch_is_bit_identical_to_serial_gp_mix() {
+        // GP-heavy schedule exercises the flush barrier.
+        let cfg = AdaGpConfig {
+            schedule: ScheduleConfig {
+                warmup_epochs: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_pipeline_matches_serial(cfg, 12, 2);
+    }
+
+    #[test]
+    fn pipelined_epoch_respects_mape_guard() {
+        // With the reactive guard on, phase decisions depend on predictor
+        // MAPEs; the pipeline must drain before each decision and still
+        // match the serial loop exactly.
+        let cfg = AdaGpConfig {
+            schedule: ScheduleConfig {
+                warmup_epochs: 0,
+                mape_guard: Some(50.0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_pipeline_matches_serial(cfg, 8, 2);
+    }
+
+    #[test]
+    fn pipelined_report_exposes_stage_utilization() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut model = tiny_model(&mut rng);
+        let mut adagp = AdaGp::new(AdaGpConfig::default(), &mut model, &mut rng);
+        let mut opt = Sgd::new(0.01, 0.0);
+        let report = adagp.train_epoch_pipelined(&mut model, &mut opt, 4, 2, |b| {
+            (Tensor::ones(&[2, 1, 4, 4]), vec![b % 3, (b + 1) % 3])
+        });
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.stages[2].name, "predictor");
+        // 4 warm-up (BP) batches => 4 predictor jobs processed.
+        assert_eq!(report.stages[2].items, 4);
+        assert!(report.mean_loss().is_finite());
+        assert!(report.stages[1].utilization() > 0.0);
     }
 
     #[test]

@@ -2,19 +2,29 @@
 //! compact binary blob and restore them later.
 //!
 //! The format is deliberately simple and versioned:
-//! `magic "AGPC" | u32 version | u32 n_params | per-param (u32 rank,
-//! u64 dims…, f32 data…)`, all little-endian. Parameter order is the
+//! `magic "AGPC" | u32 version | u8 flags | u32 n_params | per-param
+//! (u32 rank, u64 dims…, f32 data…)`, all little-endian. The flags byte
+//! was added in version 2 (currently always `0`; reserved for future
+//! dtype/compression extensions) — version-1 blobs, which lack it, still
+//! load via the migration path in [`load`]. Parameter order is the
 //! module's deterministic `visit_params` order, so a checkpoint is valid
 //! for any architecturally identical model.
+//!
+//! [`save_to_path`] / [`load_from_path`] round-trip the blob through a
+//! file; the on-disk bytes are exactly the in-memory format.
 
 use crate::module::Module;
 use adagp_tensor::Tensor;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::error::Error;
 use std::fmt;
+use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"AGPC";
-const VERSION: u32 = 1;
+/// Current format version. Version 1 (no flags byte) is still readable.
+const VERSION: u32 = 2;
+/// The only flags value version 2 defines.
+const FLAGS_NONE: u8 = 0;
 
 /// Errors from checkpoint decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +33,8 @@ pub enum CheckpointError {
     BadMagic,
     /// Unsupported format version.
     BadVersion(u32),
+    /// The flags byte requests an unsupported extension.
+    BadFlags(u8),
     /// The blob ended prematurely.
     Truncated,
     /// The model's parameter list does not match the checkpoint.
@@ -48,6 +60,7 @@ impl fmt::Display for CheckpointError {
         match self {
             CheckpointError::BadMagic => write!(f, "not an ADA-GP checkpoint (bad magic)"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadFlags(b) => write!(f, "unsupported checkpoint flags {b:#04x}"),
             CheckpointError::Truncated => write!(f, "checkpoint data ended prematurely"),
             CheckpointError::Mismatch {
                 index,
@@ -67,18 +80,29 @@ impl fmt::Display for CheckpointError {
 
 impl Error for CheckpointError {}
 
-/// Serializes every parameter of `model` into a checkpoint blob.
+/// Serializes every parameter of `model` into a checkpoint blob (current
+/// format version).
 pub fn save(model: &mut dyn Module) -> Bytes {
+    encode(model, VERSION)
+}
+
+/// Encodes at a specific format version — `VERSION` for [`save`]; version
+/// 1 is kept encodable so the migration test can fabricate legacy blobs.
+fn encode(model: &mut dyn Module, version: u32) -> Bytes {
+    debug_assert!((1..=VERSION).contains(&version));
     let mut params: Vec<Tensor> = Vec::new();
     model.visit_params(&mut |p| params.push(p.value.clone()));
     let mut buf = BytesMut::with_capacity(
-        16 + params
+        17 + params
             .iter()
             .map(|t| 4 + t.ndim() * 8 + t.len() * 4)
             .sum::<usize>(),
     );
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(version);
+    if version >= 2 {
+        buf.put_u8(FLAGS_NONE);
+    }
     buf.put_u32_le(params.len() as u32);
     for t in &params {
         buf.put_u32_le(t.ndim() as u32);
@@ -108,8 +132,22 @@ pub fn load(model: &mut dyn Module, mut blob: Bytes) -> Result<(), CheckpointErr
         return Err(CheckpointError::BadMagic);
     }
     let version = blob.get_u32_le();
-    if version != VERSION {
+    if !(1..=VERSION).contains(&version) {
         return Err(CheckpointError::BadVersion(version));
+    }
+    // Version 2 added the flags byte; version-1 blobs go straight to the
+    // parameter count (the migration path).
+    if version >= 2 {
+        if blob.remaining() < 1 {
+            return Err(CheckpointError::Truncated);
+        }
+        let flags = blob.get_u8();
+        if flags != FLAGS_NONE {
+            return Err(CheckpointError::BadFlags(flags));
+        }
+    }
+    if blob.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
     }
     let n = blob.get_u32_le() as usize;
 
@@ -162,6 +200,83 @@ pub fn load(model: &mut dyn Module, mut blob: Bytes) -> Result<(), CheckpointErr
         p.value = tensors[idx].clone();
         idx += 1;
     });
+    Ok(())
+}
+
+/// Errors from the file-backed checkpoint surface: either the I/O failed
+/// or the bytes on disk are not a loadable checkpoint.
+#[derive(Debug)]
+pub enum CheckpointIoError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file's contents failed to decode.
+    Format(CheckpointError),
+}
+
+impl fmt::Display for CheckpointIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointIoError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointIoError::Format(e) => write!(f, "checkpoint format error: {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointIoError::Io(e) => Some(e),
+            CheckpointIoError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointIoError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointIoError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for CheckpointIoError {
+    fn from(e: CheckpointError) -> Self {
+        CheckpointIoError::Format(e)
+    }
+}
+
+/// Serializes `model` and writes the checkpoint to `path` (atomically via
+/// a sibling temp file, so readers never observe a half-written blob).
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written.
+pub fn save_to_path(model: &mut dyn Module, path: &Path) -> Result<(), CheckpointIoError> {
+    let blob = save(model);
+    // Unique temp name beside the target: appending (rather than replacing
+    // an extension) plus the pid keeps concurrent saves to different
+    // checkpoints in one directory from colliding on the temp file.
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "checkpoint".into());
+    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, &blob)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a checkpoint from `path` and restores `model` from it.
+///
+/// Accepts every supported format version (currently 1 and 2); a failed
+/// load leaves the model unmodified.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read or its contents are not a
+/// checkpoint matching the model's architecture.
+pub fn load_from_path(model: &mut dyn Module, path: &Path) -> Result<(), CheckpointIoError> {
+    let bytes = std::fs::read(path)?;
+    load(model, Bytes::from(bytes))?;
     Ok(())
 }
 
@@ -236,6 +351,91 @@ mod tests {
         let mut other = Linear::new(7, 7, false, &mut rng);
         let err = load(&mut other, blob).unwrap_err();
         assert!(matches!(err, CheckpointError::CountMismatch { .. }));
+    }
+
+    /// Unique scratch path for the file-I/O tests (no tempfile crate in the
+    /// offline environment).
+    fn scratch_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("adagp-ckpt-{}-{tag}.agpc", std::process::id()))
+    }
+
+    #[test]
+    fn file_roundtrip_restores_params() {
+        let path = scratch_path("roundtrip");
+        let mut a = model(1);
+        save_to_path(&mut a, &path).expect("save");
+        let mut b = model(2);
+        load_from_path(&mut b, &path).expect("load");
+        let mut wa = Vec::new();
+        a.visit_params(&mut |p| wa.push(p.value.clone()));
+        let mut wb = Vec::new();
+        b.visit_params(&mut |p| wb.push(p.value.clone()));
+        assert_eq!(wa, wb);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let mut m = model(1);
+        let err = load_from_path(&mut m, Path::new("/nonexistent/dir/ckpt.agpc")).unwrap_err();
+        assert!(matches!(err, CheckpointIoError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_file_is_format_error() {
+        let path = scratch_path("corrupt");
+        std::fs::write(&path, b"NOPE definitely not a checkpoint").unwrap();
+        let mut m = model(1);
+        let err = load_from_path(&mut m, &path).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointIoError::Format(CheckpointError::BadMagic)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_1_blob_migrates() {
+        // A legacy (version 1, no flags byte) blob must still load.
+        let mut a = model(1);
+        let legacy = encode(&mut a, 1);
+        let mut b = model(2);
+        load(&mut b, legacy).expect("v1 migration");
+        let mut wa = Vec::new();
+        a.visit_params(&mut |p| wa.push(p.value.clone()));
+        let mut wb = Vec::new();
+        b.visit_params(&mut |p| wb.push(p.value.clone()));
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn current_version_is_2_with_flags_byte() {
+        let mut m = model(1);
+        let bytes = save(&mut m);
+        let blob = bytes.as_ref();
+        assert_eq!(&blob[0..4], MAGIC);
+        assert_eq!(u32::from_le_bytes(blob[4..8].try_into().unwrap()), 2);
+        assert_eq!(blob[8], FLAGS_NONE);
+    }
+
+    #[test]
+    fn rejects_future_version_and_unknown_flags() {
+        let mut m = model(1);
+        let blob = save(&mut m).as_ref().to_vec();
+        // Future version.
+        let mut future = blob.clone();
+        future[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            load(&mut m, Bytes::from(future)).unwrap_err(),
+            CheckpointError::BadVersion(99)
+        );
+        // Unknown flags.
+        let mut flagged = blob;
+        flagged[8] = 0x7f;
+        assert_eq!(
+            load(&mut m, Bytes::from(flagged)).unwrap_err(),
+            CheckpointError::BadFlags(0x7f)
+        );
     }
 
     #[test]

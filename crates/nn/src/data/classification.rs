@@ -212,46 +212,45 @@ impl VisionDataset {
     }
 
     /// Generates training batch `batch_idx` with samples produced in
-    /// parallel across `threads` worker threads. Because every sample is a
-    /// pure function of `(seed, split, index)`, the result is bit-identical
-    /// to [`VisionDataset::train_batch`].
+    /// parallel on the shared [`adagp_runtime`] pool (sized by
+    /// `ADAGP_THREADS`). Because every sample is a pure function of
+    /// `(seed, split, index)` and each sample owns its output slice, the
+    /// result is bit-identical to [`VisionDataset::train_batch`] for every
+    /// pool size.
     ///
     /// # Panics
     ///
-    /// Panics if `batch_size == 0` or `threads == 0`.
+    /// Panics if `batch_size == 0`.
     pub fn train_batch_parallel(
         &self,
         batch_idx: usize,
         batch_size: usize,
-        threads: usize,
     ) -> (Tensor, Vec<usize>) {
         assert!(batch_size > 0, "batch_size must be positive");
-        assert!(threads > 0, "threads must be positive");
         let plen = self.spec.channels * self.spec.size * self.spec.size;
         let split_len = self.spec.train_len.max(1);
         let mut data = vec![0.0f32; batch_size * plen];
         let mut labels = vec![0usize; batch_size];
-        let chunk = batch_size.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let label_chunks = labels.chunks_mut(chunk);
-            for ((t, chunk_data), chunk_labels) in
-                data.chunks_mut(chunk * plen).enumerate().zip(label_chunks)
-            {
-                scope.spawn(move || {
-                    for (j, (sample_out, label_out)) in chunk_data
-                        .chunks_mut(plen)
-                        .zip(chunk_labels.iter_mut())
-                        .enumerate()
-                    {
-                        let i = t * chunk + j;
-                        let index = (batch_idx * batch_size + i) % split_len;
-                        let (sample, class) = self.sample(0, index);
-                        sample_out.copy_from_slice(&sample);
-                        *label_out = class;
-                    }
-                });
-            }
-        });
+        let chunk = adagp_runtime::det_chunk_len(batch_size);
+        adagp_runtime::pool().parallel_chunks_pair(
+            &mut data,
+            &mut labels,
+            chunk * plen,
+            chunk,
+            |ci, chunk_data, chunk_labels| {
+                for (j, (sample_out, label_out)) in chunk_data
+                    .chunks_mut(plen)
+                    .zip(chunk_labels.iter_mut())
+                    .enumerate()
+                {
+                    let i = ci * chunk + j;
+                    let index = (batch_idx * batch_size + i) % split_len;
+                    let (sample, class) = self.sample(0, index);
+                    sample_out.copy_from_slice(&sample);
+                    *label_out = class;
+                }
+            },
+        );
         (
             Tensor::from_vec(
                 data,
@@ -316,8 +315,8 @@ mod tests {
     fn parallel_batch_matches_serial() {
         let ds = VisionDataset::new(DatasetSpec::tiny(5, 8), 21);
         let (xs, ys) = ds.train_batch(3, 17);
-        for threads in [1, 2, 4] {
-            let (xp, yp) = ds.train_batch_parallel(3, 17, threads);
+        for threads in [1, 2, 4, 7] {
+            let (xp, yp) = adagp_runtime::with_threads(threads, || ds.train_batch_parallel(3, 17));
             assert_eq!(xs, xp, "threads={threads}");
             assert_eq!(ys, yp, "threads={threads}");
         }

@@ -1,0 +1,198 @@
+//! Lightweight pipeline instrumentation: per-stage busy/idle wall-clock
+//! accounting so harnesses can report stage utilization.
+//!
+//! Each stage accumulates three counters behind a mutex — time spent doing
+//! useful work (`busy`), time spent blocked on a queue (`idle`), and items
+//! processed. The counters live *off* the kernel hot path: they are touched
+//! once per pipeline item (a training batch), not per tensor element.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Acc {
+    busy: Duration,
+    idle: Duration,
+    items: u64,
+}
+
+/// One instrumented pipeline stage.
+#[derive(Debug)]
+pub struct Stage {
+    name: String,
+    acc: Mutex<Acc>,
+}
+
+impl Stage {
+    fn new(name: &str) -> Self {
+        Stage {
+            name: name.to_string(),
+            acc: Mutex::new(Acc::default()),
+        }
+    }
+
+    /// Times `f` as useful work and counts one processed item.
+    pub fn busy<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t = Instant::now();
+        let r = f();
+        let d = t.elapsed();
+        let mut a = self.acc.lock().unwrap();
+        a.busy += d;
+        a.items += 1;
+        r
+    }
+
+    /// Times `f` as useful work belonging to an already-counted item (no
+    /// additional item is tallied). Use when one item's work is split
+    /// around a wait that must be timed as [`Stage::idle`].
+    pub fn busy_more<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t = Instant::now();
+        let r = f();
+        let d = t.elapsed();
+        self.acc.lock().unwrap().busy += d;
+        r
+    }
+
+    /// Times `f` as blocking/waiting time (no item is counted).
+    pub fn idle<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t = Instant::now();
+        let r = f();
+        let d = t.elapsed();
+        self.acc.lock().unwrap().idle += d;
+        r
+    }
+
+    /// Snapshot of the stage's counters.
+    pub fn report(&self) -> StageReport {
+        let a = *self.acc.lock().unwrap();
+        StageReport {
+            name: self.name.clone(),
+            busy: a.busy,
+            idle: a.idle,
+            items: a.items,
+        }
+    }
+}
+
+/// Immutable snapshot of one stage's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stage name.
+    pub name: String,
+    /// Accumulated useful-work time.
+    pub busy: Duration,
+    /// Accumulated blocking/waiting time.
+    pub idle: Duration,
+    /// Items processed (one per [`Stage::busy`] call).
+    pub items: u64,
+}
+
+impl StageReport {
+    /// Busy fraction of the stage's observed wall clock, in `[0, 1]`
+    /// (zero when nothing was timed).
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy + self.idle;
+        if total.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / total.as_secs_f64()
+        }
+    }
+}
+
+/// A fixed set of named stages timed across threads.
+///
+/// ```
+/// use adagp_runtime::PipelineStats;
+/// let stats = PipelineStats::new(&["datagen", "train"]);
+/// let x = stats.stage(0).busy(|| 21 * 2);
+/// assert_eq!(x, 42);
+/// assert_eq!(stats.reports()[0].items, 1);
+/// ```
+#[derive(Debug)]
+pub struct PipelineStats {
+    stages: Vec<Stage>,
+}
+
+impl PipelineStats {
+    /// Creates stats with one [`Stage`] per name.
+    pub fn new(names: &[&str]) -> Self {
+        PipelineStats {
+            stages: names.iter().map(|n| Stage::new(n)).collect(),
+        }
+    }
+
+    /// Stage `i` (in construction order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn stage(&self, i: usize) -> &Stage {
+        &self.stages[i]
+    }
+
+    /// Snapshots every stage.
+    pub fn reports(&self) -> Vec<StageReport> {
+        self.stages.iter().map(Stage::report).collect()
+    }
+
+    /// One-line-per-stage human-readable utilization summary.
+    pub fn summary(&self) -> String {
+        self.reports()
+            .iter()
+            .map(|r| {
+                format!(
+                    "{:<12} busy {:>8.1?}  idle {:>8.1?}  items {:>5}  util {:>5.1}%",
+                    r.name,
+                    r.busy,
+                    r.idle,
+                    r.items,
+                    100.0 * r.utilization()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = PipelineStats::new(&["a", "b"]);
+        stats
+            .stage(0)
+            .busy(|| std::thread::sleep(Duration::from_millis(2)));
+        stats
+            .stage(0)
+            .idle(|| std::thread::sleep(Duration::from_millis(1)));
+        stats.stage(0).busy(|| ());
+        stats.stage(0).busy_more(|| ());
+        let r = &stats.reports()[0];
+        assert_eq!(r.items, 2, "busy_more must not tally an item");
+        assert!(r.busy >= Duration::from_millis(2));
+        assert!(r.idle >= Duration::from_millis(1));
+        assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
+        assert_eq!(stats.reports()[1].items, 0);
+    }
+
+    #[test]
+    fn utilization_handles_zero_time() {
+        let r = StageReport {
+            name: "x".into(),
+            busy: Duration::ZERO,
+            idle: Duration::ZERO,
+            items: 0,
+        };
+        assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_every_stage() {
+        let stats = PipelineStats::new(&["datagen", "train", "predictor"]);
+        let s = stats.summary();
+        assert!(s.contains("datagen") && s.contains("train") && s.contains("predictor"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration tests of the runtime's determinism and pipelining
+//! contracts, exercised the way the tensor kernels and trainer use them.
+
+use adagp_runtime::{det_chunk_len, with_threads, BoundedQueue, PipelineStats, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A toy "kernel" in the style of the tensor crate: each output row is
+/// produced by exactly one chunk, with serial FP order within the row.
+fn toy_kernel(rows: usize, cols: usize, pool: &ThreadPool) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    let chunk_rows = det_chunk_len(rows);
+    pool.parallel_chunks(&mut out, chunk_rows * cols, |ci, slice| {
+        for (r, row) in slice.chunks_mut(cols).enumerate() {
+            let row_idx = ci * chunk_rows + r;
+            let mut acc = 0.1f32;
+            for (c, v) in row.iter_mut().enumerate() {
+                // Deliberately non-associative accumulation.
+                acc = acc * 1.000_1 + (row_idx * cols + c) as f32 * 1e-3;
+                *v = acc;
+            }
+        }
+    });
+    out
+}
+
+#[test]
+fn results_bit_identical_across_pool_sizes() {
+    let reference = toy_kernel(97, 13, &ThreadPool::new(1));
+    for threads in [2, 3, 4, 7] {
+        let got = toy_kernel(97, 13, &ThreadPool::new(threads));
+        assert_eq!(
+            reference, got,
+            "pool size {threads} diverged from the scalar reference"
+        );
+    }
+}
+
+#[test]
+fn with_threads_gates_the_active_pool() {
+    let reference = with_threads(1, || toy_kernel(40, 7, &adagp_runtime::pool()));
+    for threads in [2, 4, 7] {
+        let got = with_threads(threads, || toy_kernel(40, 7, &adagp_runtime::pool()));
+        assert_eq!(reference, got, "threads={threads}");
+    }
+}
+
+#[test]
+fn producer_consumer_pipeline_delivers_everything_in_order() {
+    let q: BoundedQueue<usize> = BoundedQueue::new(3);
+    let stats = PipelineStats::new(&["produce", "consume"]);
+    let consumed = std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..50 {
+                let item = stats.stage(0).busy(|| i * i);
+                if q.push(item).is_err() {
+                    break;
+                }
+            }
+            q.close();
+        });
+        let mut got = Vec::new();
+        while let Some(v) = stats.stage(1).idle(|| q.pop()) {
+            stats.stage(1).busy(|| got.push(v));
+        }
+        got
+    });
+    assert_eq!(consumed, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    let reports = stats.reports();
+    assert_eq!(reports[0].items, 50);
+    assert_eq!(reports[1].items, 50);
+}
+
+#[test]
+fn parallel_for_covers_every_index_once() {
+    let pool = ThreadPool::new(4);
+    let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+    pool.parallel_for(hits.len(), det_chunk_len(hits.len()), |range| {
+        for i in range {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}
+
+#[test]
+fn kernels_remain_deterministic_inside_pool_workers() {
+    // Nested use: a parallel region whose tasks themselves run the toy
+    // kernel (the pipelined trainer's predictor thread does exactly this).
+    let pool = ThreadPool::new(4);
+    let reference = toy_kernel(31, 9, &ThreadPool::new(1));
+    let results = pool.parallel_map(vec![(); 8], |()| toy_kernel(31, 9, &adagp_runtime::pool()));
+    for r in results {
+        assert_eq!(reference, r);
+    }
+}

@@ -28,6 +28,7 @@ pub mod error;
 pub mod init;
 pub mod matmul;
 pub mod norm;
+pub(crate) mod par;
 pub mod pool;
 pub mod rng;
 pub mod softmax;

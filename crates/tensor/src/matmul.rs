@@ -1,9 +1,13 @@
 //! Matrix multiplication kernels (forward and backward).
 //!
 //! Linear layers, im2col convolution and attention all reduce to the GEMM
-//! kernels in this module. The implementation is a cache-friendly ikj loop —
-//! adequate for the scaled-down training workloads in the reproduction.
+//! kernels in this module. Each kernel is written row-block-wise: a block
+//! of output rows is a self-contained unit of work with a fixed
+//! floating-point accumulation order, so the same code runs serially or
+//! sharded across the `adagp_runtime` thread pool with **bit-identical**
+//! results for every `ADAGP_THREADS` (see `tests/kernel_properties.rs`).
 
+use crate::par;
 use crate::Tensor;
 
 impl Tensor {
@@ -50,20 +54,24 @@ impl Tensor {
         let (k2, n) = (other.dim(0), other.dim(1));
         assert_eq!(k, k2, "matmul_tn: leading dimensions disagree");
         let mut out = vec![0.0f32; m * n];
-        // out[i][j] = sum_p self[p][i] * other[p][j]
-        for p in 0..k {
-            let arow = &self.data()[p * m..(p + 1) * m];
-            let brow = &other.data()[p * n..(p + 1) * n];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
+        let (a, b) = (self.data(), other.data());
+        // out[i][j] = sum_p self[p][i] * other[p][j], p ascending per element.
+        let rows = |first: usize, chunk: &mut [f32]| {
+            for (r, orow) in chunk.chunks_mut(n).enumerate() {
+                let i = first + r;
+                for p in 0..k {
+                    let av = a[p * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
                 }
             }
-        }
+        };
+        par::row_blocks(&mut out, m, n, m * k * n, rows);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -80,36 +88,45 @@ impl Tensor {
         let (n, k2) = (other.dim(0), other.dim(1));
         assert_eq!(k, k2, "matmul_nt: trailing dimensions disagree");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data()[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &other.data()[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow.iter()) {
-                    acc += a * b;
+        let (a, b) = (self.data(), other.data());
+        let rows = |first: usize, chunk: &mut [f32]| {
+            for (r, orow) in chunk.chunks_mut(n).enumerate() {
+                let i = first + r;
+                let arow = &a[i * k..(i + 1) * k];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                        acc += av * bv;
+                    }
+                    *o = acc;
                 }
-                out[i * n + j] = acc;
             }
-        }
+        };
+        par::row_blocks(&mut out, m, n, m * k * n, rows);
         Tensor::from_vec(out, &[m, n])
     }
 }
 
 /// Raw GEMM: `c += a(m,k) * b(k,n)` with `c` pre-zeroed by the caller.
+/// Cache-friendly ikj loop, sharded over blocks of output rows.
 fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *cv += av * bv;
+    let rows = |first: usize, chunk: &mut [f32]| {
+        for (r, crow) in chunk.chunks_mut(n).enumerate() {
+            let i = first + r;
+            let arow = &a[i * k..(i + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += av * bv;
+                }
             }
         }
-    }
+    };
+    par::row_blocks(c, m, n, m * k * n, rows);
 }
 
 /// Gradients of `y = x @ w` with respect to both operands.

@@ -3,7 +3,14 @@
 //!
 //! ResNet/DenseNet/Inception/MobileNet all rely on BatchNorm; the
 //! transformer model uses LayerNorm.
+//!
+//! `batchnorm2d_forward` runs on the `adagp_runtime` pool: the per-channel
+//! statistics parallelize over channels and the normalization over
+//! `(sample, channel)` row blocks, both with the scalar path's
+//! floating-point order, so results are bit-identical for every
+//! `ADAGP_THREADS`.
 
+use crate::par;
 use crate::Tensor;
 
 /// Saved state from a batch-norm forward pass, needed by the backward pass.
@@ -36,50 +43,66 @@ pub fn batchnorm2d_forward(
     assert_eq!(beta.len(), c, "batchnorm2d: beta length mismatch");
     let per_c = n * h * w;
     let inv = 1.0 / per_c as f32;
+    let hw = h * w;
+    let xd = x.data();
 
+    // Per-channel mean and variance. Each channel's sums run over samples
+    // in ascending order — the same order as the scalar two-pass loops —
+    // so sharding channels across the pool changes nothing.
     let mut mean = vec![0.0f32; c];
     let mut var = vec![0.0f32; c];
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * h * w;
-            for &v in &x.data()[base..base + h * w] {
-                mean[ci] += v;
+    let work = 2 * n * c * hw;
+    par::row_blocks_pair(&mut mean, &mut var, c, 1, 1, work, |first, mc, vc| {
+        for (r, (m_out, v_out)) in mc.iter_mut().zip(vc.iter_mut()).enumerate() {
+            let ci = first + r;
+            let mut m = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                for &v in &xd[base..base + hw] {
+                    m += v;
+                }
             }
-        }
-    }
-    for m in &mut mean {
-        *m *= inv;
-    }
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * h * w;
-            let m = mean[ci];
-            for &v in &x.data()[base..base + h * w] {
-                var[ci] += (v - m) * (v - m);
+            m *= inv;
+            let mut vv = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                for &v in &xd[base..base + hw] {
+                    vv += (v - m) * (v - m);
+                }
             }
+            *m_out = m;
+            *v_out = vv * inv;
         }
-    }
-    for v in &mut var {
-        *v *= inv;
-    }
+    });
 
     let std: Vec<f32> = var.iter().map(|&v| (v + eps).sqrt()).collect();
     let mut x_hat = vec![0.0f32; x.len()];
     let mut out = vec![0.0f32; x.len()];
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * h * w;
-            let m = mean[ci];
-            let s = 1.0 / std[ci];
-            let g = gamma.data()[ci];
-            let b = beta.data()[ci];
-            for i in base..base + h * w {
-                let xh = (x.data()[i] - m) * s;
-                x_hat[i] = xh;
-                out[i] = g * xh + b;
+    // Normalization: one `(sample, channel)` plane per row, elementwise.
+    par::row_blocks_pair(
+        &mut x_hat,
+        &mut out,
+        n * c,
+        hw,
+        hw,
+        x.len(),
+        |first, xhc, oc| {
+            for (r, (xh_row, out_row)) in xhc.chunks_mut(hw).zip(oc.chunks_mut(hw)).enumerate() {
+                let row = first + r;
+                let ci = row % c;
+                let base = row * hw;
+                let m = mean[ci];
+                let s = 1.0 / std[ci];
+                let g = gamma.data()[ci];
+                let b = beta.data()[ci];
+                for (i, (xh, o)) in xh_row.iter_mut().zip(out_row.iter_mut()).enumerate() {
+                    let v = (xd[base + i] - m) * s;
+                    *xh = v;
+                    *o = g * v + b;
+                }
             }
-        }
-    }
+        },
+    );
     (
         Tensor::from_vec(out, x.shape()),
         BatchNormCache {

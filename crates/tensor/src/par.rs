@@ -1,0 +1,70 @@
+//! Serial/parallel dispatch for the kernels in this crate.
+//!
+//! Every parallel kernel is expressed as a *row-block* function: given a
+//! first row index and a mutable block of whole output rows, it computes
+//! those rows with a fixed per-element floating-point order. Running one
+//! block over all rows is the scalar reference; sharding the blocks across
+//! the `adagp_runtime` pool produces bit-identical bytes because chunk
+//! boundaries depend only on the row count (never the thread count) and
+//! each row is written by exactly one task.
+
+use adagp_runtime::det_chunk_len;
+
+/// Estimated scalar-op count below which parallel dispatch is not worth
+/// the queueing overhead and the kernel runs inline.
+pub(crate) const PAR_MIN_WORK: usize = 16 * 1024;
+
+/// Cap (in `f32` elements) on scratch buffers materialized to enable
+/// parallelism (e.g. batched im2col); above it kernels fall back to the
+/// memory-lean serial path.
+pub(crate) const SCRATCH_CAP: usize = 1 << 24;
+
+/// Splits `out` — viewed as `rows` rows of `row_len` elements — into fixed
+/// row blocks and runs `f(first_row, block)` for each, in parallel when
+/// `work` (a rough op-count estimate, used *only* for the serial/parallel
+/// decision) says it pays off.
+pub(crate) fn row_blocks<F>(out: &mut [f32], rows: usize, row_len: usize, work: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * row_len);
+    let pool = adagp_runtime::pool();
+    if pool.size() == 1 || rows < 2 || work < PAR_MIN_WORK {
+        f(0, out);
+        return;
+    }
+    let chunk_rows = det_chunk_len(rows);
+    pool.parallel_chunks(out, chunk_rows * row_len.max(1), |ci, chunk| {
+        f(ci * chunk_rows, chunk)
+    });
+}
+
+/// Like [`row_blocks`] over two lockstep outputs (`a` rows of `a_row_len`,
+/// `b` rows of `b_row_len`): `f(first_row, a_block, b_block)`.
+pub(crate) fn row_blocks_pair<F>(
+    a: &mut [f32],
+    b: &mut [f32],
+    rows: usize,
+    a_row_len: usize,
+    b_row_len: usize,
+    work: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f32], &mut [f32]) + Sync,
+{
+    debug_assert_eq!(a.len(), rows * a_row_len);
+    debug_assert_eq!(b.len(), rows * b_row_len);
+    let pool = adagp_runtime::pool();
+    if pool.size() == 1 || rows < 2 || work < PAR_MIN_WORK {
+        f(0, a, b);
+        return;
+    }
+    let chunk_rows = det_chunk_len(rows);
+    pool.parallel_chunks_pair(
+        a,
+        b,
+        chunk_rows * a_row_len.max(1),
+        chunk_rows * b_row_len.max(1),
+        |ci, ca, cb| f(ci * chunk_rows, ca, cb),
+    );
+}

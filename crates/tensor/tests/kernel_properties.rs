@@ -6,7 +6,9 @@
 //! property runs across `CASES` pseudo-random configurations drawn from the
 //! same ranges the original proptest strategies used.
 
-use adagp_tensor::conv::{conv2d, conv2d_backward_data, Conv2dParams};
+use adagp_runtime::with_threads;
+use adagp_tensor::conv::{conv2d, conv2d_backward_data, conv2d_backward_weight, Conv2dParams};
+use adagp_tensor::norm::batchnorm2d_forward;
 use adagp_tensor::pool::{avgpool2d, avgpool2d_backward, global_avgpool, maxpool2d};
 use adagp_tensor::softmax::{cross_entropy, log_softmax, relu, relu_backward};
 use adagp_tensor::{init, Prng, Tensor};
@@ -173,4 +175,126 @@ fn conv_zero_weights_zero_output() {
     let w = Tensor::zeros(&[3, 2, 3, 3]);
     let y = conv2d(&x, &w, None, &Conv2dParams::new(1, 1));
     assert_eq!(y.norm(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance: every parallel kernel must be *bit-identical* to
+// the scalar reference (`ADAGP_THREADS=1` runs the kernels inline) for every
+// pool size. The shapes are chosen large enough to clear the kernels'
+// serial-dispatch thresholds, so the parallel paths genuinely execute.
+// ---------------------------------------------------------------------------
+
+/// Thread counts swept against the scalar reference. 7 is deliberately odd
+/// and coprime with typical chunk counts to shake out boundary bugs.
+const SWEEP_THREADS: [usize; 3] = [2, 4, 7];
+
+/// Asserts `kernel` produces byte-identical tensors for 1, 2, 4 and 7
+/// threads.
+fn assert_thread_invariant(label: &str, kernel: impl Fn() -> Vec<Tensor>) {
+    let reference = with_threads(1, &kernel);
+    for threads in SWEEP_THREADS {
+        let got = with_threads(threads, &kernel);
+        assert_eq!(reference.len(), got.len(), "{label}: output arity");
+        for (i, (a, b)) in reference.iter().zip(got.iter()).enumerate() {
+            assert_eq!(
+                a.shape(),
+                b.shape(),
+                "{label}[{i}] shape, threads={threads}"
+            );
+            assert!(
+                a.data() == b.data(),
+                "{label}[{i}] diverged from scalar reference at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conv2d_forward_thread_invariant() {
+    cases(|rng| {
+        let n = draw(rng, 1, 5);
+        let cin = draw(rng, 1, 5);
+        let cout = draw(rng, 2, 9);
+        let size = draw(rng, 6, 13);
+        let x = init::gaussian(&[n, cin, size, size], 0.0, 1.0, rng);
+        let w = init::gaussian(&[cout, cin, 3, 3], 0.0, 0.5, rng);
+        let b = init::gaussian(&[cout], 0.0, 0.5, rng);
+        let p = Conv2dParams::new(1 + draw(rng, 0, 2), 1);
+        assert_thread_invariant("conv2d", || vec![conv2d(&x, &w, Some(&b), &p)]);
+    });
+}
+
+#[test]
+fn conv2d_backward_thread_invariant() {
+    cases(|rng| {
+        let n = draw(rng, 2, 5);
+        let cin = draw(rng, 1, 4);
+        let cout = draw(rng, 2, 7);
+        let size = draw(rng, 6, 11);
+        let p = Conv2dParams::new(1, 1);
+        let x = init::gaussian(&[n, cin, size, size], 0.0, 1.0, rng);
+        let dy = init::gaussian(&[n, cout, size, size], 0.0, 1.0, rng);
+        let w = init::gaussian(&[cout, cin, 3, 3], 0.0, 0.5, rng);
+        assert_thread_invariant("conv2d_backward", || {
+            let dx = conv2d_backward_data(&dy, &w, size, size, &p);
+            let (dw, db) = conv2d_backward_weight(&x, &dy, 3, 3, &p);
+            vec![dx, dw, db]
+        });
+    });
+}
+
+#[test]
+fn matmul_family_thread_invariant() {
+    cases(|rng| {
+        let m = draw(rng, 2, 70);
+        let k = draw(rng, 1, 48);
+        let n = draw(rng, 1, 48);
+        let a = init::gaussian(&[m, k], 0.0, 1.0, rng);
+        let b = init::gaussian(&[k, n], 0.0, 1.0, rng);
+        let at = init::gaussian(&[k, m], 0.0, 1.0, rng);
+        let bt = init::gaussian(&[n, k], 0.0, 1.0, rng);
+        assert_thread_invariant("matmul_family", || {
+            vec![a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt)]
+        });
+    });
+}
+
+#[test]
+fn batchnorm_forward_thread_invariant() {
+    cases(|rng| {
+        let n = draw(rng, 2, 7);
+        let c = draw(rng, 2, 9);
+        let size = draw(rng, 4, 13);
+        let x = init::gaussian(&[n, c, size, size], 1.0, 2.0, rng);
+        let gamma = init::uniform(&[c], 0.5, 1.5, rng);
+        let beta = init::uniform(&[c], -0.5, 0.5, rng);
+        assert_thread_invariant("batchnorm2d_forward", || {
+            let (y, cache, mean, var) = batchnorm2d_forward(&x, &gamma, &beta, 1e-5);
+            vec![
+                y,
+                cache.x_hat,
+                Tensor::from_vec(cache.std, &[c]),
+                Tensor::from_vec(mean, &[c]),
+                Tensor::from_vec(var, &[c]),
+            ]
+        });
+    });
+}
+
+/// Large-shape spot check at the bench sizes, where chunking covers many
+/// row blocks per thread.
+#[test]
+fn large_shapes_thread_invariant() {
+    let mut rng = Prng::seed_from_u64(0xbeef);
+    let x = init::gaussian(&[4, 16, 16, 16], 0.0, 1.0, &mut rng);
+    let w = init::gaussian(&[32, 16, 3, 3], 0.0, 0.1, &mut rng);
+    let p = Conv2dParams::new(1, 1);
+    let a = init::gaussian(&[128, 96], 0.0, 1.0, &mut rng);
+    let b = init::gaussian(&[96, 128], 0.0, 1.0, &mut rng);
+    assert_thread_invariant("large_shapes", || {
+        let y = conv2d(&x, &w, None, &p);
+        let dx = conv2d_backward_data(&y, &w, 16, 16, &p);
+        let (dw, db) = conv2d_backward_weight(&x, &y, 3, 3, &p);
+        vec![y, dx, dw, db, a.matmul(&b)]
+    });
 }

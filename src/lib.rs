@@ -4,6 +4,7 @@
 //! workspace crates so examples and downstream users can depend on a
 //! single package.
 //!
+//! * [`runtime`] — shared thread pool, bounded queue, stage stats.
 //! * [`tensor`] — dense f32 tensors and NN kernels (fwd + bwd).
 //! * [`nn`] — layers, models, optimizers, schedulers, datasets, metrics.
 //! * [`adagp`] — the ADA-GP algorithm: predictor, reorganization, phases.
@@ -28,4 +29,5 @@ pub use adagp_accel as accel;
 pub use adagp_core as adagp;
 pub use adagp_nn as nn;
 pub use adagp_pipeline as pipeline;
+pub use adagp_runtime as runtime;
 pub use adagp_tensor as tensor;

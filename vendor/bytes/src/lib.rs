@@ -25,6 +25,13 @@ pub trait Buf {
         self.advance(dst.len());
     }
 
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
     /// Reads a little-endian `u32`, advancing the cursor.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -49,6 +56,11 @@ pub trait Buf {
 pub trait BufMut {
     /// Appends `src` to the buffer.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
 
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
@@ -182,12 +194,14 @@ mod tests {
 
     #[test]
     fn roundtrip_le() {
-        let mut w = BytesMut::with_capacity(16);
+        let mut w = BytesMut::with_capacity(17);
+        w.put_u8(7);
         w.put_u32_le(0xdead_beef);
         w.put_u64_le(42);
         w.put_f32_le(1.5);
         let mut r = w.freeze();
-        assert_eq!(r.len(), 16);
+        assert_eq!(r.len(), 17);
+        assert_eq!(r.get_u8(), 7);
         assert_eq!(r.get_u32_le(), 0xdead_beef);
         assert_eq!(r.get_u64_le(), 42);
         assert_eq!(r.get_f32_le(), 1.5);

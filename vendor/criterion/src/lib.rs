@@ -9,26 +9,38 @@
 //!
 //! Like the real crate, measurement only happens when the binary is passed
 //! `--bench` (which `cargo bench` does); under `cargo test` each benchmark
-//! body runs exactly once so test runs stay fast.
+//! body runs exactly once so test runs stay fast. Passing `--quick`
+//! (e.g. `cargo bench -- --quick`, as CI's smoke step does) caps the run
+//! at a few short samples per benchmark — enough to prove the benchmarks
+//! execute, not to produce stable numbers.
 
 use std::time::{Duration, Instant};
 
 /// Target wall-clock time per measured sample.
 const SAMPLE_TARGET: Duration = Duration::from_millis(10);
 
+/// Target sample time under `--quick` (smoke-test mode).
+const QUICK_SAMPLE_TARGET: Duration = Duration::from_millis(2);
+
+/// Samples per benchmark under `--quick`.
+const QUICK_SAMPLES: usize = 3;
+
 /// Entry point handed to each benchmark function.
 pub struct Criterion {
     test_mode: bool,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench` passes `--bench`; anything else (notably `cargo
         // test`, which passes `--test` or nothing) gets the fast run-once
-        // mode, matching real criterion's behavior.
+        // mode, matching real criterion's behavior. `--quick` mirrors real
+        // criterion's flag: measure, but as briefly as possible.
         let args: Vec<String> = std::env::args().collect();
         let test_mode = !args.iter().any(|a| a == "--bench");
-        Criterion { test_mode }
+        let quick = args.iter().any(|a| a == "--quick");
+        Criterion { test_mode, quick }
     }
 }
 
@@ -39,6 +51,7 @@ impl Criterion {
             name: name.to_string(),
             sample_size: 10,
             test_mode: self.test_mode,
+            quick: self.quick,
         }
     }
 
@@ -59,6 +72,7 @@ pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
     test_mode: bool,
+    quick: bool,
 }
 
 impl BenchmarkGroup {
@@ -84,10 +98,16 @@ impl BenchmarkGroup {
             println!("test {label} ... ok (ran once)");
             return self;
         }
+        let samples = if self.quick {
+            self.sample_size.min(QUICK_SAMPLES)
+        } else {
+            self.sample_size
+        };
         let mut b = Bencher {
             mode: Mode::Measure {
-                samples: self.sample_size,
-                results: Vec::with_capacity(self.sample_size),
+                samples,
+                quick: self.quick,
+                results: Vec::with_capacity(samples),
             },
         };
         f(&mut b);
@@ -111,6 +131,8 @@ enum Mode {
     Once,
     Measure {
         samples: usize,
+        /// Shorten warm-up and samples to smoke-test length.
+        quick: bool,
         /// Median per-iteration nanoseconds of each sample.
         results: Vec<u128>,
     },
@@ -131,12 +153,21 @@ impl Bencher {
             Mode::Once => {
                 std::hint::black_box(routine());
             }
-            Mode::Measure { samples, results } => {
-                // Warm up and size the batch so one sample ≈ SAMPLE_TARGET.
+            Mode::Measure {
+                samples,
+                quick,
+                results,
+            } => {
+                // Warm up and size the batch so one sample ≈ the target.
+                let target = if *quick {
+                    QUICK_SAMPLE_TARGET
+                } else {
+                    SAMPLE_TARGET
+                };
                 let t0 = Instant::now();
                 std::hint::black_box(routine());
                 let once = t0.elapsed().max(Duration::from_nanos(1));
-                let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+                let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
                 for _ in 0..*samples {
                     let t = Instant::now();
                     for _ in 0..iters {
