@@ -23,6 +23,17 @@ pub enum Dataflow {
 }
 
 impl Dataflow {
+    /// Every dataflow the cycle model understands, in a stable order —
+    /// the enumeration the sweep grid axes build on.
+    pub fn all() -> [Dataflow; 4] {
+        [
+            Dataflow::WeightStationary,
+            Dataflow::OutputStationary,
+            Dataflow::InputStationary,
+            Dataflow::RowStationary,
+        ]
+    }
+
     /// The three dataflows evaluated in Figures 17–19 (OS is exercised in
     /// tests/ablations).
     pub fn figure_set() -> [Dataflow; 3] {
@@ -162,5 +173,36 @@ mod tests {
     fn figure_set_is_ws_rs_is() {
         let names: Vec<_> = Dataflow::figure_set().iter().map(|d| d.name()).collect();
         assert_eq!(names, vec!["WS", "RS", "IS"]);
+    }
+
+    #[test]
+    fn all_covers_every_dataflow_once() {
+        let all = Dataflow::all();
+        assert_eq!(all.len(), 4);
+        for df in Dataflow::figure_set() {
+            assert!(all.contains(&df));
+        }
+        let names: std::collections::HashSet<_> = all.iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), 4, "duplicate dataflow names");
+    }
+
+    #[test]
+    fn serde_round_trips_config_and_dataflow() {
+        // The formerly inert derives are real now: values survive JSON.
+        let cfg = AcceleratorConfig::default();
+        let back: AcceleratorConfig =
+            serde::json::from_str(&serde::json::to_string(&cfg)).expect("config round-trip");
+        assert_eq!(back, cfg);
+        for df in Dataflow::all() {
+            let js = serde::json::to_string(&df);
+            assert_eq!(
+                js,
+                format!("{:?}", format!("{df:?}")),
+                "external tag is the variant name"
+            );
+            let back: Dataflow = serde::json::from_str(&js).expect("dataflow round-trip");
+            assert_eq!(back, df);
+        }
+        assert!(serde::json::from_str::<Dataflow>("\"Diagonal\"").is_err());
     }
 }

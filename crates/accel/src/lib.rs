@@ -37,4 +37,5 @@ pub mod systolic;
 pub mod timeline;
 
 pub use dataflow::{AcceleratorConfig, Dataflow};
+pub use designs::AdaGpDesign;
 pub use layer_cost::{LayerCost, PredictorCostModel};

@@ -1,0 +1,179 @@
+//! The `sweep` CLI: run, list and diff declarative experiment grids.
+//!
+//! ```text
+//! sweep list                      # every preset with its axes and cell count
+//! sweep list <preset>             # the preset's cells (id + key)
+//! sweep run <preset> [--csv <path>] [--json <path>] [--quiet]
+//! sweep diff <before> <after> [--tol <rel>]
+//! ```
+//!
+//! `run` executes the grid in parallel on the shared runtime pool
+//! (`ADAGP_THREADS` sizes it) and prints the cell table; `--csv` writes
+//! the byte-stable metrics file, `--json` the full-precision run record
+//! with timings. `diff` loads two stored runs (CSV or JSON, by
+//! extension), compares them cell-by-cell and exits non-zero when a
+//! metric regressed beyond the tolerance — the cross-PR gate CI uses
+//! against the committed golden file.
+
+use adagp_bench::report::render_table;
+use adagp_sweep::{diff, presets, runner, store, DiffConfig, GridSpec, StoredRun};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    result.unwrap_or_else(|msg| {
+        eprintln!("sweep: {msg}");
+        ExitCode::from(2)
+    })
+}
+
+const USAGE: &str = "\
+Usage:
+  sweep list                                list presets (axes, cell counts)
+  sweep list <preset>                       list a preset's cells (id + key)
+  sweep run <preset> [--csv p] [--json p] [--quiet]
+                                            execute a grid on the shared pool
+  sweep diff <before> <after> [--tol rel]   compare stored runs (.csv/.json);
+                                            exit 1 if any metric regressed
+";
+
+fn preset(name: &str) -> Result<GridSpec, String> {
+    presets::by_name(name).ok_or_else(|| {
+        let known: Vec<String> = presets::all().into_iter().map(|g| g.name).collect();
+        format!("unknown preset `{name}` (known: {})", known.join(", "))
+    })
+}
+
+fn cmd_list(args: &[String]) -> Result<ExitCode, String> {
+    match args.first() {
+        None => {
+            let rows: Vec<Vec<String>> = presets::all()
+                .iter()
+                .map(|g| vec![g.name.clone(), g.axes_summary(), g.cell_count().to_string()])
+                .collect();
+            print!(
+                "{}",
+                render_table("sweep presets", &["Preset", "Axes", "Cells"], &rows)
+            );
+        }
+        Some(name) => {
+            let grid = preset(name)?;
+            let rows: Vec<Vec<String>> = grid
+                .expand()
+                .into_iter()
+                .map(|c| vec![c.id.clone(), c.key()])
+                .collect();
+            print!(
+                "{}",
+                render_table(&format!("{name} cells"), &["ID", "Cell"], &rows)
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let name = args
+        .first()
+        .ok_or_else(|| format!("run: missing preset name\n{USAGE}"))?;
+    let grid = preset(name)?;
+    let mut csv_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => csv_path = Some(path_arg(&mut it, "--csv")?),
+            "--json" => json_path = Some(path_arg(&mut it, "--json")?),
+            "--quiet" => quiet = true,
+            other => return Err(format!("run: unexpected argument `{other}`")),
+        }
+    }
+
+    let run = runner::run_grid(&grid);
+    if !quiet {
+        let rows: Vec<Vec<String>> = run
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.spec.id.clone(),
+                    c.spec.key(),
+                    adagp_sweep::store::csv_float(c.metrics.speedup),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &format!("sweep run: {name}"),
+                &["ID", "Cell", "Speed-up"],
+                &rows
+            )
+        );
+    }
+    println!(
+        "{}: {} cells in {:.1} ms on {} thread(s)",
+        name,
+        run.cells.len(),
+        run.total_wall_micros as f64 / 1e3,
+        adagp_runtime::pool().size()
+    );
+    if let Some(p) = &csv_path {
+        store::write_csv(p, &run).map_err(|e| format!("write {}: {e}", p.display()))?;
+        println!("wrote CSV to {}", p.display());
+    }
+    if let Some(p) = &json_path {
+        store::write_json(p, &run).map_err(|e| format!("write {}: {e}", p.display()))?;
+        println!("wrote JSON to {}", p.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let (before_path, after_path) = match args {
+        [b, a, ..] if !b.starts_with("--") && !a.starts_with("--") => (b, a),
+        _ => return Err(format!("diff: need <before> and <after> paths\n{USAGE}")),
+    };
+    let mut cfg = DiffConfig::default();
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tol" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--tol requires a value".to_string())?;
+                cfg.rel_tol = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("--tol: bad value `{raw}`"))?;
+            }
+            other => return Err(format!("diff: unexpected argument `{other}`")),
+        }
+    }
+    let before = StoredRun::load(&PathBuf::from(before_path))?;
+    let after = StoredRun::load(&PathBuf::from(after_path))?;
+    let report = diff::diff_runs(&before, &after, &cfg);
+    print!("{}", report.render());
+    Ok(if report.has_regressions() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn path_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} requires a path argument"))
+}

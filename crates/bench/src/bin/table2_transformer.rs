@@ -2,8 +2,9 @@
 //! and training cycles for BP vs ADA-GP.
 
 use adagp_accel::designs::AdaGpDesign;
+use adagp_bench::model_grid::transformer_shapes;
 use adagp_bench::report::render_table;
-use adagp_bench::speedup_tables::{cycle_pair, transformer_shapes};
+use adagp_bench::speedup_tables::cycle_pair;
 use adagp_bench::translation::{run_transformer_experiment, TransformerBudget};
 
 fn main() {

@@ -4,8 +4,9 @@
 
 use adagp_accel::designs::AdaGpDesign;
 use adagp_bench::detection::{run_detection_experiment, DetectionBudget};
+use adagp_bench::model_grid::yolo_shapes;
 use adagp_bench::report::render_table;
-use adagp_bench::speedup_tables::{cycle_pair, yolo_shapes};
+use adagp_bench::speedup_tables::cycle_pair;
 
 fn main() {
     let budget = if adagp_bench::full_budget() {

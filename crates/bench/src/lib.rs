@@ -11,6 +11,7 @@
 
 pub mod accuracy;
 pub mod detection;
+pub mod model_grid;
 pub mod report;
 pub mod speedup_tables;
 pub mod translation;

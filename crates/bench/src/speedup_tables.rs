@@ -1,17 +1,32 @@
 //! Analytic speed-up/energy experiment logic (Figures 16–21, §6.6.1).
+//!
+//! Since the sweep engine landed, the fig17–19 binaries are thin
+//! *presets* over `adagp_sweep`: [`run_speedup_figure`] expands the
+//! figure's grid, executes it in parallel on the shared runtime pool, and
+//! pivots the cells back into the paper's per-dataset panels. The numbers
+//! are identical to what the standalone per-figure loops produced — the
+//! engine calls the same `adagp_accel` model functions on the same shared
+//! shape tables (`crate::model_grid`), which the golden test in
+//! `tests/sweep_golden.rs` pins down.
 
+use crate::model_grid::{cifar_shapes, imagenet_shapes, vgg13_conv_shapes};
 use adagp_accel::dataflow::{AcceleratorConfig, Dataflow};
 use adagp_accel::designs::AdaGpDesign;
 use adagp_accel::energy::{adagp_energy_joules, baseline_energy_joules, EnergyConfig};
 use adagp_accel::layer_cost::{model_costs, PredictorCostModel};
-use adagp_accel::speedup::{geomean, training_speedup, EpochMix, MODEL_BATCH};
+use adagp_accel::speedup::{geomean, EpochMix, MODEL_BATCH};
 use adagp_accel::timeline::{characterize_layers, LayerCharacterization};
-use adagp_nn::models::shapes::{model_shapes, InputScale, LayerKind, LayerShape};
+use adagp_nn::models::shapes::LayerShape;
 use adagp_nn::models::CnnModel;
 use adagp_pipeline::{PipelineConfig, PipelineScheme};
+use adagp_sweep::{presets, runner, GridSpec, PhaseSchedule, SweepRun};
+use serde::{Deserialize, Serialize};
+
+pub use crate::model_grid::{transformer_shapes, yolo_shapes};
+pub use adagp_sweep::DatasetScale;
 
 /// One row of a Figures 17–19 speed-up table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpeedupRow {
     /// Model name.
     pub model: String,
@@ -23,63 +38,41 @@ pub struct SpeedupRow {
     pub max: f64,
 }
 
-/// The dataset column of Figures 17–19 (model input scale differs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DatasetScale {
-    /// CIFAR10 (32² inputs).
-    Cifar10,
-    /// CIFAR100 (32² inputs).
-    Cifar100,
-    /// ImageNet (224² inputs).
-    ImageNet,
-}
-
-impl DatasetScale {
-    /// All three dataset columns.
-    pub fn all() -> [DatasetScale; 3] {
-        [
-            DatasetScale::Cifar10,
-            DatasetScale::Cifar100,
-            DatasetScale::ImageNet,
-        ]
-    }
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            DatasetScale::Cifar10 => "Cifar10",
-            DatasetScale::Cifar100 => "Cifar100",
-            DatasetScale::ImageNet => "ImageNet",
-        }
-    }
-
-    /// Input scale of this dataset.
-    pub fn input_scale(&self) -> InputScale {
-        match self {
-            DatasetScale::ImageNet => InputScale::ImageNet,
-            _ => InputScale::Cifar,
-        }
+/// The single-dataset slice of a figure grid (engine form of one panel).
+fn panel_grid(df: Dataflow, dataset: DatasetScale) -> GridSpec {
+    GridSpec {
+        name: format!("panel-{}-{}", df.name(), dataset.name()),
+        models: CnnModel::all().to_vec(),
+        datasets: vec![dataset],
+        designs: AdaGpDesign::all().to_vec(),
+        dataflows: vec![df],
+        schedules: vec![PhaseSchedule::Paper],
     }
 }
 
-/// Speed-up rows for one dataflow and dataset (one panel of Figs 17–19),
-/// plus the geomean row.
-pub fn speedup_rows(df: Dataflow, dataset: DatasetScale) -> Vec<SpeedupRow> {
-    let cfg = AcceleratorConfig::default();
-    let mix = EpochMix::paper();
-    let mut rows: Vec<SpeedupRow> = CnnModel::all()
-        .iter()
-        .map(|&m| {
-            let layers = model_shapes(m, dataset.input_scale());
-            let s = |d| training_speedup(&cfg, df, d, &layers, &mix);
-            SpeedupRow {
-                model: m.name().to_string(),
-                low: s(AdaGpDesign::Low),
-                efficient: s(AdaGpDesign::Efficient),
-                max: s(AdaGpDesign::Max),
-            }
-        })
-        .collect();
+/// Pivots one dataset's cells of a figure run into the paper's table rows
+/// (one row per model, designs as columns) and appends the geomean row.
+fn rows_from_run(run: &SweepRun, dataset: DatasetScale) -> Vec<SpeedupRow> {
+    let mut rows: Vec<SpeedupRow> = Vec::new();
+    for cell in &run.cells {
+        if cell.spec.dataset != dataset {
+            continue;
+        }
+        if cell.spec.design == AdaGpDesign::Low {
+            rows.push(SpeedupRow {
+                model: cell.spec.model.name().to_string(),
+                low: 0.0,
+                efficient: 0.0,
+                max: 0.0,
+            });
+        }
+        let row = rows.last_mut().expect("LOW cell comes first per model");
+        match cell.spec.design {
+            AdaGpDesign::Low => row.low = cell.metrics.speedup,
+            AdaGpDesign::Efficient => row.efficient = cell.metrics.speedup,
+            AdaGpDesign::Max => row.max = cell.metrics.speedup,
+        }
+    }
     let g = |f: &dyn Fn(&SpeedupRow) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
     rows.push(SpeedupRow {
         model: "Geomean".to_string(),
@@ -90,14 +83,17 @@ pub fn speedup_rows(df: Dataflow, dataset: DatasetScale) -> Vec<SpeedupRow> {
     rows
 }
 
+/// Speed-up rows for one dataflow and dataset (one panel of Figs 17–19),
+/// plus the geomean row — a single-panel sweep through the grid engine.
+pub fn speedup_rows(df: Dataflow, dataset: DatasetScale) -> Vec<SpeedupRow> {
+    rows_from_run(&runner::run_grid(&panel_grid(df, dataset)), dataset)
+}
+
 /// Figure 16: per-layer characterization of VGG13's ten conv layers under
 /// ADA-GP-Efficient.
 pub fn vgg13_characterization() -> Vec<LayerCharacterization> {
     let cfg = AcceleratorConfig::default();
-    let layers: Vec<LayerShape> = model_shapes(CnnModel::Vgg13, InputScale::Cifar)
-        .into_iter()
-        .filter(|l| l.kind == LayerKind::Conv)
-        .collect();
+    let layers = vgg13_conv_shapes();
     let costs = model_costs(
         &cfg,
         Dataflow::WeightStationary,
@@ -133,7 +129,7 @@ pub fn pipeline_speedup_rows(scheme: PipelineScheme) -> Vec<(String, f64)> {
     let mut rows: Vec<(String, f64)> = CnnModel::all()
         .iter()
         .map(|&m| {
-            let layers = model_shapes(m, InputScale::ImageNet);
+            let layers = imagenet_shapes(m);
             // Each device runs one micro-batch (mini-batch / devices) of a
             // quarter of the layers, so the predictor latency is weighed
             // against a per-device, per-micro-batch forward slice.
@@ -166,7 +162,7 @@ pub fn energy_rows() -> Vec<(String, f64, f64, f64)> {
     CnnModel::all()
         .iter()
         .map(|&m| {
-            let layers = model_shapes(m, InputScale::Cifar);
+            let layers = cifar_shapes(m);
             (
                 m.name().to_string(),
                 baseline_energy_joules(&cfg, &layers, &mix),
@@ -177,12 +173,12 @@ pub fn energy_rows() -> Vec<(String, f64, f64, f64)> {
         .collect()
 }
 
-/// Prints one of Figures 17–19: speed-up tables for every dataset under a
-/// dataflow.
-pub fn print_speedup_figure(figure: &str, df: Dataflow) {
+/// Prints one of Figures 17–19 from an executed figure run: speed-up
+/// tables for every dataset panel.
+fn print_speedup_run(figure: &str, df: Dataflow, run: &SweepRun) {
     use crate::report::{f2, render_table};
     for dataset in DatasetScale::all() {
-        let rows: Vec<Vec<String>> = speedup_rows(df, dataset)
+        let rows: Vec<Vec<String>> = rows_from_run(run, dataset)
             .iter()
             .map(|r| vec![r.model.clone(), f2(r.low), f2(r.efficient), f2(r.max)])
             .collect();
@@ -201,6 +197,12 @@ pub fn print_speedup_figure(figure: &str, df: Dataflow) {
     }
 }
 
+/// Prints one of Figures 17–19 (runs the figure's grid through the sweep
+/// engine first).
+pub fn print_speedup_figure(figure: &str, df: Dataflow) {
+    print_speedup_run(figure, df, &runner::run_grid(&presets::speedup_figure(df)));
+}
+
 /// CSV header shared by the fig17–19 speed-up exports.
 pub const SPEEDUP_CSV_HEADER: [&str; 6] = [
     "dataflow",
@@ -211,33 +213,44 @@ pub const SPEEDUP_CSV_HEADER: [&str; 6] = [
     "adagp_max",
 ];
 
-/// Machine-readable rows for one of Figures 17–19: every dataset panel
-/// flattened into `(dataflow, dataset, model, low, efficient, max)`
-/// records — the format the future sweep driver diffs across PRs.
-pub fn speedup_figure_csv_rows(df: Dataflow) -> Vec<Vec<String>> {
+/// Flattens an executed figure run into the fig17–19 CSV layout:
+/// `(dataflow, dataset, model, low, efficient, max)` records, geomean
+/// rows included.
+fn csv_rows_from_run(df: Dataflow, run: &SweepRun) -> Vec<Vec<crate::report::Cell>> {
     let mut rows = Vec::new();
     for dataset in DatasetScale::all() {
-        for r in speedup_rows(df, dataset) {
+        for r in rows_from_run(run, dataset) {
             rows.push(vec![
-                df.name().to_string(),
-                dataset.name().to_string(),
-                r.model.clone(),
-                format!("{:.6}", r.low),
-                format!("{:.6}", r.efficient),
-                format!("{:.6}", r.max),
+                df.name().into(),
+                dataset.name().into(),
+                r.model.clone().into(),
+                r.low.into(),
+                r.efficient.into(),
+                r.max.into(),
             ]);
         }
     }
     rows
 }
 
-/// Shared driver for the fig17–19 binaries: prints the pretty tables and,
-/// when `--csv <path>` was passed on the command line, writes the same
-/// data as CSV next to them.
+/// Machine-readable rows for one of Figures 17–19: every dataset panel
+/// flattened into `(dataflow, dataset, model, low, efficient, max)`
+/// records. Float cells carry full precision; `report::write_csv` fixes
+/// the decimal places. (This is the figure's presentation layout — for
+/// files that `sweep diff` can consume, use `sweep run fig17-ws --csv`,
+/// which writes the store's cell-per-row schema.)
+pub fn speedup_figure_csv_rows(df: Dataflow) -> Vec<Vec<crate::report::Cell>> {
+    csv_rows_from_run(df, &runner::run_grid(&presets::speedup_figure(df)))
+}
+
+/// Shared driver for the fig17–19 binaries: one sweep-engine run of the
+/// figure's preset grid, printed as the pretty panels and, when `--csv
+/// <path>` was passed on the command line, written as CSV too.
 pub fn run_speedup_figure(figure: &str, df: Dataflow) {
-    print_speedup_figure(figure, df);
+    let run = runner::run_grid(&presets::speedup_figure(df));
+    print_speedup_run(figure, df, &run);
     if let Some(path) = crate::report::csv_path_from_args() {
-        let rows = speedup_figure_csv_rows(df);
+        let rows = csv_rows_from_run(df, &run);
         match crate::report::write_csv(&path, &SPEEDUP_CSV_HEADER, &rows) {
             Ok(()) => println!("wrote {} rows to {}", rows.len(), path.display()),
             Err(e) => {
@@ -246,58 +259,6 @@ pub fn run_speedup_figure(figure: &str, df: Dataflow) {
             }
         }
     }
-}
-
-/// Paper-scale layer shapes of the Table 2 Transformer (3 encoder + 3
-/// decoder layers, d_model 512, FFN 2048, sequence length 32). Per-token
-/// linear layers are encoded as 1×1 convs over the sequence axis, which
-/// makes their MAC count `tokens × in × out` as required.
-pub fn transformer_shapes() -> Vec<LayerShape> {
-    let (d, ff, seq) = (512usize, 2048usize, 32usize);
-    let mut shapes = Vec::new();
-    let lin = |label: String, i: usize, o: usize| LayerShape {
-        label,
-        kind: LayerKind::Conv,
-        in_ch: i,
-        out_ch: o,
-        k: 1,
-        h_out: seq,
-        w_out: 1,
-    };
-    for l in 0..3 {
-        for p in ["wq", "wk", "wv", "wo"] {
-            shapes.push(lin(format!("enc{l}.{p}"), d, d));
-        }
-        shapes.push(lin(format!("enc{l}.ff1"), d, ff));
-        shapes.push(lin(format!("enc{l}.ff2"), ff, d));
-    }
-    for l in 0..3 {
-        for p in ["sq", "sk", "sv", "so", "cq", "ck", "cv", "co"] {
-            shapes.push(lin(format!("dec{l}.{p}"), d, d));
-        }
-        shapes.push(lin(format!("dec{l}.ff1"), d, ff));
-        shapes.push(lin(format!("dec{l}.ff2"), ff, d));
-    }
-    shapes.push(lin("head".to_string(), d, 32_000));
-    shapes
-}
-
-/// Paper-scale layer shapes of the Table 3 YOLO-v3-style detector at VOC
-/// resolution (416², stride-8 grid).
-pub fn yolo_shapes() -> Vec<LayerShape> {
-    let mut shapes = Vec::new();
-    let widths = [16usize, 32, 64, 128, 256];
-    let mut ch = 3usize;
-    let mut size = 416usize;
-    for (i, &w) in widths.iter().enumerate() {
-        shapes.push(LayerShape::conv(format!("yolo_c{i}"), ch, w, 3, size));
-        if i + 1 < widths.len() {
-            size /= 2;
-        }
-        ch = w;
-    }
-    shapes.push(LayerShape::conv("yolo_head", ch, 75, 1, size)); // 5+20 classes, 3 anchors
-    shapes
 }
 
 /// Training cycles (baseline, ADA-GP) for an arbitrary shape list under a
@@ -326,6 +287,7 @@ pub fn cycle_pair(layers: &[LayerShape], design: AdaGpDesign) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::Cell;
 
     #[test]
     fn speedup_rows_cover_13_models_plus_geomean() {
@@ -353,11 +315,18 @@ mod tests {
         assert_eq!(rows.len(), 3 * 14);
         assert!(rows.iter().all(|r| r.len() == SPEEDUP_CSV_HEADER.len()));
         let df_name = Dataflow::WeightStationary.name();
-        assert!(rows.iter().all(|r| r[0] == df_name), "dataflow column");
-        // Numeric columns parse back.
+        assert!(
+            rows.iter().all(|r| r[0] == Cell::Text(df_name.to_string())),
+            "dataflow column"
+        );
+        // Numeric columns render at fixed precision and parse back.
         for r in &rows {
             for v in &r[3..6] {
-                v.parse::<f64>().expect("numeric CSV cell");
+                assert!(matches!(v, Cell::Float(_)));
+                let text = v.render();
+                let (_, decimals) = text.split_once('.').expect("fixed point");
+                assert_eq!(decimals.len(), adagp_sweep::store::CSV_FLOAT_DECIMALS);
+                text.parse::<f64>().expect("numeric CSV cell");
             }
         }
     }
@@ -389,16 +358,20 @@ mod tests {
     }
 
     #[test]
-    fn transformer_and_yolo_shapes_nonempty() {
-        let t = transformer_shapes();
-        assert_eq!(t.len(), 3 * 6 + 3 * 10 + 1);
-        let y = yolo_shapes();
-        assert_eq!(y.len(), 6);
-    }
-
-    #[test]
     fn cycle_pair_shows_speedup() {
         let (b, a) = cycle_pair(&transformer_shapes(), AdaGpDesign::Efficient);
         assert!(b / a > 1.0 && b / a < 2.0);
+    }
+
+    #[test]
+    fn speedup_row_serde_round_trips() {
+        // The bench result struct survives JSON through the activated
+        // vendored serde (ROADMAP "Real serde" step).
+        let rows = speedup_rows(Dataflow::WeightStationary, DatasetScale::Cifar10);
+        let js = serde::json::to_string(&rows);
+        let back: Vec<SpeedupRow> = serde::json::from_str(&js).expect("rows round-trip");
+        assert_eq!(back, rows);
+        // Full precision: bit-exact floats after the round trip.
+        assert_eq!(back[0].max.to_bits(), rows[0].max.to_bits());
     }
 }

@@ -267,4 +267,21 @@ mod tests {
         assert_eq!(c.epoch(), 1);
         assert_eq!(c.peek(), Phase::GP); // cycle restarts at GP
     }
+
+    #[test]
+    fn schedule_config_serde_round_trips() {
+        // Exercises Option<f32> and [(usize, usize); 4] fields through the
+        // activated serde derive.
+        for guard in [None, Some(7.5f32)] {
+            let cfg = ScheduleConfig {
+                mape_guard: guard,
+                ..Default::default()
+            };
+            let js = serde::json::to_string(&cfg);
+            let back: ScheduleConfig = serde::json::from_str(&js).expect("config round-trip");
+            assert_eq!(back, cfg, "{js}");
+        }
+        let js = serde::json::to_string(&Phase::GP);
+        assert_eq!(serde::json::from_str::<Phase>(&js).unwrap(), Phase::GP);
+    }
 }

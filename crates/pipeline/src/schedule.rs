@@ -165,4 +165,20 @@ mod tests {
         assert_eq!(g.bubbles(), 0);
         assert_eq!(g.makespan(), 4 * 3);
     }
+
+    #[test]
+    fn slot_kind_serde_round_trips_tuple_variants() {
+        // SlotKind mixes unit and single-field tuple variants — the
+        // hardest shape the activated serde derive supports.
+        for slot in [SlotKind::Idle, SlotKind::Forward(3), SlotKind::Backward(11)] {
+            let js = serde::json::to_string(&slot);
+            let back: SlotKind = serde::json::from_str(&js).expect("slot round-trip");
+            assert_eq!(back, slot, "{js}");
+        }
+        assert_eq!(serde::json::to_string(&SlotKind::Idle), "\"Idle\"");
+        assert_eq!(
+            serde::json::to_string(&SlotKind::Forward(3)),
+            "{\"Forward\":3}"
+        );
+    }
 }

@@ -83,6 +83,37 @@ fn parallel_for_covers_every_index_once() {
 }
 
 #[test]
+fn close_unblocks_a_producer_stuck_on_a_full_queue() {
+    // The queue is full and a producer is blocked inside `push`; closing
+    // must wake it and hand the unsent item back (the pipelined trainer
+    // relies on this for clean shutdown mid-epoch).
+    let q: BoundedQueue<u8> = BoundedQueue::new(1);
+    q.push(1).unwrap();
+    std::thread::scope(|s| {
+        let blocked = s.spawn(|| q.push(2));
+        // Give the producer time to block on the bound.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!blocked.is_finished(), "push must block while full");
+        q.close();
+        assert_eq!(blocked.join().unwrap(), Err(2), "item comes back on close");
+    });
+    // The queued item survives the close and drains normally.
+    assert_eq!(q.pop(), Some(1));
+    assert_eq!(q.pop(), None);
+}
+
+#[test]
+fn parallel_map_handles_empty_and_singleton_inputs() {
+    for threads in [1, 4] {
+        let pool = ThreadPool::new(threads);
+        let empty: Vec<u32> = pool.parallel_map(Vec::new(), |x: u32| x + 1);
+        assert!(empty.is_empty(), "threads={threads}");
+        let one = pool.parallel_map(vec![41u32], |x| x + 1);
+        assert_eq!(one, vec![42], "threads={threads}");
+    }
+}
+
+#[test]
 fn kernels_remain_deterministic_inside_pool_workers() {
     // Nested use: a parallel region whose tasks themselves run the toy
     // kernel (the pipelined trainer's predictor thread does exactly this).

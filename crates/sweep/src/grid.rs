@@ -1,0 +1,334 @@
+//! Declarative grid axes and deterministic expansion into identified
+//! cells.
+//!
+//! A [`GridSpec`] lists the values of each experiment axis; [`expand`]
+//! (`GridSpec::expand`) takes their cartesian product in a fixed nesting
+//! order (dataflow → dataset → model → design → schedule — the grouping
+//! order of the paper's figure panels). Each cell's identity is derived
+//! from its *content* (the canonical axis-value key), never from its
+//! position, so inserting an axis value reorders nothing retroactively:
+//! existing cells keep their IDs and stay diffable across PRs.
+
+use adagp_accel::speedup::EpochMix;
+use adagp_accel::{AdaGpDesign, Dataflow};
+use adagp_nn::models::shapes::InputScale;
+use adagp_nn::models::CnnModel;
+
+/// The dataset column of Figures 17–19 (model input scale differs).
+/// Moved here from `adagp_bench::speedup_tables` so the grid axes and the
+/// figure harness share one definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetScale {
+    /// CIFAR10 (32² inputs).
+    Cifar10,
+    /// CIFAR100 (32² inputs).
+    Cifar100,
+    /// ImageNet (224² inputs).
+    ImageNet,
+}
+
+impl DatasetScale {
+    /// All three dataset columns.
+    pub fn all() -> [DatasetScale; 3] {
+        [
+            DatasetScale::Cifar10,
+            DatasetScale::Cifar100,
+            DatasetScale::ImageNet,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetScale::Cifar10 => "Cifar10",
+            DatasetScale::Cifar100 => "Cifar100",
+            DatasetScale::ImageNet => "ImageNet",
+        }
+    }
+
+    /// Input scale of this dataset.
+    pub fn input_scale(&self) -> InputScale {
+        match self {
+            DatasetScale::ImageNet => InputScale::ImageNet,
+            _ => InputScale::Cifar,
+        }
+    }
+}
+
+/// A named phase schedule — the {warm-up, annealing, steady-state} epoch
+/// mix axis of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseSchedule {
+    /// The paper's 90-epoch run: 10 warm-up + 4+4+4 annealing + 68 steady.
+    Paper,
+    /// A conservative mix: long warm-up, then straight to 1:1 (no
+    /// annealing ramp). Lower speed-up, higher fidelity.
+    WarmupHeavy,
+    /// An aggressive mix: minimal warm-up, steady 1:1 for the rest.
+    SteadyOnly,
+}
+
+impl PhaseSchedule {
+    /// Every named schedule, in a stable order.
+    pub fn all() -> [PhaseSchedule; 3] {
+        [
+            PhaseSchedule::Paper,
+            PhaseSchedule::WarmupHeavy,
+            PhaseSchedule::SteadyOnly,
+        ]
+    }
+
+    /// Stable name used in cell keys, CSV and the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhaseSchedule::Paper => "paper",
+            PhaseSchedule::WarmupHeavy => "warmup-heavy",
+            PhaseSchedule::SteadyOnly => "steady-only",
+        }
+    }
+
+    /// The epoch mix this schedule denotes.
+    pub fn mix(&self) -> EpochMix {
+        match self {
+            PhaseSchedule::Paper => EpochMix::paper(),
+            PhaseSchedule::WarmupHeavy => EpochMix {
+                warmup: 50,
+                stage_4_1: 0,
+                stage_3_1: 0,
+                stage_2_1: 0,
+                stage_1_1: 40,
+            },
+            PhaseSchedule::SteadyOnly => EpochMix {
+                warmup: 10,
+                stage_4_1: 0,
+                stage_3_1: 0,
+                stage_2_1: 0,
+                stage_1_1: 80,
+            },
+        }
+    }
+}
+
+/// One expanded grid point with its stable content-derived ID.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Content-derived cell identity: 16 lowercase hex digits of
+    /// FNV-1a-64 over [`CellSpec::key`].
+    pub id: String,
+    /// Baseline dataflow the speed-up is measured against.
+    pub dataflow: Dataflow,
+    /// Dataset (sets the input scale of the layer shapes).
+    pub dataset: DatasetScale,
+    /// Model whose paper-scale layer shapes feed the cycle model.
+    pub model: CnnModel,
+    /// ADA-GP hardware design.
+    pub design: AdaGpDesign,
+    /// Phase schedule (epoch mix).
+    pub schedule: PhaseSchedule,
+}
+
+impl CellSpec {
+    /// Builds the cell for one combination of axis values (ID included).
+    pub fn new(
+        dataflow: Dataflow,
+        dataset: DatasetScale,
+        model: CnnModel,
+        design: AdaGpDesign,
+        schedule: PhaseSchedule,
+    ) -> Self {
+        let key = Self::key_of(dataflow, dataset, model, design, schedule);
+        CellSpec {
+            id: format!("{:016x}", fnv1a64(key.as_bytes())),
+            dataflow,
+            dataset,
+            model,
+            design,
+            schedule,
+        }
+    }
+
+    /// Canonical human-readable key: `dataflow/dataset/model/design/schedule`.
+    pub fn key(&self) -> String {
+        Self::key_of(
+            self.dataflow,
+            self.dataset,
+            self.model,
+            self.design,
+            self.schedule,
+        )
+    }
+
+    fn key_of(
+        dataflow: Dataflow,
+        dataset: DatasetScale,
+        model: CnnModel,
+        design: AdaGpDesign,
+        schedule: PhaseSchedule,
+    ) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            dataflow.name(),
+            dataset.name(),
+            model.name(),
+            design.name(),
+            schedule.name()
+        )
+    }
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms;
+/// collisions over the few-hundred-cell grid space are not a concern
+/// (and the expansion test asserts uniqueness anyway).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A declarative experiment grid: the cartesian product of its axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Grid name (used in run records and the CLI).
+    pub name: String,
+    /// Model axis.
+    pub models: Vec<CnnModel>,
+    /// Dataset axis.
+    pub datasets: Vec<DatasetScale>,
+    /// Hardware-design axis.
+    pub designs: Vec<AdaGpDesign>,
+    /// Baseline-dataflow axis.
+    pub dataflows: Vec<Dataflow>,
+    /// Phase-schedule axis.
+    pub schedules: Vec<PhaseSchedule>,
+}
+
+impl GridSpec {
+    /// Number of cells the grid expands into.
+    pub fn cell_count(&self) -> usize {
+        self.models.len()
+            * self.datasets.len()
+            * self.designs.len()
+            * self.dataflows.len()
+            * self.schedules.len()
+    }
+
+    /// Expands the axes into cells, in the deterministic nesting order
+    /// dataflow → dataset → model → design → schedule.
+    pub fn expand(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for &df in &self.dataflows {
+            for &ds in &self.datasets {
+                for &m in &self.models {
+                    for &d in &self.designs {
+                        for &s in &self.schedules {
+                            cells.push(CellSpec::new(df, ds, m, d, s));
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// One-line summary of the axis sizes, e.g. `13m × 3ds × 3d × 1df × 1s`.
+    pub fn axes_summary(&self) -> String {
+        format!(
+            "{}m × {}ds × {}d × {}df × {}s",
+            self.models.len(),
+            self.datasets.len(),
+            self.designs.len(),
+            self.dataflows.len(),
+            self.schedules.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> GridSpec {
+        GridSpec {
+            name: "tiny".to_string(),
+            models: vec![CnnModel::Vgg13, CnnModel::ResNet50],
+            datasets: vec![DatasetScale::Cifar10],
+            designs: vec![AdaGpDesign::Efficient, AdaGpDesign::Max],
+            dataflows: vec![Dataflow::WeightStationary],
+            schedules: vec![PhaseSchedule::Paper],
+        }
+    }
+
+    #[test]
+    fn expansion_matches_cell_count_and_order() {
+        let g = tiny_grid();
+        let cells = g.expand();
+        assert_eq!(cells.len(), g.cell_count());
+        assert_eq!(cells.len(), 4);
+        // model-major over designs: Vgg13/Eff, Vgg13/Max, ResNet50/Eff, ...
+        assert_eq!(cells[0].model, CnnModel::Vgg13);
+        assert_eq!(cells[0].design, AdaGpDesign::Efficient);
+        assert_eq!(cells[1].model, CnnModel::Vgg13);
+        assert_eq!(cells[1].design, AdaGpDesign::Max);
+        assert_eq!(cells[2].model, CnnModel::ResNet50);
+    }
+
+    #[test]
+    fn ids_are_stable_and_content_derived() {
+        // Golden values: these must never change across PRs — the whole
+        // point of content-derived IDs is that stored runs stay diffable.
+        let cell = CellSpec::new(
+            Dataflow::WeightStationary,
+            DatasetScale::Cifar10,
+            CnnModel::Vgg13,
+            AdaGpDesign::Efficient,
+            PhaseSchedule::Paper,
+        );
+        assert_eq!(cell.key(), "WS/Cifar10/VGG13/ADA-GP-Efficient/paper");
+        assert_eq!(
+            cell.id,
+            format!("{:016x}", super::fnv1a64(cell.key().as_bytes()))
+        );
+        // Same content → same id, regardless of grid or position.
+        let again = tiny_grid()
+            .expand()
+            .into_iter()
+            .find(|c| c.key() == cell.key())
+            .expect("cell present");
+        assert_eq!(again.id, cell.id);
+    }
+
+    #[test]
+    fn ids_are_unique_across_the_full_grid() {
+        let g = GridSpec {
+            name: "full".to_string(),
+            models: CnnModel::all().to_vec(),
+            datasets: DatasetScale::all().to_vec(),
+            designs: AdaGpDesign::all().to_vec(),
+            dataflows: Dataflow::all().to_vec(),
+            schedules: PhaseSchedule::all().to_vec(),
+        };
+        let cells = g.expand();
+        assert_eq!(cells.len(), 13 * 3 * 3 * 4 * 3);
+        let ids: std::collections::HashSet<_> = cells.iter().map(|c| c.id.clone()).collect();
+        assert_eq!(ids.len(), cells.len(), "cell ID collision");
+    }
+
+    #[test]
+    fn schedules_have_distinct_mixes_of_equal_length() {
+        let totals: Vec<usize> = PhaseSchedule::all()
+            .iter()
+            .map(|s| s.mix().total())
+            .collect();
+        assert_eq!(totals, vec![90, 90, 90]);
+        assert_ne!(PhaseSchedule::Paper.mix(), PhaseSchedule::WarmupHeavy.mix());
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // Published FNV-1a test vector: "a" → 0xaf63dc4c8601ec8c.
+        assert_eq!(super::fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,55 @@
+//! # adagp-sweep
+//!
+//! The declarative experiment-grid engine behind the paper's evaluation
+//! surface. Every headline result of ADA-GP (Figures 17–21, Tables 1–5)
+//! is a point on one grid — {model × dataset × accelerator design ×
+//! dataflow × phase schedule} — and this crate makes that grid a value
+//! instead of a convention scattered across `adagp-bench` binaries:
+//!
+//! * [`grid`] — a [`GridSpec`](grid::GridSpec) declares axes; expansion
+//!   yields [`CellSpec`](grid::CellSpec)s with **stable, content-derived
+//!   IDs** (FNV-1a over the cell's canonical key), so the same cell keeps
+//!   the same identity across runs, machines and PRs.
+//! * [`shapes`] — the single, memoized source of paper-scale layer shapes
+//!   per (model, input scale); the bench harness shares it instead of
+//!   re-deriving shapes per figure.
+//! * [`runner`] — executes cells in parallel on the shared
+//!   `adagp-runtime` pool (`parallel_map`, so result order is the
+//!   deterministic expansion order) with per-cell wall timing.
+//! * [`store`] — serializes runs to byte-stable CSV (fixed-precision
+//!   floats, no timing columns) and JSON (full precision + timing, via
+//!   the now-activated vendored serde derives), and loads either back.
+//! * [`diff`] — compares two stored runs cell-by-cell with configurable
+//!   tolerances and classifies regressions/improvements — the cross-PR
+//!   trajectory tracker ROADMAP asked for.
+//! * [`presets`] — the named grids the `sweep` CLI exposes (`fig17-ws`,
+//!   `fig18-rs`, `fig19-is`, `energy`, `dataflows`, `schedules`,
+//!   `smoke`).
+//!
+//! ## Example
+//!
+//! ```
+//! use adagp_sweep::{diff, presets, runner, store};
+//!
+//! let grid = presets::by_name("smoke").expect("known preset");
+//! let run = runner::run_grid(&grid);
+//! assert_eq!(run.cells.len(), grid.cell_count());
+//!
+//! // Two identical runs diff clean.
+//! let a = store::StoredRun::from_run(&run);
+//! let b = store::StoredRun::from_run(&runner::run_grid(&grid));
+//! let report = diff::diff_runs(&a, &b, &diff::DiffConfig::default());
+//! assert!(!report.has_regressions());
+//! ```
+
+pub mod diff;
+pub mod grid;
+pub mod presets;
+pub mod runner;
+pub mod shapes;
+pub mod store;
+
+pub use diff::{diff_runs, DiffConfig, DiffReport};
+pub use grid::{CellSpec, DatasetScale, GridSpec, PhaseSchedule};
+pub use runner::{run_grid, CellMetrics, CellResult, SweepRun};
+pub use store::StoredRun;

@@ -1,0 +1,129 @@
+//! Named grids: the sweeps the paper's figures are points on, plus a tiny
+//! smoke grid for CI.
+
+use crate::grid::{DatasetScale, GridSpec, PhaseSchedule};
+use adagp_accel::{AdaGpDesign, Dataflow};
+use adagp_nn::models::CnnModel;
+
+/// The speed-up figure grid for one baseline dataflow: all 13 models ×
+/// 3 datasets × 3 designs under the paper schedule (one of Figs 17–19).
+pub fn speedup_figure(df: Dataflow) -> GridSpec {
+    GridSpec {
+        name: match df {
+            Dataflow::WeightStationary => "fig17-ws",
+            Dataflow::RowStationary => "fig18-rs",
+            Dataflow::InputStationary => "fig19-is",
+            Dataflow::OutputStationary => "speedup-os",
+        }
+        .to_string(),
+        models: CnnModel::all().to_vec(),
+        datasets: DatasetScale::all().to_vec(),
+        designs: AdaGpDesign::all().to_vec(),
+        dataflows: vec![df],
+        schedules: vec![PhaseSchedule::Paper],
+    }
+}
+
+/// Figure 21's grid: per-model memory energy for the Efficient and MAX
+/// designs at CIFAR scale (the energy metrics carry the result; the
+/// baseline column is the `baseline_energy_j` metric of any design row).
+pub fn energy() -> GridSpec {
+    GridSpec {
+        name: "energy".to_string(),
+        models: CnnModel::all().to_vec(),
+        datasets: vec![DatasetScale::Cifar10],
+        designs: vec![AdaGpDesign::Efficient, AdaGpDesign::Max],
+        dataflows: vec![Dataflow::WeightStationary],
+        schedules: vec![PhaseSchedule::Paper],
+    }
+}
+
+/// Every dataflow (including Output-Stationary, which the figures skip) ×
+/// every design for one representative model per family — the ablation
+/// surface ROADMAP's sweep item asked for.
+pub fn dataflows() -> GridSpec {
+    GridSpec {
+        name: "dataflows".to_string(),
+        models: vec![
+            CnnModel::ResNet50,
+            CnnModel::InceptionV3,
+            CnnModel::Vgg13,
+            CnnModel::DenseNet121,
+            CnnModel::MobileNetV2,
+        ],
+        datasets: vec![DatasetScale::Cifar10, DatasetScale::ImageNet],
+        designs: AdaGpDesign::all().to_vec(),
+        dataflows: Dataflow::all().to_vec(),
+        schedules: vec![PhaseSchedule::Paper],
+    }
+}
+
+/// Phase-schedule sensitivity: how much of the speed-up each epoch mix
+/// keeps, across designs.
+pub fn schedules() -> GridSpec {
+    GridSpec {
+        name: "schedules".to_string(),
+        models: vec![CnnModel::Vgg13, CnnModel::ResNet50, CnnModel::MobileNetV2],
+        datasets: vec![DatasetScale::Cifar10],
+        designs: AdaGpDesign::all().to_vec(),
+        dataflows: vec![Dataflow::WeightStationary],
+        schedules: PhaseSchedule::all().to_vec(),
+    }
+}
+
+/// The CI smoke grid: 2 models × 2 designs (4 cells), small enough to run
+/// in milliseconds and diff against a committed golden CSV.
+pub fn smoke() -> GridSpec {
+    GridSpec {
+        name: "smoke".to_string(),
+        models: vec![CnnModel::Vgg13, CnnModel::ResNet50],
+        datasets: vec![DatasetScale::Cifar10],
+        designs: vec![AdaGpDesign::Efficient, AdaGpDesign::Max],
+        dataflows: vec![Dataflow::WeightStationary],
+        schedules: vec![PhaseSchedule::Paper],
+    }
+}
+
+/// Every named preset, in CLI listing order.
+pub fn all() -> Vec<GridSpec> {
+    vec![
+        speedup_figure(Dataflow::WeightStationary),
+        speedup_figure(Dataflow::RowStationary),
+        speedup_figure(Dataflow::InputStationary),
+        energy(),
+        dataflows(),
+        schedules(),
+        smoke(),
+    ]
+}
+
+/// Looks a preset up by its name.
+pub fn by_name(name: &str) -> Option<GridSpec> {
+    all().into_iter().find(|g| g.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_names_are_unique_and_resolvable() {
+        let presets = all();
+        let names: std::collections::HashSet<_> = presets.iter().map(|g| g.name.clone()).collect();
+        assert_eq!(names.len(), presets.len());
+        for g in &presets {
+            assert_eq!(by_name(&g.name).as_ref(), Some(g));
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn figure_presets_match_figure_shapes() {
+        let fig17 = speedup_figure(Dataflow::WeightStationary);
+        assert_eq!(fig17.name, "fig17-ws");
+        // 13 models × 3 datasets × 3 designs = 117 cells per figure.
+        assert_eq!(fig17.cell_count(), 117);
+        assert_eq!(smoke().cell_count(), 4);
+        assert_eq!(energy().cell_count(), 26);
+    }
+}

@@ -1,0 +1,166 @@
+//! Parallel grid execution on the shared `adagp-runtime` pool.
+//!
+//! Cells are independent evaluations of the analytic cycle/energy models,
+//! so they map cleanly onto `ThreadPool::parallel_map`: the work split is
+//! deterministic, result order is the grid's expansion order regardless
+//! of thread count, and the caller participates (a 1-thread pool runs the
+//! sweep inline). Per-cell wall time is recorded for the JSON run record;
+//! it never enters the CSV, which must stay byte-stable across runs.
+
+use crate::grid::{CellSpec, GridSpec};
+use crate::shapes::cached_shapes;
+use adagp_accel::energy::{adagp_energy_joules, baseline_energy_joules, EnergyConfig};
+use adagp_accel::speedup::{adagp_training_cycles, baseline_training_cycles};
+use adagp_accel::AcceleratorConfig;
+use std::time::Instant;
+
+/// The metric values one cell produces. All five are deterministic
+/// functions of the cell's axis values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// End-to-end training speed-up over the baseline (higher is better).
+    pub speedup: f64,
+    /// Baseline training cycles (lower is better).
+    pub baseline_cycles: f64,
+    /// ADA-GP training cycles (lower is better).
+    pub adagp_cycles: f64,
+    /// Baseline off-chip memory energy in joules (lower is better).
+    pub baseline_energy_j: f64,
+    /// ADA-GP off-chip memory energy in joules (lower is better).
+    pub adagp_energy_j: f64,
+}
+
+/// One executed cell: its spec, metrics and wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The grid point that was evaluated.
+    pub spec: CellSpec,
+    /// The metric values it produced.
+    pub metrics: CellMetrics,
+    /// Wall-clock microseconds this cell took (timing only — excluded
+    /// from the byte-stable CSV).
+    pub wall_micros: u64,
+}
+
+/// A completed sweep: every cell of one grid, in expansion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRun {
+    /// Name of the grid that ran.
+    pub grid: String,
+    /// Cell results, in the grid's deterministic expansion order.
+    pub cells: Vec<CellResult>,
+    /// Total wall-clock microseconds for the whole sweep.
+    pub total_wall_micros: u64,
+}
+
+/// Evaluates one cell: the speed-up/cycle/energy metrics of its
+/// (model, dataset, dataflow, design, schedule) combination. Identical to
+/// what the standalone fig17–21 binaries computed, by construction: it
+/// calls the same `adagp_accel` model functions on the same shapes.
+pub fn evaluate_cell(spec: &CellSpec) -> CellMetrics {
+    let layers = cached_shapes(spec.model, spec.dataset.input_scale());
+    let cfg = AcceleratorConfig::default();
+    let mix = spec.schedule.mix();
+    let baseline_cycles = baseline_training_cycles(&cfg, spec.dataflow, &layers, &mix);
+    let adagp_cycles = adagp_training_cycles(&cfg, spec.dataflow, spec.design, &layers, &mix);
+    let ecfg = EnergyConfig::default();
+    CellMetrics {
+        speedup: baseline_cycles / adagp_cycles,
+        baseline_cycles,
+        adagp_cycles,
+        baseline_energy_j: baseline_energy_joules(&ecfg, &layers, &mix),
+        adagp_energy_j: adagp_energy_joules(&ecfg, &layers, &mix, spec.design),
+    }
+}
+
+/// Runs every cell of `grid` in parallel on the shared runtime pool.
+/// Result order is the expansion order (deterministic; `parallel_map`
+/// preserves input order for every thread count).
+pub fn run_grid(grid: &GridSpec) -> SweepRun {
+    let t0 = Instant::now();
+    let cells = adagp_runtime::pool().parallel_map(grid.expand(), |spec| {
+        let t = Instant::now();
+        let metrics = evaluate_cell(&spec);
+        CellResult {
+            spec,
+            metrics,
+            wall_micros: t.elapsed().as_micros() as u64,
+        }
+    });
+    SweepRun {
+        grid: grid.name.clone(),
+        cells,
+        total_wall_micros: t0.elapsed().as_micros() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{DatasetScale, PhaseSchedule};
+    use adagp_accel::{AdaGpDesign, Dataflow};
+    use adagp_nn::models::CnnModel;
+
+    fn grid() -> GridSpec {
+        GridSpec {
+            name: "test".to_string(),
+            models: vec![CnnModel::Vgg13, CnnModel::MobileNetV2],
+            datasets: vec![DatasetScale::Cifar10, DatasetScale::ImageNet],
+            designs: AdaGpDesign::all().to_vec(),
+            dataflows: vec![Dataflow::WeightStationary],
+            schedules: vec![PhaseSchedule::Paper],
+        }
+    }
+
+    #[test]
+    fn run_covers_every_cell_in_expansion_order() {
+        let g = grid();
+        let run = run_grid(&g);
+        assert_eq!(run.grid, "test");
+        assert_eq!(run.cells.len(), g.cell_count());
+        let expected: Vec<String> = g.expand().into_iter().map(|c| c.id).collect();
+        let got: Vec<String> = run.cells.iter().map(|c| c.spec.id.clone()).collect();
+        assert_eq!(got, expected, "result order must be expansion order");
+    }
+
+    #[test]
+    fn metrics_are_deterministic_and_consistent() {
+        let g = grid();
+        let a = run_grid(&g);
+        let b = run_grid(&g);
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.metrics, y.metrics, "{}", x.spec.key());
+            let m = x.metrics;
+            assert!(m.speedup > 1.0 && m.speedup < 3.0, "{}", x.spec.key());
+            assert_eq!(m.speedup, m.baseline_cycles / m.adagp_cycles);
+            assert!(m.adagp_energy_j <= m.baseline_energy_j, "{}", x.spec.key());
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let g = grid();
+        let reference = adagp_runtime::with_threads(1, || run_grid(&g));
+        for threads in [2, 3, 7] {
+            let got = adagp_runtime::with_threads(threads, || run_grid(&g));
+            let a: Vec<_> = reference
+                .cells
+                .iter()
+                .map(|c| (&c.spec, c.metrics))
+                .collect();
+            let b: Vec<_> = got.cells.iter().map(|c| (&c.spec, c.metrics)).collect();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn design_ordering_holds_per_model() {
+        // MAX ≥ Efficient ≥ LOW within every (model, dataset) group.
+        let run = run_grid(&grid());
+        for chunk in run.cells.chunks(3) {
+            assert_eq!(chunk[0].spec.design, AdaGpDesign::Low);
+            assert!(chunk[2].metrics.speedup >= chunk[1].metrics.speedup);
+            assert!(chunk[1].metrics.speedup >= chunk[0].metrics.speedup);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The single, memoized source of paper-scale layer shapes.
+//!
+//! Before this module, every bench experiment re-derived its per-model
+//! layer-shape tables independently (`speedup_rows`, `energy_rows`,
+//! `pipeline_speedup_rows`, fig16 …) — the "re-derive per-model layer
+//! shapes independently" note in ROADMAP. Now there is exactly one
+//! derivation per (model, input scale), cached for the process lifetime
+//! and shared by the sweep runner and the whole bench harness.
+
+use adagp_nn::models::shapes::{model_shapes, InputScale, LayerShape};
+use adagp_nn::models::CnnModel;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+type ShapeCache = Mutex<HashMap<(CnnModel, InputScale), Arc<Vec<LayerShape>>>>;
+
+fn cache() -> &'static ShapeCache {
+    static CACHE: OnceLock<ShapeCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Paper-scale shapes for `model` at `scale`, derived once per process
+/// and shared thereafter (cheap to clone: `Arc`).
+pub fn cached_shapes(model: CnnModel, scale: InputScale) -> Arc<Vec<LayerShape>> {
+    let mut map = cache().lock().expect("shape cache poisoned");
+    Arc::clone(
+        map.entry((model, scale))
+            .or_insert_with(|| Arc::new(model_shapes(model, scale))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_the_same_allocation() {
+        let a = cached_shapes(CnnModel::Vgg13, InputScale::Cifar);
+        let b = cached_shapes(CnnModel::Vgg13, InputScale::Cifar);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(*a, model_shapes(CnnModel::Vgg13, InputScale::Cifar));
+    }
+
+    #[test]
+    fn scales_are_cached_separately() {
+        let cifar = cached_shapes(CnnModel::ResNet50, InputScale::Cifar);
+        let imagenet = cached_shapes(CnnModel::ResNet50, InputScale::ImageNet);
+        assert!(!Arc::ptr_eq(&cifar, &imagenet));
+        assert_ne!(*cifar, *imagenet);
+    }
+}

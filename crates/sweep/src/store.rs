@@ -1,0 +1,435 @@
+//! Persisting sweep runs: byte-stable CSV and full-fidelity JSON.
+//!
+//! Two formats, two jobs:
+//!
+//! * **CSV** — the diffable artifact. Metric floats are formatted at a
+//!   fixed precision ([`CSV_FLOAT_DECIMALS`] decimals, never
+//!   shortest-round-trip `Display`) and timing columns are excluded, so
+//!   two runs of the same code produce byte-identical files — `git diff`
+//!   on a committed run file means something changed in the *model*, not
+//!   in float formatting or scheduling noise.
+//! * **JSON** — the run record. Full-precision metrics plus per-cell and
+//!   total wall time, serialized through the activated vendored serde
+//!   derives on [`RunRecord`]/[`CellRecord`].
+//!
+//! [`StoredRun`] is the format-agnostic view the [`diff`](crate::diff)
+//! engine consumes; it loads from either format (by extension) or
+//! directly from an in-memory [`SweepRun`].
+
+use crate::runner::SweepRun;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Fixed decimal places for every metric float in CSV output.
+pub const CSV_FLOAT_DECIMALS: usize = 6;
+
+/// Schema version embedded in JSON run records.
+pub const RUN_SCHEMA_VERSION: u32 = 1;
+
+/// The CSV column layout: identity, axis values, then the metrics of
+/// [`METRICS`] in order.
+pub const CSV_HEADER: [&str; 11] = [
+    "id",
+    "dataflow",
+    "dataset",
+    "model",
+    "design",
+    "schedule",
+    "speedup",
+    "baseline_cycles",
+    "adagp_cycles",
+    "baseline_energy_j",
+    "adagp_energy_j",
+];
+
+/// Number of leading non-metric (identity + axis) columns in the CSV.
+pub const CSV_META_COLUMNS: usize = 6;
+
+/// One metric column: its name and which direction is an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metric {
+    /// Column name (matches [`CSV_HEADER`]).
+    pub name: &'static str,
+    /// `true` if larger values are better (speed-up); `false` if smaller
+    /// values are better (cycles, energy).
+    pub higher_is_better: bool,
+}
+
+/// The five metric columns every cell produces, in CSV order.
+pub const METRICS: [Metric; 5] = [
+    Metric {
+        name: "speedup",
+        higher_is_better: true,
+    },
+    Metric {
+        name: "baseline_cycles",
+        higher_is_better: false,
+    },
+    Metric {
+        name: "adagp_cycles",
+        higher_is_better: false,
+    },
+    Metric {
+        name: "baseline_energy_j",
+        higher_is_better: false,
+    },
+    Metric {
+        name: "adagp_energy_j",
+        higher_is_better: false,
+    },
+];
+
+/// JSON run record (schema, grid name, timing, cells).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Record schema version ([`RUN_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Name of the grid that ran.
+    pub grid: String,
+    /// Total sweep wall time in microseconds.
+    pub total_wall_micros: u64,
+    /// Every cell, in expansion order.
+    pub cells: Vec<CellRecord>,
+}
+
+/// JSON cell record: axis names as strings (stable display names), full
+/// precision metrics, per-cell timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Content-derived cell ID.
+    pub id: String,
+    /// Dataflow display name.
+    pub dataflow: String,
+    /// Dataset display name.
+    pub dataset: String,
+    /// Model display name.
+    pub model: String,
+    /// Design display name.
+    pub design: String,
+    /// Schedule name.
+    pub schedule: String,
+    /// End-to-end speed-up.
+    pub speedup: f64,
+    /// Baseline training cycles.
+    pub baseline_cycles: f64,
+    /// ADA-GP training cycles.
+    pub adagp_cycles: f64,
+    /// Baseline memory energy (J).
+    pub baseline_energy_j: f64,
+    /// ADA-GP memory energy (J).
+    pub adagp_energy_j: f64,
+    /// Wall-clock microseconds for this cell.
+    pub wall_micros: u64,
+}
+
+impl RunRecord {
+    /// Builds the JSON record of a completed run.
+    pub fn from_run(run: &SweepRun) -> RunRecord {
+        RunRecord {
+            schema: RUN_SCHEMA_VERSION,
+            grid: run.grid.clone(),
+            total_wall_micros: run.total_wall_micros,
+            cells: run
+                .cells
+                .iter()
+                .map(|c| CellRecord {
+                    id: c.spec.id.clone(),
+                    dataflow: c.spec.dataflow.name().to_string(),
+                    dataset: c.spec.dataset.name().to_string(),
+                    model: c.spec.model.name().to_string(),
+                    design: c.spec.design.name().to_string(),
+                    schedule: c.spec.schedule.name().to_string(),
+                    speedup: c.metrics.speedup,
+                    baseline_cycles: c.metrics.baseline_cycles,
+                    adagp_cycles: c.metrics.adagp_cycles,
+                    baseline_energy_j: c.metrics.baseline_energy_j,
+                    adagp_energy_j: c.metrics.adagp_energy_j,
+                    wall_micros: c.wall_micros,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Formats a metric float exactly as the CSV stores it.
+pub fn csv_float(v: f64) -> String {
+    format!("{v:.prec$}", prec = CSV_FLOAT_DECIMALS)
+}
+
+/// Renders a run as byte-stable CSV (header + one row per cell).
+pub fn to_csv_string(run: &SweepRun) -> String {
+    let mut out = String::new();
+    out.push_str(&CSV_HEADER.join(","));
+    out.push('\n');
+    for c in &run.cells {
+        let m = c.metrics;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            c.spec.id,
+            c.spec.dataflow.name(),
+            c.spec.dataset.name(),
+            c.spec.model.name(),
+            c.spec.design.name(),
+            c.spec.schedule.name(),
+            csv_float(m.speedup),
+            csv_float(m.baseline_cycles),
+            csv_float(m.adagp_cycles),
+            csv_float(m.baseline_energy_j),
+            csv_float(m.adagp_energy_j),
+        ));
+    }
+    out
+}
+
+/// Renders a run as a pretty-printed JSON record.
+pub fn to_json_string(run: &SweepRun) -> String {
+    let mut s = serde::json::to_string_pretty(&RunRecord::from_run(run));
+    s.push('\n');
+    s
+}
+
+/// Writes the CSV form of `run` to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv(path: &Path, run: &SweepRun) -> std::io::Result<()> {
+    std::fs::write(path, to_csv_string(run))
+}
+
+/// Writes the JSON record of `run` to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_json(path: &Path, run: &SweepRun) -> std::io::Result<()> {
+    std::fs::write(path, to_json_string(run))
+}
+
+/// One stored cell: identity, axis values, metric values in
+/// [`METRICS`] order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredCell {
+    /// Content-derived cell ID.
+    pub id: String,
+    /// Axis display values: dataflow, dataset, model, design, schedule.
+    pub axes: [String; 5],
+    /// Metric values, aligned with [`METRICS`].
+    pub metrics: [f64; 5],
+}
+
+impl StoredCell {
+    /// `dataflow/dataset/model/design/schedule` — the cell's readable key.
+    pub fn key(&self) -> String {
+        self.axes.join("/")
+    }
+}
+
+/// A format-agnostic stored run: what the diff engine consumes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StoredRun {
+    /// Stored cells, in file order.
+    pub cells: Vec<StoredCell>,
+}
+
+impl StoredRun {
+    /// Views an in-memory run as a stored run (quantized exactly like the
+    /// CSV would be, so in-memory and on-disk diffs agree).
+    pub fn from_run(run: &SweepRun) -> StoredRun {
+        Self::from_csv_str(&to_csv_string(run)).expect("self-generated CSV parses")
+    }
+
+    /// Loads a stored run from `path`, dispatching on the extension
+    /// (`.json` → JSON record, anything else → CSV).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O or parse failure.
+    pub fn load(path: &Path) -> Result<StoredRun, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let parsed = if path.extension().is_some_and(|e| e == "json") {
+            Self::from_json_str(&text)
+        } else {
+            Self::from_csv_str(&text)
+        };
+        parsed.map_err(|e| format!("parse {}: {e}", path.display()))
+    }
+
+    /// Parses the CSV form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_csv_str(text: &str) -> Result<StoredRun, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        let expected = CSV_HEADER.join(",");
+        if header != expected {
+            return Err(format!(
+                "unexpected CSV header `{header}` (expected `{expected}`)"
+            ));
+        }
+        let mut cells = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != CSV_HEADER.len() {
+                return Err(format!(
+                    "line {}: {} fields (expected {})",
+                    lineno + 2,
+                    fields.len(),
+                    CSV_HEADER.len()
+                ));
+            }
+            let mut metrics = [0.0f64; METRICS.len()];
+            for (i, m) in metrics.iter_mut().enumerate() {
+                let raw = fields[CSV_META_COLUMNS + i];
+                *m = raw.parse::<f64>().map_err(|_| {
+                    format!("line {}: bad {} value `{raw}`", lineno + 2, METRICS[i].name)
+                })?;
+            }
+            cells.push(StoredCell {
+                id: fields[0].to_string(),
+                axes: [
+                    fields[1].to_string(),
+                    fields[2].to_string(),
+                    fields[3].to_string(),
+                    fields[4].to_string(),
+                    fields[5].to_string(),
+                ],
+                metrics,
+            });
+        }
+        Ok(StoredRun { cells })
+    }
+
+    /// Parses the JSON record form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the syntax or schema mismatch.
+    pub fn from_json_str(text: &str) -> Result<StoredRun, String> {
+        let record: RunRecord = serde::json::from_str(text).map_err(|e| e.to_string())?;
+        if record.schema != RUN_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported run schema {} (expected {RUN_SCHEMA_VERSION})",
+                record.schema
+            ));
+        }
+        Ok(StoredRun {
+            cells: record
+                .cells
+                .into_iter()
+                .map(|c| StoredCell {
+                    id: c.id,
+                    axes: [c.dataflow, c.dataset, c.model, c.design, c.schedule],
+                    metrics: [
+                        c.speedup,
+                        c.baseline_cycles,
+                        c.adagp_cycles,
+                        c.baseline_energy_j,
+                        c.adagp_energy_j,
+                    ],
+                })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{DatasetScale, GridSpec, PhaseSchedule};
+    use crate::runner::run_grid;
+    use adagp_accel::{AdaGpDesign, Dataflow};
+    use adagp_nn::models::CnnModel;
+
+    fn small_run() -> SweepRun {
+        run_grid(&GridSpec {
+            name: "store-test".to_string(),
+            models: vec![CnnModel::Vgg13],
+            datasets: vec![DatasetScale::Cifar10],
+            designs: vec![AdaGpDesign::Efficient, AdaGpDesign::Max],
+            dataflows: vec![Dataflow::WeightStationary],
+            schedules: vec![PhaseSchedule::Paper],
+        })
+    }
+
+    #[test]
+    fn csv_is_byte_stable_across_runs() {
+        // Same grid, two executions (different wall times!) → same bytes.
+        assert_eq!(to_csv_string(&small_run()), to_csv_string(&small_run()));
+    }
+
+    #[test]
+    fn csv_round_trips_through_stored_run() {
+        let run = small_run();
+        let stored = StoredRun::from_csv_str(&to_csv_string(&run)).unwrap();
+        assert_eq!(stored.cells.len(), run.cells.len());
+        for (s, c) in stored.cells.iter().zip(&run.cells) {
+            assert_eq!(s.id, c.spec.id);
+            assert_eq!(s.key(), c.spec.key());
+            // CSV quantizes to CSV_FLOAT_DECIMALS decimals.
+            assert!((s.metrics[0] - c.metrics.speedup).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn json_round_trips_at_full_precision() {
+        let run = small_run();
+        let record = RunRecord::from_run(&run);
+        let back: RunRecord = serde::json::from_str(&to_json_string(&run)).unwrap();
+        assert_eq!(back, record);
+        // Bit-exact metrics (no quantization in JSON).
+        assert_eq!(
+            back.cells[0].speedup.to_bits(),
+            run.cells[0].metrics.speedup.to_bits()
+        );
+        let stored = StoredRun::from_json_str(&to_json_string(&run)).unwrap();
+        assert_eq!(
+            stored.cells[0].metrics[0].to_bits(),
+            run.cells[0].metrics.speedup.to_bits()
+        );
+    }
+
+    #[test]
+    fn load_dispatches_on_extension() {
+        let run = small_run();
+        let dir = std::env::temp_dir();
+        let csv = dir.join(format!("adagp-sweep-{}.csv", std::process::id()));
+        let json = dir.join(format!("adagp-sweep-{}.json", std::process::id()));
+        write_csv(&csv, &run).unwrap();
+        write_json(&json, &run).unwrap();
+        let from_csv = StoredRun::load(&csv).unwrap();
+        let from_json = StoredRun::load(&json).unwrap();
+        assert_eq!(from_csv.cells.len(), from_json.cells.len());
+        assert_eq!(from_csv.cells[0].id, from_json.cells[0].id);
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected_with_context() {
+        assert!(StoredRun::from_csv_str("").is_err());
+        let bad_header = "id,nope\nx,y";
+        assert!(StoredRun::from_csv_str(bad_header)
+            .unwrap_err()
+            .contains("header"));
+        let good = to_csv_string(&small_run());
+        let truncated = good.replace(",paper,", ",paper");
+        let err = StoredRun::from_csv_str(&truncated).unwrap_err();
+        assert!(err.contains("fields"), "{err}");
+    }
+
+    #[test]
+    fn csv_float_is_fixed_precision() {
+        assert_eq!(csv_float(1.5), "1.500000");
+        assert_eq!(csv_float(0.1), "0.100000");
+        // Shortest-round-trip Display would print 1234567890123.4568…-style
+        // noise; fixed precision keeps it stable.
+        assert_eq!(csv_float(1e12), "1000000000000.000000");
+    }
+}

@@ -1,16 +1,477 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde` — now a *real* (if small) implementation.
 //!
-//! Re-exports the no-op derive macros from `serde_derive` and provides
-//! blanket-implemented `Serialize`/`Deserialize` marker traits so generic
-//! bounds written against serde still compile. No actual serialization is
-//! performed anywhere in the workspace yet.
+//! Earlier PRs shipped this crate as a pile of no-op blanket impls so the
+//! `#[derive(Serialize, Deserialize)]` annotations across the workspace
+//! stayed inert. The sweep subsystem needs actual serialization (JSON run
+//! records, round-trippable bench results), so the stand-in grew up:
+//!
+//! * [`Value`] — an order-preserving JSON-like data model.
+//! * [`Serialize`] / [`Deserialize`] — value-tree conversion traits,
+//!   implemented for the primitives, `String`, `Option`, `Vec`, fixed-size
+//!   arrays and small tuples used by the workspace's config/result structs.
+//! * [`json`] — a writer and a recursive-descent parser connecting
+//!   [`Value`] to RFC 8259 text.
+//! * Real derive macros re-exported from `serde_derive` (named-field
+//!   structs, unit enum variants, single-field tuple variants).
+//!
+//! The API is deliberately simpler than crates.io serde (a value tree, not
+//! a zero-copy visitor pipeline). Swapping in the real `serde = { version
+//! = "1", features = ["derive"] }` + `serde_json` remains the plan once
+//! network access exists; the derive surface used by the workspace is a
+//! strict subset of real serde's, so the swap is source-compatible for
+//! everything except direct `Value` manipulation.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
-pub trait Serialize {}
-impl<T: ?Sized> Serialize for T {}
+pub mod json;
 
-/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
-pub trait Deserialize<'de>: Sized {}
-impl<'de, T> Deserialize<'de> for T {}
+/// Serialization/deserialization error: a message, optionally with the
+/// byte offset where JSON parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The JSON-like data model every `Serialize`/`Deserialize` impl converts
+/// through. Object fields preserve insertion order so serialized output is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent, leading `-`).
+    Int(i64),
+    /// Unsigned integer (JSON number without fraction/exponent).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(&str, Value)` pairs (derive-codegen helper).
+    pub fn object(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64` (integers included).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer payload, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            // Strict `<`: `u64::MAX as f64` rounds up to 2^64, which is
+            // NOT representable — `<=` would let 2^64 saturate silently.
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f < u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed integer payload, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            // `i64::MIN as f64` is exactly -2^63 (representable, so `>=`),
+            // but `i64::MAX as f64` rounds up to 2^63 (strict `<`).
+            Value::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f < i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object; errors carry the field name
+    /// (derive-codegen helper).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an object or the field is absent.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            other => Err(Error::custom(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The single `(key, value)` entry of a one-field object — the
+    /// externally-tagged encoding of tuple enum variants (derive-codegen
+    /// helper).
+    pub fn single_entry(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(fields) if fields.len() == 1 => {
+                Some((fields[0].0.as_str(), &fields[0].1))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Converts a value into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs a value from the [`Value`] data model. The `'de` lifetime
+/// mirrors real serde's trait signature so generic bounds written against
+/// crates.io serde keep compiling.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `value`'s shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, found: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!(
+        "expected {expected}, found {}",
+        found.kind()
+    )))
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .map_or_else(|| type_err(stringify!($t), value), Ok)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .map_or_else(|| type_err(stringify!($t), value), Ok)
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().map_or_else(|| type_err("f64", value), Ok)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map_or_else(|| type_err("f32", value), |f| Ok(f as f32))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map_or_else(|| type_err("string", value), |s| Ok(s.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of {N} elements, found {len}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => type_err("2-element array", other),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => type_err("3-element array", other),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(usize::from_value(&7usize.to_value()), Ok(7));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_round_trip() {
+        let some: Option<u32> = Some(9);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&some.to_value()), Ok(Some(9)));
+        assert_eq!(Option::<u32>::from_value(&none.to_value()), Ok(None));
+    }
+
+    #[test]
+    fn arrays_and_tuples_round_trip() {
+        let arr = [(1usize, 2usize), (3, 4)];
+        let v = arr.to_value();
+        assert_eq!(<[(usize, usize); 2]>::from_value(&v), Ok(arr));
+        let wrong = Value::Array(vec![Value::UInt(1)]);
+        assert!(<[u8; 2]>::from_value(&wrong).is_err());
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let obj = Value::object(vec![("a", Value::UInt(1))]);
+        assert_eq!(obj.field("a"), Ok(&Value::UInt(1)));
+        let err = obj.field("b").unwrap_err();
+        assert!(err.message().contains("missing field `b`"));
+    }
+
+    #[test]
+    fn numeric_widening_is_exact() {
+        // Integer-valued floats deserialize into integer types.
+        assert_eq!(u64::from_value(&Value::Float(8.0)), Ok(8));
+        assert!(u64::from_value(&Value::Float(8.5)).is_err());
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn float_to_int_boundaries_reject_unrepresentable() {
+        // 2^64 and 2^63 round-trip through f64 exactly but overflow the
+        // integer types — they must error, not saturate.
+        let two_pow_64 = 18_446_744_073_709_551_616.0f64;
+        assert!(u64::from_value(&Value::Float(two_pow_64)).is_err());
+        let two_pow_63 = 9_223_372_036_854_775_808.0f64;
+        assert!(i64::from_value(&Value::Float(two_pow_63)).is_err());
+        // The exactly-representable extremes still convert.
+        assert_eq!(i64::from_value(&Value::Float(-two_pow_63)), Ok(i64::MIN));
+        assert_eq!(u64::from_value(&Value::Float(2f64.powi(53))), Ok(1 << 53));
+    }
+}

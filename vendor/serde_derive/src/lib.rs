@@ -1,22 +1,321 @@
-//! No-op stand-ins for serde's derive macros.
+//! Real (if minimal) derive macros for the vendored `serde` stand-in.
 //!
-//! The workspace annotates config/result structs with
-//! `#[derive(Serialize, Deserialize)]` so they are ready for real serde, but
-//! nothing in the tree actually serializes them yet and the build
-//! environment is offline. These derives therefore expand to nothing; the
-//! companion `vendor/serde` crate provides blanket trait impls so any
-//! `T: Serialize` bounds still hold.
+//! Earlier PRs shipped these as no-ops; the sweep subsystem needs actual
+//! serialization, so the macros now generate working `Serialize` /
+//! `Deserialize` impls against `vendor/serde`'s value-tree data model.
+//!
+//! The build environment is offline, so there is no `syn`/`quote`: the
+//! item is parsed directly from the `proc_macro::TokenStream` and the impl
+//! is emitted as a formatted string. Supported shapes — the strict subset
+//! the workspace actually derives on:
+//!
+//! * structs with named fields (no generics),
+//! * enums whose variants are unit or single-field tuples
+//!   (externally tagged: `Unit` ⇒ `"Unit"`, `Var(x)` ⇒ `{"Var": x}`).
+//!
+//! Anything else produces a `compile_error!` naming the unsupported
+//! construct, so a future derive site fails loudly instead of serializing
+//! wrongly.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Accepts and discards a `#[derive(Serialize)]` annotation.
+/// Derives `serde::Serialize` (value-tree `to_value`).
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
 }
 
-/// Accepts and discards a `#[derive(Deserialize)]` annotation.
+/// Derives `serde::Deserialize` (value-tree `from_value`).
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum; each variant is `(name, tuple_arity)` with arity 0 (unit) or 1.
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => {
+            if serialize {
+                gen_serialize(&item)
+            } else {
+                gen_deserialize(&item)
+            }
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Parses the derive input item down to names: item kind, type name, and
+/// field/variant names. Types of fields are irrelevant — the generated
+/// code delegates to `serde::Serialize`/`Deserialize` impls.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match ident_at(&tokens, i) {
+        Some(k) if k == "struct" || k == "enum" => k,
+        Some(other) => return Err(format!("serde_derive: unsupported item `{other}`")),
+        None => return Err("serde_derive: expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name =
+        ident_at(&tokens, i).ok_or_else(|| "serde_derive: expected item name".to_string())?;
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic parameters on `{name}` are not supported"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde_derive: `{name}` must have a braced body (tuple/unit structs unsupported)"
+            ))
+        }
+    };
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips leading `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a brace-group token stream at top-level commas, tracking `<...>`
+/// angle-bracket depth so generic arguments don't split fields.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().expect("non-empty parts").push(tt);
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level(body) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        match part.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            _ => return Err("serde_derive: expected a named field".to_string()),
+        }
+        match part.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "serde_derive: field `{}` must be named (tuple structs unsupported)",
+                    fields.last().expect("just pushed")
+                ))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level(body) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde_derive: expected an enum variant".to_string()),
+        };
+        let arity = match part.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                split_top_level(g.stream()).len()
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde_derive: struct variant `{name}` is not supported"
+                ))
+            }
+            _ => 0,
+        };
+        if arity > 1 {
+            return Err(format!(
+                "serde_derive: multi-field tuple variant `{name}` is not supported"
+            ));
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}, ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::object(vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                entries = entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 0 {
+                        format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),")
+                    } else {
+                        format!(
+                            "{name}::{v}(x0) => ::serde::Value::object(vec![({v:?}, \
+                             ::serde::Serialize::to_value(x0))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field({f:?})?)?,"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         ::core::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}",
+                inits = inits.join("\n")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("{v:?} => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tuple_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 1)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::core::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?)),"
+                    )
+                })
+                .collect();
+            let unit_block = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::core::option::Option::Some(s) = value.as_str() {{\n\
+                         return match s {{\n\
+                             {arms}\n\
+                             other => ::core::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }};\n\
+                     }}",
+                    arms = unit_arms.join("\n")
+                )
+            };
+            let tuple_block = if tuple_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::core::option::Option::Some((tag, inner)) = value.single_entry() {{\n\
+                         return match tag {{\n\
+                             {arms}\n\
+                             other => ::core::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }};\n\
+                     }}",
+                    arms = tuple_arms.join("\n")
+                )
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         {unit_block}\n\
+                         {tuple_block}\n\
+                         ::core::result::Result::Err(::serde::Error::custom(format!(\
+                             \"expected a {name} variant, found {{}}\", value.kind())))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
 }
