@@ -1,40 +1,14 @@
-//! Step-level timelines of §3.7 (Figures 7–9) and the per-layer
-//! characterization of Figure 16.
+//! Per-layer characterization of Figure 16.
 //!
-//! The paper defines a *step* as the forward-pass time of one layer and
-//! assumes BW = 2 steps. A 4-layer model then takes 12 steps per batch in
-//! the baseline, `12 + 12α` in Phase BP, and `4 + 4α` in Phase GP.
+//! The §3.7 step timeline (Figures 7–9) used to live here as a closed
+//! form (`StepTimeline`/`step_timeline`); it is now *simulated* by
+//! `adagp_sim::steps::step_timeline` so that exactly one place — the
+//! discrete-event engine — computes overlap windows. This module keeps
+//! only the epoch-mix cost characterization, which is a weighting of
+//! per-batch cycle totals, not an overlap computation.
 
 use crate::designs::AdaGpDesign;
 use crate::layer_cost::LayerCost;
-
-/// Timeline of a single batch in steps (one step = one layer's FW time).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct StepTimeline {
-    /// Baseline steps (FW + BW for every layer).
-    pub baseline: f64,
-    /// Phase BP steps including predictor work (α per layer FW, 2α BW).
-    pub phase_bp: f64,
-    /// Phase GP steps (FW plus α per layer; no BW).
-    pub phase_gp: f64,
-}
-
-/// Computes the §3.7 step timeline for an `n_layers` model with relative
-/// predictor latency `alpha` (fraction of one FW step).
-///
-/// # Panics
-///
-/// Panics if `n_layers == 0` or `alpha < 0`.
-pub fn step_timeline(n_layers: usize, alpha: f64) -> StepTimeline {
-    assert!(n_layers > 0, "need at least one layer");
-    assert!(alpha >= 0.0, "alpha must be non-negative");
-    let n = n_layers as f64;
-    StepTimeline {
-        baseline: 3.0 * n,
-        phase_bp: 3.0 * n + 3.0 * n * alpha,
-        phase_gp: n + n * alpha,
-    }
-}
 
 /// Per-layer cycle characterization for Figure 16: how a layer's training
 /// cycles split across Warm-up, Phase BP and Phase GP under a given
@@ -96,41 +70,6 @@ pub fn characterize_layers(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn four_layer_baseline_is_12_steps() {
-        // Figure 7: "the baseline system requires 12 time steps ... for a
-        // 4-layer model".
-        let t = step_timeline(4, 0.1);
-        assert_eq!(t.baseline, 12.0);
-    }
-
-    #[test]
-    fn phase_bp_adds_12_alpha() {
-        // Figure 8: "ADA-GP increases the model's training time by 12α".
-        let alpha = 0.25;
-        let t = step_timeline(4, alpha);
-        assert!((t.phase_bp - (12.0 + 12.0 * alpha)).abs() < 1e-12);
-    }
-
-    #[test]
-    fn phase_gp_is_4_plus_4_alpha() {
-        // Figure 9: "ADA-GP can minimize the processing time to merely
-        // 4 + 4α steps".
-        let alpha = 0.25;
-        let t = step_timeline(4, alpha);
-        assert!((t.phase_gp - (4.0 + 4.0 * alpha)).abs() < 1e-12);
-    }
-
-    #[test]
-    fn two_epoch_claim_16_plus_16_alpha() {
-        // §3.7: two epochs drop from 24 steps to 16 + 16α (one BP batch +
-        // one GP batch).
-        let alpha = 0.0;
-        let t = step_timeline(4, alpha);
-        assert_eq!(t.phase_bp + t.phase_gp, 16.0);
-        assert_eq!(2.0 * t.baseline, 24.0);
-    }
 
     fn sample_costs() -> (Vec<String>, Vec<LayerCost>) {
         (

@@ -1,0 +1,183 @@
+//! `sim_timeline` — simulate one training-step schedule layer by layer
+//! and show where the overlap lands: the per-task Gantt timeline, the
+//! per-resource utilization report and (optionally) a Chrome-trace JSON
+//! for `chrome://tracing` / Perfetto.
+//!
+//! ```text
+//! sim_timeline [--model VGG13] [--dataset cifar10|cifar100|imagenet]
+//!              [--design low|efficient|max] [--dataflow ws|os|is|rs]
+//!              [--phase baseline|bp|gp] [--no-contention]
+//!              [--limit N] [--trace out.json]
+//! ```
+//!
+//! Defaults simulate VGG13 / CIFAR10 / ADA-GP-MAX / WS / Phase GP with
+//! DRAM contention enabled. Time stamps in the exported trace are cycles
+//! (1 cycle = 1 µs in the viewer's axis).
+
+use adagp_accel::layer_cost::PredictorCostModel;
+use adagp_accel::{AcceleratorConfig, AdaGpDesign, Dataflow};
+use adagp_nn::models::CnnModel;
+use adagp_sim::{model_sim_layers, report, simulate_batch, write_chrome_trace, Phase, SimConfig};
+use adagp_sweep::shapes::cached_shapes;
+use adagp_sweep::DatasetScale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    model: CnnModel,
+    dataset: DatasetScale,
+    design: AdaGpDesign,
+    dataflow: Dataflow,
+    phase: Phase,
+    cfg: SimConfig,
+    limit: usize,
+    trace: Option<PathBuf>,
+}
+
+fn parse_model(raw: &str) -> Result<CnnModel, String> {
+    CnnModel::all()
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(raw))
+        .ok_or_else(|| {
+            let known: Vec<&str> = CnnModel::all().into_iter().map(|m| m.name()).collect();
+            format!("unknown model `{raw}` (known: {})", known.join(", "))
+        })
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opt = Options {
+        model: CnnModel::Vgg13,
+        dataset: DatasetScale::Cifar10,
+        design: AdaGpDesign::Max,
+        dataflow: Dataflow::WeightStationary,
+        phase: Phase::Gp,
+        cfg: SimConfig::default(),
+        limit: 40,
+        trace: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--model" => opt.model = parse_model(&value("--model")?)?,
+            "--dataset" => {
+                opt.dataset = match value("--dataset")?.to_ascii_lowercase().as_str() {
+                    "cifar10" => DatasetScale::Cifar10,
+                    "cifar100" => DatasetScale::Cifar100,
+                    "imagenet" => DatasetScale::ImageNet,
+                    other => return Err(format!("unknown dataset `{other}`")),
+                }
+            }
+            "--design" => {
+                opt.design = match value("--design")?.to_ascii_lowercase().as_str() {
+                    "low" => AdaGpDesign::Low,
+                    "efficient" => AdaGpDesign::Efficient,
+                    "max" => AdaGpDesign::Max,
+                    other => return Err(format!("unknown design `{other}`")),
+                }
+            }
+            "--dataflow" => {
+                opt.dataflow = match value("--dataflow")?.to_ascii_lowercase().as_str() {
+                    "ws" => Dataflow::WeightStationary,
+                    "os" => Dataflow::OutputStationary,
+                    "is" => Dataflow::InputStationary,
+                    "rs" => Dataflow::RowStationary,
+                    other => return Err(format!("unknown dataflow `{other}`")),
+                }
+            }
+            "--phase" => {
+                opt.phase = match value("--phase")?.to_ascii_lowercase().as_str() {
+                    "baseline" => Phase::Baseline,
+                    "bp" => Phase::Bp,
+                    "gp" => Phase::Gp,
+                    other => return Err(format!("unknown phase `{other}`")),
+                }
+            }
+            "--no-contention" => opt.cfg.dram_words_per_cycle = None,
+            "--limit" => {
+                let raw = value("--limit")?;
+                opt.limit = raw
+                    .parse()
+                    .map_err(|_| format!("--limit: bad value `{raw}`"))?;
+            }
+            "--trace" => opt.trace = Some(PathBuf::from(value("--trace")?)),
+            "--help" | "-h" => {
+                return Err("help".to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(opt)
+}
+
+const USAGE: &str = "\
+Usage: sim_timeline [--model VGG13] [--dataset cifar10|cifar100|imagenet]
+                    [--design low|efficient|max] [--dataflow ws|os|is|rs]
+                    [--phase baseline|bp|gp] [--no-contention]
+                    [--limit N] [--trace out.json]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) if msg == "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("sim_timeline: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let shapes = cached_shapes(opt.model, opt.dataset.input_scale());
+    let layers = model_sim_layers(
+        &AcceleratorConfig::default(),
+        opt.dataflow,
+        &PredictorCostModel::default(),
+        &shapes,
+        opt.cfg.batch,
+    );
+    let design = match opt.phase {
+        Phase::Baseline => None,
+        _ => Some(opt.design),
+    };
+    let sim = simulate_batch(opt.phase, design, &layers, &opt.cfg);
+
+    println!(
+        "sim_timeline: {} on {} ({} dataflow), one {} batch of {} samples, {} layers",
+        opt.model.name(),
+        opt.dataset.name(),
+        opt.dataflow.name(),
+        opt.phase.name(),
+        opt.cfg.batch,
+        layers.len()
+    );
+    print!("{}", report::utilization_report(&sim));
+    println!();
+    print!("{}", report::span_table(&sim.result, opt.limit));
+
+    if let Some(path) = &opt.trace {
+        let title = format!(
+            "{} {} {} {}",
+            opt.model.name(),
+            opt.dataset.name(),
+            design.map_or("baseline", |d| d.name()),
+            opt.phase.name()
+        );
+        if let Err(e) = write_chrome_trace(path, &sim.result, &title) {
+            eprintln!("sim_timeline: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "\nwrote Chrome trace to {} (load in chrome://tracing or ui.perfetto.dev)",
+            path.display()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,22 +1,30 @@
-//! The `sweep` CLI: run, list and diff declarative experiment grids.
+//! The `sweep` CLI: run, list, simulate and diff declarative experiment
+//! grids.
 //!
 //! ```text
 //! sweep list                      # every preset with its axes and cell count
 //! sweep list <preset>             # the preset's cells (id + key)
 //! sweep run <preset> [--csv <path>] [--json <path>] [--quiet]
-//! sweep diff <before> <after> [--tol <rel>]
+//! sweep sim <preset> [--csv <path>] [--no-contention] [--quiet]
+//! sweep diff <before> <after> [--tol <rel>] [--preset <name>]
 //! ```
 //!
 //! `run` executes the grid in parallel on the shared runtime pool
 //! (`ADAGP_THREADS` sizes it) and prints the cell table; `--csv` writes
 //! the byte-stable metrics file, `--json` the full-precision run record
-//! with timings. `diff` loads two stored runs (CSV or JSON, by
+//! with timings. `sim` runs every cell through the `adagp-sim`
+//! discrete-event simulator and reports the batch-level detail
+//! (per-phase makespans, simulated speed-up, utilization, overlap,
+//! buffer peak). `diff` loads two stored runs (CSV or JSON, by
 //! extension), compares them cell-by-cell and exits non-zero when a
 //! metric regressed beyond the tolerance — the cross-PR gate CI uses
-//! against the committed golden file.
+//! against the committed golden files; on a regression it prints the
+//! exact command that regenerates the golden (pass `--preset` so the
+//! hint can name it).
 
 use adagp_bench::report::render_table;
-use adagp_sweep::{diff, presets, runner, store, DiffConfig, GridSpec, StoredRun};
+use adagp_sim::SimConfig;
+use adagp_sweep::{diff, presets, runner, simeval, store, DiffConfig, GridSpec, StoredRun};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -25,6 +33,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -44,8 +53,18 @@ Usage:
   sweep list <preset>                       list a preset's cells (id + key)
   sweep run <preset> [--csv p] [--json p] [--quiet]
                                             execute a grid on the shared pool
-  sweep diff <before> <after> [--tol rel]   compare stored runs (.csv/.json);
-                                            exit 1 if any metric regressed
+  sweep sim <preset> [--csv p] [--no-contention] [--quiet]
+                                            simulate a grid on the event engine
+                                            (per-phase makespans, utilization)
+  sweep diff <before> <after> [--tol rel] [--preset name]
+                                            compare stored runs (.csv/.json);
+                                            --preset names the grid in the
+                                            regenerate hint on mismatch
+
+Exit codes:
+  0  success (diff: no metric regressed beyond the tolerance)
+  1  diff found at least one regression
+  2  usage, I/O or parse error
 ";
 
 fn preset(name: &str) -> Result<GridSpec, String> {
@@ -141,13 +160,78 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_sim(args: &[String]) -> Result<ExitCode, String> {
+    let name = args
+        .first()
+        .ok_or_else(|| format!("sim: missing preset name\n{USAGE}"))?;
+    let grid = preset(name)?;
+    let mut csv_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut cfg = SimConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => csv_path = Some(path_arg(&mut it, "--csv")?),
+            "--no-contention" => cfg.dram_words_per_cycle = None,
+            "--quiet" => quiet = true,
+            other => return Err(format!("sim: unexpected argument `{other}`")),
+        }
+    }
+
+    let details = simeval::run_sim_grid(&grid, &cfg);
+    if !quiet {
+        let rows: Vec<Vec<String>> = details
+            .iter()
+            .map(|d| {
+                vec![
+                    d.spec.id.clone(),
+                    d.spec.key(),
+                    store::csv_float(d.sim_speedup),
+                    store::csv_float(d.pe_utilization),
+                    store::csv_float(d.overlap_efficiency),
+                    d.peak_buffer_words.to_string(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &format!("sweep sim: {name}"),
+                &[
+                    "ID",
+                    "Cell",
+                    "Sim speed-up",
+                    "PE util",
+                    "Overlap eff",
+                    "Peak buf (words)"
+                ],
+                &rows
+            )
+        );
+    }
+    println!(
+        "{}: simulated {} cells ({}) on {} thread(s)",
+        name,
+        details.len(),
+        match cfg.dram_words_per_cycle {
+            Some(bw) => format!("DRAM {bw} words/cycle"),
+            None => "no contention".to_string(),
+        },
+        adagp_runtime::pool().size()
+    );
+    if let Some(p) = &csv_path {
+        std::fs::write(p, simeval::sim_detail_csv(&details))
+            .map_err(|e| format!("write {}: {e}", p.display()))?;
+        println!("wrote CSV to {}", p.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
-    let (before_path, after_path) = match args {
-        [b, a, ..] if !b.starts_with("--") && !a.starts_with("--") => (b, a),
-        _ => return Err(format!("diff: need <before> and <after> paths\n{USAGE}")),
-    };
     let mut cfg = DiffConfig::default();
-    let mut it = args[2..].iter();
+    let mut preset_name: Option<String> = None;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--tol" => {
@@ -158,14 +242,38 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
                     .parse::<f64>()
                     .map_err(|_| format!("--tol: bad value `{raw}`"))?;
             }
-            other => return Err(format!("diff: unexpected argument `{other}`")),
+            "--preset" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--preset requires a name".to_string())?;
+                preset(raw)?; // validate early: a typo'd hint helps nobody
+                preset_name = Some(raw.clone());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("diff: unexpected argument `{other}`"))
+            }
+            _ => paths.push(a),
         }
     }
+    let [before_path, after_path] = paths[..] else {
+        return Err(format!("diff: need <before> and <after> paths\n{USAGE}"));
+    };
     let before = StoredRun::load(&PathBuf::from(before_path))?;
     let after = StoredRun::load(&PathBuf::from(after_path))?;
     let report = diff::diff_runs(&before, &after, &cfg);
     print!("{}", report.render());
     Ok(if report.has_regressions() {
+        let flag = if before_path.ends_with(".json") {
+            "--json"
+        } else {
+            "--csv"
+        };
+        println!(
+            "if the model change is intentional, regenerate the stored run:\n  \
+             cargo run --release -p adagp-bench --bin sweep -- run {} --quiet {flag} {}",
+            preset_name.as_deref().unwrap_or("<preset>"),
+            before_path
+        );
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

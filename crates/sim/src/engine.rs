@@ -1,0 +1,508 @@
+//! The discrete-event core: tasks, resources, a virtual clock and an
+//! event heap.
+//!
+//! A simulation is a DAG of [`TaskSpec`]s. Each task has a fixed cycle
+//! duration, an optional resource it occupies for that duration, and a
+//! list of dependencies. The engine advances a virtual clock from
+//! completion event to completion event; a task starts as soon as all of
+//! its dependencies have completed *and* its resource has a free unit of
+//! capacity. Everything is deterministic:
+//!
+//! * completion events are ordered by `(time, task id)` — equal-time
+//!   completions are processed in task-id order;
+//! * tasks that become ready are appended to their resource's FIFO wait
+//!   queue in task-id order, and admitted strictly FIFO;
+//! * the engine is single-threaded — callers may run many simulations in
+//!   parallel (the sweep runner does), but one simulation never races.
+//!
+//! The output is the full execution trace: one [`Span`] per task, plus
+//! per-resource busy cycles and a buffer-occupancy curve fed by each
+//! task's `buffer_delta`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Index of a resource registered with [`SimBuilder::add_resource`].
+pub type ResourceId = usize;
+/// Index of a task registered with [`SimBuilder::add_task`].
+pub type TaskId = usize;
+
+/// What kind of work a task models — the category shown in the Gantt
+/// timeline and the Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Original-model forward pass of one layer.
+    Forward,
+    /// Backward data-gradient pass of one layer.
+    BackwardData,
+    /// Backward weight-gradient pass of one layer.
+    BackwardWeight,
+    /// Predictor forward (gradient prediction), latency α.
+    PredictorFill,
+    /// Predictor training step, latency 2α.
+    PredictorUpdate,
+    /// Off-chip weight streaming for one layer.
+    WeightLoad,
+    /// ADA-GP-LOW's per-layer predictor weight reload on the shared array.
+    PredictorReload,
+    /// Zero-or-more-cycle synchronization node (no resource).
+    Join,
+}
+
+impl TaskKind {
+    /// Short label used in trace categories and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskKind::Forward => "fwd",
+            TaskKind::BackwardData => "bwd-data",
+            TaskKind::BackwardWeight => "bwd-weight",
+            TaskKind::PredictorFill => "pred-fill",
+            TaskKind::PredictorUpdate => "pred-update",
+            TaskKind::WeightLoad => "weight-load",
+            TaskKind::PredictorReload => "pred-reload",
+            TaskKind::Join => "join",
+        }
+    }
+}
+
+/// A resource with a name and a capacity (how many tasks may occupy it
+/// simultaneously — the PE array has capacity 1, a multi-ported buffer
+/// or a DRAM channel could have more).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSpec {
+    /// Display name (becomes a timeline lane).
+    pub name: String,
+    /// Simultaneous occupants.
+    pub capacity: u32,
+}
+
+/// One node of the simulation DAG.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Display label, e.g. `fwd conv3`.
+    pub label: String,
+    /// Work category.
+    pub kind: TaskKind,
+    /// Layer index this task belongs to (`None` for synthetic nodes).
+    pub layer: Option<usize>,
+    /// Resource occupied while running; `None` runs without occupying
+    /// anything (synchronization nodes).
+    pub resource: Option<ResourceId>,
+    /// Cycles the task takes.
+    pub duration: u64,
+    /// Tasks that must complete before this one may start.
+    pub deps: Vec<TaskId>,
+    /// Signed change to the tracked buffer occupancy (words), applied at
+    /// the task's completion time.
+    pub buffer_delta: i64,
+}
+
+impl TaskSpec {
+    /// A resourceless zero-duration synchronization node.
+    pub fn join(label: impl Into<String>, deps: Vec<TaskId>) -> Self {
+        TaskSpec {
+            label: label.into(),
+            kind: TaskKind::Join,
+            layer: None,
+            resource: None,
+            duration: 0,
+            deps,
+            buffer_delta: 0,
+        }
+    }
+}
+
+/// Accumulates resources and tasks, then runs the simulation.
+#[derive(Debug, Default)]
+pub struct SimBuilder {
+    resources: Vec<ResourceSpec>,
+    tasks: Vec<TaskSpec>,
+}
+
+/// One executed task: where and when it ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The task that ran.
+    pub task: TaskId,
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle (`start + duration`).
+    pub end: u64,
+}
+
+/// The completed simulation: makespan, the full span trace, per-resource
+/// busy cycles and the buffer-occupancy curve.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Cycle at which the last task completed.
+    pub makespan: u64,
+    /// One span per task, sorted by `(start, task)`.
+    pub spans: Vec<Span>,
+    /// The task specs, for labeling spans.
+    pub tasks: Vec<TaskSpec>,
+    /// The resource specs, for labeling lanes.
+    pub resources: Vec<ResourceSpec>,
+    /// Busy cycles per resource (sum of resident span durations).
+    pub busy: Vec<u64>,
+    /// Buffer occupancy after each change, as `(cycle, words)` steps.
+    pub buffer_curve: Vec<(u64, i64)>,
+    /// Peak buffer occupancy in words.
+    pub buffer_peak: i64,
+}
+
+impl SimResult {
+    /// Fraction of `makespan × capacity` the resource spent busy.
+    pub fn utilization(&self, r: ResourceId) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.busy[r] as f64 / (self.makespan as f64 * self.resources[r].capacity as f64)
+    }
+
+    /// The span of a task (panics if the task id is out of range).
+    pub fn span_of(&self, task: TaskId) -> Span {
+        *self
+            .spans
+            .iter()
+            .find(|s| s.task == task)
+            .expect("every task has a span")
+    }
+}
+
+impl SimBuilder {
+    /// A fresh, empty simulation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: u32) -> ResourceId {
+        assert!(capacity > 0, "resource capacity must be positive");
+        self.resources.push(ResourceSpec {
+            name: name.into(),
+            capacity,
+        });
+        self.resources.len() - 1
+    }
+
+    /// Registers a task and returns its id. Dependencies must refer to
+    /// already-registered tasks, which makes cycles unrepresentable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a forward dependency or an unknown resource id.
+    pub fn add_task(&mut self, spec: TaskSpec) -> TaskId {
+        let id = self.tasks.len();
+        for &d in &spec.deps {
+            assert!(d < id, "task {id} depends on not-yet-registered task {d}");
+        }
+        if let Some(r) = spec.resource {
+            assert!(r < self.resources.len(), "task {id} uses unknown resource");
+        }
+        self.tasks.push(spec);
+        id
+    }
+
+    /// Runs the simulation to completion and returns the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task never becomes runnable (impossible for graphs
+    /// built through [`SimBuilder::add_task`], which forbids cycles).
+    pub fn simulate(self) -> SimResult {
+        let n = self.tasks.len();
+        let mut indegree: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (id, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                dependents[d].push(id);
+            }
+        }
+
+        let mut available: Vec<u32> = self.resources.iter().map(|r| r.capacity).collect();
+        let mut queues: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); self.resources.len()];
+        // Min-heap of completion events ordered by (time, task id).
+        let mut heap: BinaryHeap<Reverse<(u64, TaskId)>> = BinaryHeap::new();
+        let mut start_of: Vec<Option<u64>> = vec![None; n];
+        let mut spans: Vec<Span> = Vec::with_capacity(n);
+        let mut busy: Vec<u64> = vec![0; self.resources.len()];
+        let mut occupancy: i64 = 0;
+        let mut peak: i64 = 0;
+        let mut curve: Vec<(u64, i64)> = Vec::new();
+        let mut clock: u64 = 0;
+        let mut completed = 0usize;
+
+        // Admits ready tasks: resourceless ones start immediately, the rest
+        // join their resource's FIFO queue.
+        fn enqueue(
+            id: TaskId,
+            tasks: &[TaskSpec],
+            queues: &mut [VecDeque<TaskId>],
+            available: &mut [u32],
+            heap: &mut BinaryHeap<Reverse<(u64, TaskId)>>,
+            start_of: &mut [Option<u64>],
+            busy: &mut [u64],
+            clock: u64,
+        ) {
+            match tasks[id].resource {
+                None => {
+                    start_of[id] = Some(clock);
+                    heap.push(Reverse((clock + tasks[id].duration, id)));
+                }
+                Some(r) => {
+                    queues[r].push_back(id);
+                    drain(r, tasks, queues, available, heap, start_of, busy, clock);
+                }
+            }
+        }
+
+        /// Starts queued tasks on `r` while capacity remains.
+        #[allow(clippy::too_many_arguments)]
+        fn drain(
+            r: ResourceId,
+            tasks: &[TaskSpec],
+            queues: &mut [VecDeque<TaskId>],
+            available: &mut [u32],
+            heap: &mut BinaryHeap<Reverse<(u64, TaskId)>>,
+            start_of: &mut [Option<u64>],
+            busy: &mut [u64],
+            clock: u64,
+        ) {
+            while available[r] > 0 {
+                let Some(id) = queues[r].pop_front() else {
+                    break;
+                };
+                available[r] -= 1;
+                start_of[id] = Some(clock);
+                busy[r] += tasks[id].duration;
+                heap.push(Reverse((clock + tasks[id].duration, id)));
+            }
+        }
+
+        for id in 0..n {
+            if indegree[id] == 0 {
+                enqueue(
+                    id,
+                    &self.tasks,
+                    &mut queues,
+                    &mut available,
+                    &mut heap,
+                    &mut start_of,
+                    &mut busy,
+                    clock,
+                );
+            }
+        }
+
+        while let Some(Reverse((end, id))) = heap.pop() {
+            clock = end;
+            completed += 1;
+            spans.push(Span {
+                task: id,
+                start: start_of[id].expect("started task has a start"),
+                end,
+            });
+            let freed = self.tasks[id].resource;
+            if let Some(r) = freed {
+                available[r] += 1;
+            }
+            if self.tasks[id].buffer_delta != 0 {
+                occupancy += self.tasks[id].buffer_delta;
+                peak = peak.max(occupancy);
+                curve.push((clock, occupancy));
+            }
+            for &dep in &dependents[id] {
+                indegree[dep] -= 1;
+                if indegree[dep] == 0 {
+                    enqueue(
+                        dep,
+                        &self.tasks,
+                        &mut queues,
+                        &mut available,
+                        &mut heap,
+                        &mut start_of,
+                        &mut busy,
+                        clock,
+                    );
+                }
+            }
+            if let Some(r) = freed {
+                drain(
+                    r,
+                    &self.tasks,
+                    &mut queues,
+                    &mut available,
+                    &mut heap,
+                    &mut start_of,
+                    &mut busy,
+                    clock,
+                );
+            }
+        }
+
+        assert_eq!(
+            completed,
+            n,
+            "simulation stalled: {} of {n} tasks never ran",
+            n - completed
+        );
+        spans.sort_by_key(|s| (s.start, s.task));
+        SimResult {
+            makespan: clock,
+            spans,
+            tasks: self.tasks,
+            resources: self.resources,
+            busy,
+            buffer_curve: curve,
+            buffer_peak: peak,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(resource: Option<ResourceId>, duration: u64, deps: Vec<TaskId>) -> TaskSpec {
+        TaskSpec {
+            label: "t".into(),
+            kind: TaskKind::Forward,
+            layer: None,
+            resource,
+            duration,
+            deps,
+            buffer_delta: 0,
+        }
+    }
+
+    #[test]
+    fn serial_chain_sums_durations() {
+        let mut b = SimBuilder::new();
+        let pe = b.add_resource("pe", 1);
+        let t0 = b.add_task(task(Some(pe), 10, vec![]));
+        let t1 = b.add_task(task(Some(pe), 20, vec![t0]));
+        let t2 = b.add_task(task(Some(pe), 5, vec![t1]));
+        let r = b.simulate();
+        assert_eq!(r.makespan, 35);
+        assert_eq!(r.span_of(t2).start, 30);
+        assert_eq!(r.utilization(pe), 1.0);
+    }
+
+    #[test]
+    fn independent_resources_overlap() {
+        let mut b = SimBuilder::new();
+        let pe = b.add_resource("pe", 1);
+        let pred = b.add_resource("pred", 1);
+        let a = b.add_task(task(Some(pe), 100, vec![]));
+        let p = b.add_task(task(Some(pred), 30, vec![]));
+        let r = b.simulate();
+        assert_eq!(r.makespan, 100);
+        assert_eq!(r.span_of(p).start, 0);
+        assert_eq!(r.span_of(a).end, 100);
+        assert!((r.utilization(pred) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_one_serializes_ready_tasks_in_id_order() {
+        // Both ready at t=0 on one resource: lower id runs first, always.
+        let mut b = SimBuilder::new();
+        let pe = b.add_resource("pe", 1);
+        let a = b.add_task(task(Some(pe), 7, vec![]));
+        let c = b.add_task(task(Some(pe), 3, vec![]));
+        let r = b.simulate();
+        assert_eq!(
+            r.span_of(a),
+            Span {
+                task: a,
+                start: 0,
+                end: 7
+            }
+        );
+        assert_eq!(
+            r.span_of(c),
+            Span {
+                task: c,
+                start: 7,
+                end: 10
+            }
+        );
+    }
+
+    #[test]
+    fn equal_time_completions_resolve_in_task_id_order() {
+        // Two tasks complete at t=10; both unblock one successor each on
+        // the same capacity-1 resource. The successor of the lower-id
+        // predecessor is enqueued first.
+        let mut b = SimBuilder::new();
+        let pe = b.add_resource("pe", 1);
+        let aux = b.add_resource("aux", 2);
+        let a = b.add_task(task(Some(aux), 10, vec![]));
+        let c = b.add_task(task(Some(aux), 10, vec![]));
+        let sa = b.add_task(task(Some(pe), 4, vec![a]));
+        let sc = b.add_task(task(Some(pe), 4, vec![c]));
+        let r = b.simulate();
+        assert_eq!(r.span_of(sa).start, 10);
+        assert_eq!(r.span_of(sc).start, 14);
+    }
+
+    #[test]
+    fn capacity_two_admits_two() {
+        let mut b = SimBuilder::new();
+        let ports = b.add_resource("ports", 2);
+        let ids: Vec<_> = (0..4)
+            .map(|_| b.add_task(task(Some(ports), 10, vec![])))
+            .collect();
+        let r = b.simulate();
+        assert_eq!(r.makespan, 20);
+        assert_eq!(r.span_of(ids[0]).start, 0);
+        assert_eq!(r.span_of(ids[1]).start, 0);
+        assert_eq!(r.span_of(ids[2]).start, 10);
+        assert_eq!(r.utilization(ports), 1.0);
+    }
+
+    #[test]
+    fn join_nodes_cost_nothing_and_gate() {
+        let mut b = SimBuilder::new();
+        let pe = b.add_resource("pe", 1);
+        let pred = b.add_resource("pred", 1);
+        let a = b.add_task(task(Some(pe), 10, vec![]));
+        let p = b.add_task(task(Some(pred), 25, vec![]));
+        let j = b.add_task(TaskSpec::join("barrier", vec![a, p]));
+        let after = b.add_task(task(Some(pe), 5, vec![j]));
+        let r = b.simulate();
+        assert_eq!(r.span_of(j).start, 25);
+        assert_eq!(r.span_of(j).end, 25);
+        assert_eq!(r.span_of(after).start, 25);
+        assert_eq!(r.makespan, 30);
+    }
+
+    #[test]
+    fn buffer_curve_tracks_deltas_and_peak() {
+        let mut b = SimBuilder::new();
+        let pe = b.add_resource("pe", 1);
+        let mut alloc = task(Some(pe), 10, vec![]);
+        alloc.buffer_delta = 100;
+        let a = b.add_task(alloc);
+        let mut alloc2 = task(Some(pe), 10, vec![a]);
+        alloc2.buffer_delta = 50;
+        let a2 = b.add_task(alloc2);
+        let mut free = task(Some(pe), 10, vec![a2]);
+        free.buffer_delta = -150;
+        b.add_task(free);
+        let r = b.simulate();
+        assert_eq!(r.buffer_peak, 150);
+        assert_eq!(r.buffer_curve, vec![(10, 100), (20, 150), (30, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-registered")]
+    fn forward_deps_are_rejected() {
+        let mut b = SimBuilder::new();
+        let pe = b.add_resource("pe", 1);
+        b.add_task(task(Some(pe), 1, vec![3]));
+    }
+}

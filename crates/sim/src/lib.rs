@@ -1,0 +1,74 @@
+//! # adagp-sim
+//!
+//! A discrete-event, layer-granular simulator of the ADA-GP training
+//! accelerator. Where `adagp-accel` sums closed-form per-layer costs,
+//! this crate *executes* one training step as a DAG of per-layer tasks
+//! (forward, backward-data, backward-weight, predictor-fill,
+//! predictor-update, weight streaming) over capacity-limited resources —
+//! the PE array, ADA-GP-MAX's predictor array, and the off-chip DRAM
+//! channel — on a virtual cycle clock, and reports *where* the overlap
+//! lands: per-task spans (a Gantt timeline), per-resource utilization,
+//! buffer occupancy, and Chrome-trace JSON for `chrome://tracing` /
+//! Perfetto.
+//!
+//! The two models are pinned together: with contention disabled
+//! ([`SimConfig::no_contention`]) the simulated makespans equal the
+//! analytic per-batch cycle counts of [`adagp_accel::designs`] exactly,
+//! and the derived training speed-ups are bit-identical to
+//! [`adagp_accel::speedup::training_speedup`] (golden-tested over the
+//! full fig17 grid in `adagp-bench`). With contention enabled, weight
+//! streaming serializes on the DRAM channel and the difference between
+//! simulated and analytic cycles *is* the bandwidth stall — a number the
+//! closed forms cannot produce.
+//!
+//! * [`engine`] — the deterministic event core: tasks, resources, event
+//!   heap, spans, busy/occupancy accounting.
+//! * [`workload`] — batch task graphs per phase × design, mirroring the
+//!   paper's §3.7 overlap semantics layer by layer.
+//! * [`step`] — training-run aggregation (epoch-mix weighting) to cycles,
+//!   speed-up, utilization and overlap-efficiency metrics.
+//! * [`steps`] — the §3.7 step timeline (Figures 7–9), now *simulated*
+//!   instead of closed-form.
+//! * [`trace`] — Chrome-trace JSON export.
+//! * [`report`] — plain-text timeline and utilization reports.
+//!
+//! ## Example
+//!
+//! ```
+//! use adagp_accel::{AcceleratorConfig, AdaGpDesign, Dataflow};
+//! use adagp_accel::speedup::EpochMix;
+//! use adagp_nn::models::{shapes, CnnModel};
+//! use adagp_sim::{model_sim_layers, SimConfig, StepSim};
+//!
+//! let shapes = shapes::model_shapes(CnnModel::Vgg13, shapes::InputScale::Cifar);
+//! let layers = model_sim_layers(
+//!     &AcceleratorConfig::default(),
+//!     Dataflow::WeightStationary,
+//!     &Default::default(),
+//!     &shapes,
+//!     128,
+//! );
+//! let sim = StepSim::run(
+//!     AdaGpDesign::Max,
+//!     &layers,
+//!     &EpochMix::paper(),
+//!     &SimConfig::no_contention(),
+//! );
+//! assert!(sim.training_speedup() > 1.0);
+//! assert!(sim.overlap_efficiency() > 0.9); // MAX hides the predictor
+//! ```
+
+pub mod engine;
+pub mod report;
+pub mod step;
+pub mod steps;
+pub mod trace;
+pub mod workload;
+
+pub use engine::{
+    ResourceId, ResourceSpec, SimBuilder, SimResult, Span, TaskId, TaskKind, TaskSpec,
+};
+pub use step::StepSim;
+pub use steps::{step_timeline, StepTimeline};
+pub use trace::{chrome_trace, write_chrome_trace};
+pub use workload::{model_sim_layers, simulate_batch, BatchSim, Phase, SimConfig, SimLayer};

@@ -1,0 +1,119 @@
+//! Plain-text reports of a simulated batch: the span timeline (a textual
+//! Gantt chart), per-resource utilization and the buffer-occupancy
+//! summary — what the `sim_timeline` binary prints.
+
+use crate::engine::SimResult;
+use crate::workload::BatchSim;
+
+/// Renders the span table: one line per executed task, in start order.
+/// `limit` truncates long timelines (0 = everything).
+pub fn span_table(result: &SimResult, limit: usize) -> String {
+    let mut out = String::from("  start      end        dur        resource         task\n");
+    let shown = if limit == 0 {
+        result.spans.len()
+    } else {
+        limit.min(result.spans.len())
+    };
+    for span in &result.spans[..shown] {
+        let task = &result.tasks[span.task];
+        let resource = match task.resource {
+            Some(r) => result.resources[r].name.as_str(),
+            None => "-",
+        };
+        out.push_str(&format!(
+            "  {:<10} {:<10} {:<10} {:<16} {}\n",
+            span.start,
+            span.end,
+            span.end - span.start,
+            resource,
+            task.label
+        ));
+    }
+    if shown < result.spans.len() {
+        out.push_str(&format!(
+            "  … {} more spans (raise --limit or export --trace)\n",
+            result.spans.len() - shown
+        ));
+    }
+    out
+}
+
+/// Renders the utilization/occupancy summary of one simulated batch.
+pub fn utilization_report(sim: &BatchSim) -> String {
+    let r = &sim.result;
+    let mut out = format!(
+        "phase {} ({}): makespan {} cycles\n",
+        sim.phase.name(),
+        sim.design.map_or("baseline", |d| d.name()),
+        r.makespan
+    );
+    for (i, res) in r.resources.iter().enumerate() {
+        out.push_str(&format!(
+            "  {:<16} busy {:>12} cycles  utilization {:>6.1}%\n",
+            res.name,
+            r.busy[i],
+            100.0 * r.utilization(i)
+        ));
+    }
+    out.push_str(&format!(
+        "  model {} + predictor {} cycles; overlap efficiency {:.1}%\n",
+        sim.model_cycles,
+        sim.predictor_cycles,
+        100.0 * sim.overlap_efficiency()
+    ));
+    out.push_str(&format!(
+        "  peak buffer occupancy {} words over {} change points\n",
+        r.buffer_peak,
+        r.buffer_curve.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{simulate_batch, Phase, SimConfig, SimLayer};
+    use adagp_accel::layer_cost::LayerCost;
+    use adagp_accel::AdaGpDesign;
+
+    fn sim() -> BatchSim {
+        let layers: Vec<SimLayer> = (0..3u64)
+            .map(|i| SimLayer {
+                label: format!("l{i}"),
+                cost: LayerCost {
+                    fw: 100 * (i + 1),
+                    bw: 200 * (i + 1),
+                    alpha: 10,
+                },
+                weight_words: 256,
+                activation_words: 64,
+            })
+            .collect();
+        simulate_batch(
+            Phase::Gp,
+            Some(AdaGpDesign::Max),
+            &layers,
+            &SimConfig::default(),
+        )
+    }
+
+    #[test]
+    fn span_table_lists_and_truncates() {
+        let s = sim();
+        let full = span_table(&s.result, 0);
+        assert!(full.contains("fwd l0") && full.contains("pred-fill l2"));
+        let short = span_table(&s.result, 2);
+        assert!(short.contains("more spans"));
+        assert_eq!(short.lines().count(), 1 + 2 + 1); // header + 2 + ellipsis
+    }
+
+    #[test]
+    fn utilization_report_names_every_lane() {
+        let text = utilization_report(&sim());
+        assert!(text.contains("pe-array"));
+        assert!(text.contains("predictor-array"));
+        assert!(text.contains("dram"));
+        assert!(text.contains("overlap efficiency"));
+        assert!(text.contains("peak buffer occupancy"));
+    }
+}

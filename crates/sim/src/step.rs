@@ -1,0 +1,169 @@
+//! Training-run aggregation: from simulated batch makespans to the
+//! paper's end-to-end cycle totals and speed-ups.
+//!
+//! The epoch weighting deliberately mirrors
+//! [`adagp_accel::speedup::adagp_training_cycles`] *expression for
+//! expression* — same stage order, same `f64` operations — so that when
+//! the simulated per-batch makespans equal the analytic per-batch cycle
+//! counts (the no-contention configuration), the resulting training
+//! totals and speed-up ratios are bit-identical to the closed forms, not
+//! merely close. The fig17-grid golden test relies on this.
+
+use crate::workload::{simulate_batch, BatchSim, Phase, SimConfig, SimLayer};
+use adagp_accel::speedup::EpochMix;
+use adagp_accel::AdaGpDesign;
+
+/// The three simulated batches of one (design, schedule) training run
+/// plus the derived training-level statistics.
+#[derive(Debug, Clone)]
+pub struct StepSim {
+    /// Baseline batch (no predictor).
+    pub baseline: BatchSim,
+    /// Warm-up / Phase BP batch.
+    pub bp: BatchSim,
+    /// Phase GP batch.
+    pub gp: BatchSim,
+    /// The epoch mix the totals are weighted by.
+    pub mix: EpochMix,
+}
+
+impl StepSim {
+    /// Simulates the three batch schedules of `design` over `layers`.
+    pub fn run(design: AdaGpDesign, layers: &[SimLayer], mix: &EpochMix, cfg: &SimConfig) -> Self {
+        StepSim {
+            baseline: simulate_batch(Phase::Baseline, None, layers, cfg),
+            bp: simulate_batch(Phase::Bp, Some(design), layers, cfg),
+            gp: simulate_batch(Phase::Gp, Some(design), layers, cfg),
+            mix: *mix,
+        }
+    }
+
+    /// Simulated baseline training cycles — the analytic
+    /// [`adagp_accel::speedup::baseline_training_cycles`] shape:
+    /// `total epochs × baseline batch`.
+    pub fn baseline_training_cycles(&self) -> f64 {
+        self.mix.total() as f64 * self.baseline.makespan() as f64
+    }
+
+    /// Simulated ADA-GP training cycles — the analytic
+    /// [`adagp_accel::speedup::adagp_training_cycles`] shape: per stage,
+    /// `epochs × (g × GP batch + (1 − g) × BP batch)`.
+    pub fn adagp_training_cycles(&self) -> f64 {
+        let bp = self.bp.makespan() as f64;
+        let gp = self.gp.makespan() as f64;
+        self.mix
+            .stages()
+            .iter()
+            .map(|&(g, epochs)| epochs as f64 * (g * gp + (1.0 - g) * bp))
+            .sum()
+    }
+
+    /// Simulated end-to-end training speed-up.
+    pub fn training_speedup(&self) -> f64 {
+        self.baseline_training_cycles() / self.adagp_training_cycles()
+    }
+
+    /// Epoch-weighted mean of a per-batch statistic over the ADA-GP run
+    /// (warm-up and BP stages weigh the BP batch, GP shares the GP batch).
+    fn epoch_weighted(&self, bp: f64, gp: f64) -> f64 {
+        let total: f64 = self
+            .mix
+            .stages()
+            .iter()
+            .map(|&(g, epochs)| epochs as f64 * (g * gp + (1.0 - g) * bp))
+            .sum();
+        total / self.mix.total() as f64
+    }
+
+    /// Epoch-weighted main-array utilization of the ADA-GP run.
+    pub fn pe_utilization(&self) -> f64 {
+        self.epoch_weighted(self.bp.pe_utilization(), self.gp.pe_utilization())
+    }
+
+    /// Epoch-weighted predictor-overlap efficiency of the ADA-GP run.
+    pub fn overlap_efficiency(&self) -> f64 {
+        self.epoch_weighted(self.bp.overlap_efficiency(), self.gp.overlap_efficiency())
+    }
+
+    /// Largest buffer occupancy any of the three batches reached (words).
+    pub fn peak_buffer_words(&self) -> i64 {
+        self.baseline
+            .result
+            .buffer_peak
+            .max(self.bp.result.buffer_peak)
+            .max(self.gp.result.buffer_peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adagp_accel::layer_cost::LayerCost;
+    use adagp_accel::speedup::{adagp_training_cycles, baseline_training_cycles, training_speedup};
+    use adagp_accel::{AcceleratorConfig, Dataflow};
+    use adagp_nn::models::shapes::{model_shapes, InputScale};
+    use adagp_nn::models::CnnModel;
+
+    #[test]
+    fn no_contention_training_speedup_is_bit_exact_vs_analytic() {
+        let cfg = AcceleratorConfig::default();
+        let shapes = model_shapes(CnnModel::Vgg13, InputScale::Cifar);
+        let mix = EpochMix::paper();
+        let sim_cfg = SimConfig::no_contention();
+        let layers = crate::workload::model_sim_layers(
+            &cfg,
+            Dataflow::WeightStationary,
+            &Default::default(),
+            &shapes,
+            sim_cfg.batch,
+        );
+        for design in AdaGpDesign::all() {
+            let sim = StepSim::run(design, &layers, &mix, &sim_cfg);
+            let direct = training_speedup(&cfg, Dataflow::WeightStationary, design, &shapes, &mix);
+            assert_eq!(
+                sim.training_speedup().to_bits(),
+                direct.to_bits(),
+                "{}",
+                design.name()
+            );
+            assert_eq!(
+                sim.baseline_training_cycles().to_bits(),
+                baseline_training_cycles(&cfg, Dataflow::WeightStationary, &shapes, &mix).to_bits()
+            );
+            assert_eq!(
+                sim.adagp_training_cycles().to_bits(),
+                adagp_training_cycles(&cfg, Dataflow::WeightStationary, design, &shapes, &mix)
+                    .to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_stats_sit_between_their_phase_values() {
+        let layers: Vec<SimLayer> = (0..4u64)
+            .map(|i| {
+                SimLayer::from_cost(
+                    format!("l{i}"),
+                    LayerCost {
+                        fw: 1000 + i * 100,
+                        bw: 2000,
+                        alpha: 90,
+                    },
+                )
+            })
+            .collect();
+        let sim = StepSim::run(
+            AdaGpDesign::Max,
+            &layers,
+            &EpochMix::paper(),
+            &SimConfig::no_contention(),
+        );
+        let (lo, hi) = (
+            sim.bp.pe_utilization().min(sim.gp.pe_utilization()),
+            sim.bp.pe_utilization().max(sim.gp.pe_utilization()),
+        );
+        let u = sim.pe_utilization();
+        assert!(u >= lo && u <= hi, "{lo} <= {u} <= {hi}");
+        assert!(sim.training_speedup() > 1.0);
+    }
+}

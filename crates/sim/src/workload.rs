@@ -1,0 +1,774 @@
+//! Training-step task graphs: one batch of the baseline, Phase-BP and
+//! Phase-GP schedules for each ADA-GP hardware design.
+//!
+//! The graphs encode the *paper's* overlap semantics (§3.7, Figures 7–9),
+//! layer by layer, so that with contention disabled the simulated
+//! makespan equals the analytic per-batch cycle counts of
+//! [`adagp_accel::designs`] exactly — not approximately. That equality is
+//! what lets the sweep's golden tests pin the simulator to the closed
+//! forms bit-for-bit (see `crates/bench/tests/sim_golden.rs`). Per design
+//! the schedule shape is:
+//!
+//! * **Baseline** — forward sweep, then backward sweep (data + weight
+//!   gradients), everything serial on the PE array: `Σ (FW + BW)`.
+//! * **Efficient** — the predictor shares the PE array: its fill (α)
+//!   follows each layer's FW and its update (2α) follows each layer's BW.
+//! * **LOW** — like Efficient plus a [`AdaGpDesign::reload_cycles`] weight
+//!   reload on the array before every predictor use.
+//! * **MAX** — a dedicated predictor array. In Phase GP the predictor fill
+//!   for layer *i* runs concurrently with layer *i*'s FW (its input — the
+//!   previous layer's output activation — is already on chip), with a
+//!   per-layer synchronization barrier: `Σ max(FW, α)` plus the trailing
+//!   output-layer fill. In Phase BP each layer forms a window in which the
+//!   model's FW+BW runs against the predictor's fill+update:
+//!   `Σ max(FW + BW, 3α)`.
+//!
+//! Contention is opt-in through [`SimConfig::dram_words_per_cycle`]: each
+//! layer's weights then stream over a capacity-1 DRAM channel before its
+//! FW may start (double-buffered prefetch — loads run ahead of compute
+//! but serialize against each other), which exposes bandwidth stalls the
+//! closed forms cannot see.
+
+use crate::engine::{ResourceId, SimBuilder, SimResult, TaskKind, TaskSpec};
+use adagp_accel::dataflow::{AcceleratorConfig, Dataflow};
+use adagp_accel::layer_cost::{model_costs, LayerCost, PredictorCostModel};
+use adagp_accel::speedup::MODEL_BATCH;
+use adagp_accel::AdaGpDesign;
+use adagp_nn::models::shapes::LayerShape;
+
+/// Simulator configuration: batch size and optional contention modeling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Off-chip bandwidth in words per cycle; `None` disables weight
+    /// streaming entirely — the no-contention configuration that matches
+    /// the analytic model bit-for-bit.
+    pub dram_words_per_cycle: Option<u64>,
+    /// Mini-batch size fed to the cycle model (paper standard: 128).
+    pub batch: usize,
+}
+
+impl Default for SimConfig {
+    /// Contention on at 64 words/cycle — wide enough that large conv
+    /// layers stay compute-bound, narrow enough that early high-resolution
+    /// layers and FC heads expose real streaming stalls.
+    fn default() -> Self {
+        SimConfig {
+            dram_words_per_cycle: Some(64),
+            batch: MODEL_BATCH,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Infinite-bandwidth configuration: the simulated makespans equal
+    /// the analytic per-batch cycle counts exactly.
+    pub fn no_contention() -> Self {
+        SimConfig {
+            dram_words_per_cycle: None,
+            batch: MODEL_BATCH,
+        }
+    }
+}
+
+/// Which batch schedule to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Plain backpropagation (no predictor).
+    Baseline,
+    /// ADA-GP warm-up / Phase BP: backprop plus predictor training.
+    Bp,
+    /// ADA-GP Phase GP: forward plus gradient prediction, backward skipped.
+    Gp,
+}
+
+impl Phase {
+    /// Stable lowercase name (CLI and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Baseline => "baseline",
+            Phase::Bp => "bp",
+            Phase::Gp => "gp",
+        }
+    }
+}
+
+/// One layer as the simulator sees it: cycle costs plus the word counts
+/// that drive contention and buffer-occupancy modeling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimLayer {
+    /// Display label.
+    pub label: String,
+    /// Cycle costs (FW / BW / α) of the layer.
+    pub cost: LayerCost,
+    /// Weight words streamed from DRAM before the layer's FW (0 = none).
+    pub weight_words: u64,
+    /// Output-activation words held in the buffer while alive (0 = none).
+    pub activation_words: u64,
+}
+
+impl SimLayer {
+    /// A layer with costs only — no streaming, no buffer footprint.
+    /// (Property tests over random cost mixes use this.)
+    pub fn from_cost(label: impl Into<String>, cost: LayerCost) -> Self {
+        SimLayer {
+            label: label.into(),
+            cost,
+            weight_words: 0,
+            activation_words: 0,
+        }
+    }
+}
+
+/// Derives the simulator's layer list for a model the same way the
+/// analytic model does: [`model_costs`] on the same shapes, plus the
+/// weight/activation word counts the shapes imply.
+pub fn model_sim_layers(
+    cfg: &AcceleratorConfig,
+    df: Dataflow,
+    pred: &PredictorCostModel,
+    layers: &[LayerShape],
+    batch: usize,
+) -> Vec<SimLayer> {
+    let costs = model_costs(cfg, df, pred, layers, batch);
+    layers
+        .iter()
+        .zip(costs)
+        .map(|(l, cost)| SimLayer {
+            label: l.label.clone(),
+            cost,
+            weight_words: l.weight_count(),
+            activation_words: l.out_activations() * batch as u64,
+        })
+        .collect()
+}
+
+/// Resource ids of one built batch graph.
+#[derive(Debug, Clone, Copy)]
+struct Lanes {
+    pe: ResourceId,
+    pred: Option<ResourceId>,
+    dram: Option<ResourceId>,
+}
+
+/// One simulated batch: the trace plus the work totals the derived
+/// statistics need.
+#[derive(Debug, Clone)]
+pub struct BatchSim {
+    /// Which schedule ran.
+    pub phase: Phase,
+    /// Which design ran it (`None` for the baseline).
+    pub design: Option<AdaGpDesign>,
+    /// The execution trace.
+    pub result: SimResult,
+    /// Σ durations of model tasks (FW, BW-data, BW-weight).
+    pub model_cycles: u64,
+    /// Σ durations of predictor tasks (fill, update, reload).
+    pub predictor_cycles: u64,
+    /// Resource id of the main PE array in [`BatchSim::result`].
+    pub pe_array: ResourceId,
+}
+
+impl BatchSim {
+    /// Batch makespan in cycles.
+    pub fn makespan(&self) -> u64 {
+        self.result.makespan
+    }
+
+    /// Busy fraction of the main PE array over the batch.
+    pub fn pe_utilization(&self) -> f64 {
+        self.result.utilization(self.pe_array)
+    }
+
+    /// How much of the predictor's work the schedule hid: `1 −
+    /// (makespan − model cycles) / predictor cycles`, clamped to `[0, 1]`.
+    /// 1 means every predictor cycle overlapped model compute (MAX with
+    /// α ≪ FW); 0 means every predictor cycle extended the critical path
+    /// (Efficient/LOW on the shared array). Stall cycles from contention
+    /// count against the overlap. Returns 1 when there is no predictor
+    /// work (baseline).
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.predictor_cycles == 0 {
+            return 1.0;
+        }
+        let overhead = self.result.makespan.saturating_sub(self.model_cycles) as f64;
+        (1.0 - overhead / self.predictor_cycles as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Streaming-cycle cost of `words` at the configured bandwidth.
+fn load_cycles(cfg: &SimConfig, words: u64) -> Option<u64> {
+    cfg.dram_words_per_cycle.map(|bw| words.div_ceil(bw))
+}
+
+/// Builder-side helper: adds the per-layer DRAM prefetch task when
+/// contention is enabled; returns the dependency FW must wait on.
+fn add_weight_load(
+    b: &mut SimBuilder,
+    lanes: &Lanes,
+    cfg: &SimConfig,
+    layer_idx: usize,
+    layer: &SimLayer,
+) -> Option<usize> {
+    let dram = lanes.dram?;
+    let cycles = load_cycles(cfg, layer.weight_words)?;
+    if layer.weight_words == 0 {
+        return None;
+    }
+    Some(b.add_task(TaskSpec {
+        label: format!("load {}", layer.label),
+        kind: TaskKind::WeightLoad,
+        layer: Some(layer_idx),
+        resource: Some(dram),
+        duration: cycles,
+        deps: Vec::new(), // prefetch: ready at t=0, serialized by the channel
+        buffer_delta: 0,
+    }))
+}
+
+fn compute_task(
+    kind: TaskKind,
+    layer_idx: usize,
+    label: &str,
+    resource: ResourceId,
+    duration: u64,
+    deps: Vec<usize>,
+) -> TaskSpec {
+    TaskSpec {
+        label: format!("{} {}", kind.name(), label),
+        kind,
+        layer: Some(layer_idx),
+        resource: Some(resource),
+        duration,
+        deps,
+        buffer_delta: 0,
+    }
+}
+
+/// Splits a layer's BW cycles into the data-gradient and weight-gradient
+/// halves; the halves always sum back to `bw`.
+pub fn split_bw(bw: u64) -> (u64, u64) {
+    let data = bw.div_ceil(2);
+    (data, bw - data)
+}
+
+/// Simulates one batch of `phase` under `design` over `layers`.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty, if `phase` is not [`Phase::Baseline`]
+/// while `design` is `None`, or if the configured DRAM bandwidth is
+/// `Some(0)` (disable contention with `None` instead).
+pub fn simulate_batch(
+    phase: Phase,
+    design: Option<AdaGpDesign>,
+    layers: &[SimLayer],
+    cfg: &SimConfig,
+) -> BatchSim {
+    assert!(!layers.is_empty(), "need at least one layer");
+    assert!(
+        cfg.dram_words_per_cycle != Some(0),
+        "DRAM bandwidth must be positive (use None to disable contention)"
+    );
+    if phase != Phase::Baseline {
+        assert!(design.is_some(), "ADA-GP phases need a design");
+    }
+    let mut b = SimBuilder::new();
+    let pe = b.add_resource("pe-array", 1);
+    let pred = match design {
+        Some(AdaGpDesign::Max) if phase != Phase::Baseline => {
+            Some(b.add_resource("predictor-array", 1))
+        }
+        _ => None,
+    };
+    let dram = cfg.dram_words_per_cycle.map(|_| b.add_resource("dram", 1));
+    let lanes = Lanes { pe, pred, dram };
+
+    match (phase, design) {
+        (Phase::Baseline, _) => build_baseline(&mut b, &lanes, layers, cfg),
+        (Phase::Bp, Some(AdaGpDesign::Max)) => build_bp_max(&mut b, &lanes, layers, cfg),
+        (Phase::Bp, Some(d)) => build_bp_shared(&mut b, &lanes, layers, cfg, d),
+        (Phase::Gp, Some(AdaGpDesign::Max)) => build_gp_max(&mut b, &lanes, layers, cfg),
+        (Phase::Gp, Some(d)) => build_gp_shared(&mut b, &lanes, layers, cfg, d),
+        _ => unreachable!("design checked above"),
+    }
+
+    let result = b.simulate();
+    let mut model_cycles = 0u64;
+    let mut predictor_cycles = 0u64;
+    for t in &result.tasks {
+        match t.kind {
+            TaskKind::Forward | TaskKind::BackwardData | TaskKind::BackwardWeight => {
+                model_cycles += t.duration
+            }
+            TaskKind::PredictorFill | TaskKind::PredictorUpdate | TaskKind::PredictorReload => {
+                predictor_cycles += t.duration
+            }
+            TaskKind::WeightLoad | TaskKind::Join => {}
+        }
+    }
+    BatchSim {
+        phase,
+        design,
+        result,
+        model_cycles,
+        predictor_cycles,
+        pe_array: pe,
+    }
+}
+
+/// Baseline: FW sweep then BW sweep (data + weight), all on the PE array.
+fn build_baseline(b: &mut SimBuilder, lanes: &Lanes, layers: &[SimLayer], cfg: &SimConfig) {
+    let mut prev: Option<usize> = None;
+    for (i, l) in layers.iter().enumerate() {
+        let mut deps: Vec<usize> = prev.into_iter().collect();
+        deps.extend(add_weight_load(b, lanes, cfg, i, l));
+        let mut fwd = compute_task(TaskKind::Forward, i, &l.label, lanes.pe, l.cost.fw, deps);
+        fwd.buffer_delta = l.activation_words as i64;
+        prev = Some(b.add_task(fwd));
+    }
+    for (i, l) in layers.iter().enumerate().rev() {
+        let (data, weight) = split_bw(l.cost.bw);
+        let bd = b.add_task(compute_task(
+            TaskKind::BackwardData,
+            i,
+            &l.label,
+            lanes.pe,
+            data,
+            prev.into_iter().collect(),
+        ));
+        let mut bw = compute_task(
+            TaskKind::BackwardWeight,
+            i,
+            &l.label,
+            lanes.pe,
+            weight,
+            vec![bd],
+        );
+        bw.buffer_delta = -(l.activation_words as i64);
+        prev = Some(b.add_task(bw));
+    }
+}
+
+/// Phase BP on a shared array (Efficient / LOW): the predictor's fill
+/// follows each FW and its update follows each layer's BW, with LOW
+/// paying a weight reload before every predictor use.
+fn build_bp_shared(
+    b: &mut SimBuilder,
+    lanes: &Lanes,
+    layers: &[SimLayer],
+    cfg: &SimConfig,
+    design: AdaGpDesign,
+) {
+    let reload = design.reload_cycles();
+    let mut prev: Option<usize> = None;
+    for (i, l) in layers.iter().enumerate() {
+        let mut deps: Vec<usize> = prev.into_iter().collect();
+        deps.extend(add_weight_load(b, lanes, cfg, i, l));
+        let mut fwd = compute_task(TaskKind::Forward, i, &l.label, lanes.pe, l.cost.fw, deps);
+        fwd.buffer_delta = l.activation_words as i64;
+        prev = Some(b.add_task(fwd));
+        if reload > 0 {
+            prev = Some(b.add_task(compute_task(
+                TaskKind::PredictorReload,
+                i,
+                &l.label,
+                lanes.pe,
+                reload,
+                prev.into_iter().collect(),
+            )));
+        }
+        prev = Some(b.add_task(compute_task(
+            TaskKind::PredictorFill,
+            i,
+            &l.label,
+            lanes.pe,
+            l.cost.alpha,
+            prev.into_iter().collect(),
+        )));
+    }
+    for (i, l) in layers.iter().enumerate().rev() {
+        let (data, weight) = split_bw(l.cost.bw);
+        prev = Some(b.add_task(compute_task(
+            TaskKind::BackwardData,
+            i,
+            &l.label,
+            lanes.pe,
+            data,
+            prev.into_iter().collect(),
+        )));
+        prev = Some(b.add_task(compute_task(
+            TaskKind::BackwardWeight,
+            i,
+            &l.label,
+            lanes.pe,
+            weight,
+            prev.into_iter().collect(),
+        )));
+        if reload > 0 {
+            prev = Some(b.add_task(compute_task(
+                TaskKind::PredictorReload,
+                i,
+                &l.label,
+                lanes.pe,
+                reload,
+                prev.into_iter().collect(),
+            )));
+        }
+        let mut upd = compute_task(
+            TaskKind::PredictorUpdate,
+            i,
+            &l.label,
+            lanes.pe,
+            2 * l.cost.alpha,
+            prev.into_iter().collect(),
+        );
+        upd.buffer_delta = -(l.activation_words as i64);
+        prev = Some(b.add_task(upd));
+    }
+}
+
+/// Phase BP on ADA-GP-MAX: per-layer windows. The model's FW→BW chain
+/// and the predictor's fill→update chain start together at the window
+/// barrier and the next window opens when both finish — the per-layer
+/// `max(FW + BW, 3α)` of the analytic model.
+fn build_bp_max(b: &mut SimBuilder, lanes: &Lanes, layers: &[SimLayer], cfg: &SimConfig) {
+    let pred = lanes.pred.expect("MAX has a predictor array");
+    let mut barrier: Option<usize> = None;
+    for (i, l) in layers.iter().enumerate() {
+        let window: Vec<usize> = barrier.into_iter().collect();
+        let mut fwd_deps = window.clone();
+        fwd_deps.extend(add_weight_load(b, lanes, cfg, i, l));
+        let mut fwd = compute_task(
+            TaskKind::Forward,
+            i,
+            &l.label,
+            lanes.pe,
+            l.cost.fw,
+            fwd_deps,
+        );
+        fwd.buffer_delta = l.activation_words as i64;
+        let fwd = b.add_task(fwd);
+        let (data, weight) = split_bw(l.cost.bw);
+        let bd = b.add_task(compute_task(
+            TaskKind::BackwardData,
+            i,
+            &l.label,
+            lanes.pe,
+            data,
+            vec![fwd],
+        ));
+        let bw = b.add_task(compute_task(
+            TaskKind::BackwardWeight,
+            i,
+            &l.label,
+            lanes.pe,
+            weight,
+            vec![bd],
+        ));
+        // The predictor consumes the layer's *input* activation (already
+        // on chip at the window barrier), so its chain needs no FW dep.
+        let fill = b.add_task(compute_task(
+            TaskKind::PredictorFill,
+            i,
+            &l.label,
+            pred,
+            l.cost.alpha,
+            window,
+        ));
+        let upd = b.add_task(compute_task(
+            TaskKind::PredictorUpdate,
+            i,
+            &l.label,
+            pred,
+            2 * l.cost.alpha,
+            vec![fill],
+        ));
+        let mut join = TaskSpec::join(format!("window {}", l.label), vec![bw, upd]);
+        join.buffer_delta = -(l.activation_words as i64);
+        barrier = Some(b.add_task(join));
+    }
+}
+
+/// Phase GP on a shared array (Efficient / LOW): FW then predictor fill
+/// per layer, serial, with LOW's reload in between.
+fn build_gp_shared(
+    b: &mut SimBuilder,
+    lanes: &Lanes,
+    layers: &[SimLayer],
+    cfg: &SimConfig,
+    design: AdaGpDesign,
+) {
+    let reload = design.reload_cycles();
+    let mut prev: Option<usize> = None;
+    for (i, l) in layers.iter().enumerate() {
+        let mut deps: Vec<usize> = prev.into_iter().collect();
+        deps.extend(add_weight_load(b, lanes, cfg, i, l));
+        let mut fwd = compute_task(TaskKind::Forward, i, &l.label, lanes.pe, l.cost.fw, deps);
+        fwd.buffer_delta = l.activation_words as i64;
+        prev = Some(b.add_task(fwd));
+        if reload > 0 {
+            prev = Some(b.add_task(compute_task(
+                TaskKind::PredictorReload,
+                i,
+                &l.label,
+                lanes.pe,
+                reload,
+                prev.into_iter().collect(),
+            )));
+        }
+        let mut fill = compute_task(
+            TaskKind::PredictorFill,
+            i,
+            &l.label,
+            lanes.pe,
+            l.cost.alpha,
+            prev.into_iter().collect(),
+        );
+        fill.buffer_delta = -(l.activation_words as i64);
+        prev = Some(b.add_task(fill));
+    }
+}
+
+/// Phase GP on ADA-GP-MAX: per-layer slots — FW on the PE array runs
+/// concurrently with the layer's predictor fill on the predictor array
+/// (`max(FW, α)` per slot), plus the trailing output-layer fill.
+fn build_gp_max(b: &mut SimBuilder, lanes: &Lanes, layers: &[SimLayer], cfg: &SimConfig) {
+    let pred = lanes.pred.expect("MAX has a predictor array");
+    let mut barrier: Option<usize> = None;
+    for (i, l) in layers.iter().enumerate() {
+        let slot: Vec<usize> = barrier.into_iter().collect();
+        let mut fwd_deps = slot.clone();
+        fwd_deps.extend(add_weight_load(b, lanes, cfg, i, l));
+        let mut fwd = compute_task(
+            TaskKind::Forward,
+            i,
+            &l.label,
+            lanes.pe,
+            l.cost.fw,
+            fwd_deps,
+        );
+        fwd.buffer_delta = l.activation_words as i64;
+        let fwd = b.add_task(fwd);
+        let fill = b.add_task(compute_task(
+            TaskKind::PredictorFill,
+            i,
+            &l.label,
+            pred,
+            l.cost.alpha,
+            slot,
+        ));
+        let mut join = TaskSpec::join(format!("slot {}", l.label), vec![fwd, fill]);
+        join.buffer_delta = -(l.activation_words as i64);
+        barrier = Some(b.add_task(join));
+    }
+    // The last layer's own prediction cannot hide behind a next layer.
+    let last = layers.last().expect("non-empty");
+    b.add_task(compute_task(
+        TaskKind::PredictorFill,
+        layers.len() - 1,
+        &format!("{} (out)", last.label),
+        pred,
+        last.cost.alpha,
+        barrier.into_iter().collect(),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adagp_accel::designs::{baseline_batch_cycles, bp_batch_cycles, gp_batch_cycles};
+
+    fn layers() -> Vec<SimLayer> {
+        [
+            LayerCost {
+                fw: 1000,
+                bw: 2000,
+                alpha: 100,
+            },
+            LayerCost {
+                fw: 500,
+                bw: 1001,
+                alpha: 80,
+            },
+            LayerCost {
+                fw: 2000,
+                bw: 4000,
+                alpha: 150,
+            },
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &cost)| SimLayer {
+            label: format!("l{i}"),
+            cost,
+            weight_words: 10_000,
+            activation_words: 5_000,
+        })
+        .collect()
+    }
+
+    fn costs() -> Vec<LayerCost> {
+        layers().iter().map(|l| l.cost).collect()
+    }
+
+    #[test]
+    fn no_contention_matches_analytic_batch_cycles_exactly() {
+        let cfg = SimConfig::no_contention();
+        let ls = layers();
+        assert_eq!(
+            simulate_batch(Phase::Baseline, None, &ls, &cfg).makespan(),
+            baseline_batch_cycles(&costs())
+        );
+        for d in AdaGpDesign::all() {
+            assert_eq!(
+                simulate_batch(Phase::Bp, Some(d), &ls, &cfg).makespan(),
+                bp_batch_cycles(d, &costs()),
+                "BP {}",
+                d.name()
+            );
+            assert_eq!(
+                simulate_batch(Phase::Gp, Some(d), &ls, &cfg).makespan(),
+                gp_batch_cycles(d, &costs()),
+                "GP {}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn max_bp_with_huge_alpha_hits_the_predictor_bound() {
+        // One layer where 3α > FW+BW: the window is predictor-bound.
+        let ls = vec![SimLayer::from_cost(
+            "fat",
+            LayerCost {
+                fw: 100,
+                bw: 200,
+                alpha: 400,
+            },
+        )];
+        let sim = simulate_batch(
+            Phase::Bp,
+            Some(AdaGpDesign::Max),
+            &ls,
+            &SimConfig::no_contention(),
+        );
+        assert_eq!(sim.makespan(), 1200); // 3α
+        assert_eq!(
+            sim.makespan(),
+            bp_batch_cycles(AdaGpDesign::Max, &[ls[0].cost])
+        );
+    }
+
+    #[test]
+    fn contention_only_adds_cycles() {
+        let ls = layers();
+        for (phase, design) in [
+            (Phase::Baseline, None),
+            (Phase::Bp, Some(AdaGpDesign::Max)),
+            (Phase::Gp, Some(AdaGpDesign::Efficient)),
+        ] {
+            let free = simulate_batch(phase, design, &ls, &SimConfig::no_contention()).makespan();
+            let tight = simulate_batch(
+                phase,
+                design,
+                &ls,
+                &SimConfig {
+                    dram_words_per_cycle: Some(4),
+                    batch: MODEL_BATCH,
+                },
+            )
+            .makespan();
+            let loose = simulate_batch(
+                phase,
+                design,
+                &ls,
+                &SimConfig {
+                    dram_words_per_cycle: Some(1_000_000),
+                    batch: MODEL_BATCH,
+                },
+            )
+            .makespan();
+            assert!(tight >= loose, "{phase:?}");
+            assert!(loose >= free, "{phase:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_efficiency_separates_the_designs() {
+        let ls = layers();
+        let cfg = SimConfig::no_contention();
+        let eff = simulate_batch(Phase::Gp, Some(AdaGpDesign::Efficient), &ls, &cfg);
+        let max = simulate_batch(Phase::Gp, Some(AdaGpDesign::Max), &ls, &cfg);
+        let base = simulate_batch(Phase::Baseline, None, &ls, &cfg);
+        assert_eq!(eff.overlap_efficiency(), 0.0); // fully exposed
+        assert!(
+            max.overlap_efficiency() > 0.5,
+            "{}",
+            max.overlap_efficiency()
+        );
+        assert_eq!(base.overlap_efficiency(), 1.0); // nothing to hide
+        assert_eq!(base.pe_utilization(), 1.0);
+        assert!(max.pe_utilization() < 1.0); // trailing fill idles the array
+    }
+
+    #[test]
+    fn buffer_occupancy_rises_through_fw_and_returns_to_zero() {
+        let ls = layers();
+        let sim = simulate_batch(Phase::Baseline, None, &ls, &SimConfig::no_contention());
+        assert_eq!(sim.result.buffer_peak, 15_000); // all three alive at FW end
+        assert_eq!(sim.result.buffer_curve.last().unwrap().1, 0);
+        let gp = simulate_batch(
+            Phase::Gp,
+            Some(AdaGpDesign::Efficient),
+            &ls,
+            &SimConfig::no_contention(),
+        );
+        // GP frees each activation right after its prediction: lower peak.
+        assert!(gp.result.buffer_peak < sim.result.buffer_peak);
+    }
+
+    #[test]
+    #[should_panic(expected = "DRAM bandwidth must be positive")]
+    fn zero_bandwidth_is_rejected_not_clamped() {
+        let ls = layers();
+        simulate_batch(
+            Phase::Baseline,
+            None,
+            &ls,
+            &SimConfig {
+                dram_words_per_cycle: Some(0),
+                batch: MODEL_BATCH,
+            },
+        );
+    }
+
+    #[test]
+    fn split_bw_halves_sum_back() {
+        for bw in [0u64, 1, 2, 3, 1001, 4000] {
+            let (d, w) = split_bw(bw);
+            assert_eq!(d + w, bw);
+            assert!(d >= w);
+        }
+    }
+
+    #[test]
+    fn task_graph_has_expected_span_counts() {
+        let ls = layers();
+        let sim = simulate_batch(
+            Phase::Bp,
+            Some(AdaGpDesign::Low),
+            &ls,
+            &SimConfig::no_contention(),
+        );
+        // Per layer: fwd, reload, fill, bwd-data, bwd-weight, reload, update.
+        assert_eq!(sim.result.spans.len(), 7 * ls.len());
+        let sim = simulate_batch(
+            Phase::Gp,
+            Some(AdaGpDesign::Max),
+            &ls,
+            &SimConfig::default(),
+        );
+        // Per layer: load, fwd, fill, join; plus one trailing fill.
+        assert_eq!(sim.result.spans.len(), 4 * ls.len() + 1);
+    }
+}

@@ -101,12 +101,18 @@ impl DiffReport {
     }
 }
 
-/// Compares `after` against `before` cell-by-cell.
+/// Compares `after` against `before` cell-by-cell. Only the metrics both
+/// runs carry are compared (a legacy schema-v1 run diffs against a fresh
+/// one over their shared five analytic metrics).
 pub fn diff_runs(before: &StoredRun, after: &StoredRun, cfg: &DiffConfig) -> DiffReport {
     let after_by_id: HashMap<&str, &StoredCell> =
         after.cells.iter().map(|c| (c.id.as_str(), c)).collect();
     let before_ids: std::collections::HashSet<&str> =
         before.cells.iter().map(|c| c.id.as_str()).collect();
+    let shared_metrics = before
+        .metric_count
+        .min(after.metric_count)
+        .min(METRICS.len());
 
     let mut report = DiffReport::default();
     for b in &before.cells {
@@ -115,7 +121,7 @@ pub fn diff_runs(before: &StoredRun, after: &StoredRun, cfg: &DiffConfig) -> Dif
             continue;
         };
         report.matched_cells += 1;
-        for (i, metric) in METRICS.iter().enumerate() {
+        for (i, metric) in METRICS.iter().take(shared_metrics).enumerate() {
             let (old, new) = (b.metrics[i], a.metrics[i]);
             let denom = old.abs().max(f64::MIN_POSITIVE);
             let rel_delta = (new - old) / denom;
@@ -160,12 +166,15 @@ mod tests {
                 "ADA-GP-MAX".into(),
                 "paper".into(),
             ],
-            metrics: [speedup, 100.0, 50.0, 10.0, 5.0],
+            metrics: [speedup, 100.0, 50.0, 10.0, 5.0, 55.0, 0.9, 0.5],
         }
     }
 
     fn run(cells: Vec<StoredCell>) -> StoredRun {
-        StoredRun { cells }
+        StoredRun {
+            cells,
+            ..StoredRun::default()
+        }
     }
 
     #[test]

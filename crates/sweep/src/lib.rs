@@ -16,6 +16,10 @@
 //! * [`runner`] — executes cells in parallel on the shared
 //!   `adagp-runtime` pool (`parallel_map`, so result order is the
 //!   deterministic expansion order) with per-cell wall timing.
+//! * [`simeval`] — the sim-backed evaluator: each cell also runs through
+//!   the `adagp-sim` discrete-event simulator, contributing the
+//!   `sim_cycles` / `pe_utilization` / `overlap_efficiency` metrics and
+//!   the batch-level detail view behind the `sweep sim` subcommand.
 //! * [`store`] — serializes runs to byte-stable CSV (fixed-precision
 //!   floats, no timing columns) and JSON (full precision + timing, via
 //!   the now-activated vendored serde derives), and loads either back.
@@ -47,9 +51,11 @@ pub mod grid;
 pub mod presets;
 pub mod runner;
 pub mod shapes;
+pub mod simeval;
 pub mod store;
 
 pub use diff::{diff_runs, DiffConfig, DiffReport};
 pub use grid::{CellSpec, DatasetScale, GridSpec, PhaseSchedule};
 pub use runner::{run_grid, CellMetrics, CellResult, SweepRun};
+pub use simeval::{run_sim_grid, sim_detail_csv, simulate_cell, SimCellDetail};
 pub use store::StoredRun;

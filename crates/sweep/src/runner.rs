@@ -9,13 +9,17 @@
 
 use crate::grid::{CellSpec, GridSpec};
 use crate::shapes::cached_shapes;
+use crate::simeval::simulate_cell;
 use adagp_accel::energy::{adagp_energy_joules, baseline_energy_joules, EnergyConfig};
 use adagp_accel::speedup::{adagp_training_cycles, baseline_training_cycles};
 use adagp_accel::AcceleratorConfig;
+use adagp_sim::SimConfig;
 use std::time::Instant;
 
-/// The metric values one cell produces. All five are deterministic
-/// functions of the cell's axis values.
+/// The metric values one cell produces. All eight are deterministic
+/// functions of the cell's axis values: five from the closed-form
+/// analytic models, three from the discrete-event simulator under the
+/// default contention-enabled [`SimConfig`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellMetrics {
     /// End-to-end training speed-up over the baseline (higher is better).
@@ -28,6 +32,13 @@ pub struct CellMetrics {
     pub baseline_energy_j: f64,
     /// ADA-GP off-chip memory energy in joules (lower is better).
     pub adagp_energy_j: f64,
+    /// Simulated ADA-GP training cycles with DRAM contention (lower is
+    /// better); the gap to `adagp_cycles` is the bandwidth stall.
+    pub sim_cycles: f64,
+    /// Simulated epoch-weighted PE-array utilization (higher is better).
+    pub pe_utilization: f64,
+    /// Simulated predictor-overlap efficiency (higher is better).
+    pub overlap_efficiency: f64,
 }
 
 /// One executed cell: its spec, metrics and wall time.
@@ -53,10 +64,11 @@ pub struct SweepRun {
     pub total_wall_micros: u64,
 }
 
-/// Evaluates one cell: the speed-up/cycle/energy metrics of its
-/// (model, dataset, dataflow, design, schedule) combination. Identical to
-/// what the standalone fig17–21 binaries computed, by construction: it
-/// calls the same `adagp_accel` model functions on the same shapes.
+/// Evaluates one cell: the analytic speed-up/cycle/energy metrics of its
+/// (model, dataset, dataflow, design, schedule) combination — identical
+/// to what the standalone fig17–21 binaries computed, by construction —
+/// plus the three discrete-event metrics from `adagp-sim` under the
+/// default contention-enabled configuration.
 pub fn evaluate_cell(spec: &CellSpec) -> CellMetrics {
     let layers = cached_shapes(spec.model, spec.dataset.input_scale());
     let cfg = AcceleratorConfig::default();
@@ -64,12 +76,16 @@ pub fn evaluate_cell(spec: &CellSpec) -> CellMetrics {
     let baseline_cycles = baseline_training_cycles(&cfg, spec.dataflow, &layers, &mix);
     let adagp_cycles = adagp_training_cycles(&cfg, spec.dataflow, spec.design, &layers, &mix);
     let ecfg = EnergyConfig::default();
+    let sim = simulate_cell(spec, &SimConfig::default());
     CellMetrics {
         speedup: baseline_cycles / adagp_cycles,
         baseline_cycles,
         adagp_cycles,
         baseline_energy_j: baseline_energy_joules(&ecfg, &layers, &mix),
         adagp_energy_j: adagp_energy_joules(&ecfg, &layers, &mix, spec.design),
+        sim_cycles: sim.sim_cycles,
+        pe_utilization: sim.pe_utilization,
+        overlap_efficiency: sim.overlap_efficiency,
     }
 }
 
@@ -134,6 +150,21 @@ mod tests {
             assert!(m.speedup > 1.0 && m.speedup < 3.0, "{}", x.spec.key());
             assert_eq!(m.speedup, m.baseline_cycles / m.adagp_cycles);
             assert!(m.adagp_energy_j <= m.baseline_energy_j, "{}", x.spec.key());
+            // The simulated run pays bandwidth stalls on top of the
+            // analytic ideal, and its rates are proper fractions.
+            assert!(m.sim_cycles >= m.adagp_cycles, "{}", x.spec.key());
+            assert!(
+                m.pe_utilization > 0.0 && m.pe_utilization <= 1.0,
+                "{}: {}",
+                x.spec.key(),
+                m.pe_utilization
+            );
+            assert!(
+                (0.0..=1.0).contains(&m.overlap_efficiency),
+                "{}: {}",
+                x.spec.key(),
+                m.overlap_efficiency
+            );
         }
     }
 

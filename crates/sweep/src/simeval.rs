@@ -1,0 +1,221 @@
+//! The sim-backed cell evaluator: every grid cell run through the
+//! `adagp-sim` discrete-event simulator.
+//!
+//! Two consumers share this module:
+//!
+//! * [`crate::runner::evaluate_cell`] pulls the three sim metrics
+//!   (`sim_cycles`, `pe_utilization`, `overlap_efficiency`) computed with
+//!   the *default* contention-enabled [`SimConfig`], so they flow through
+//!   the regular store/diff/golden machinery next to the analytic
+//!   metrics.
+//! * The `sweep sim` CLI subcommand runs [`run_sim_grid`] for the
+//!   batch-level detail view — per-phase makespans, the simulated
+//!   speed-up and the peak buffer occupancy — and writes it as a
+//!   byte-stable CSV ([`sim_detail_csv`]) that CI byte-compares against a
+//!   committed golden, exactly like the analytic smoke grid.
+//!
+//! With [`SimConfig::no_contention`] the simulated speed-up is
+//! bit-identical to the analytic `training_speedup` (the sim crate's
+//! contract); the golden test in `adagp-bench` asserts that over the full
+//! fig17 grid.
+
+use crate::grid::{CellSpec, GridSpec};
+use crate::shapes::cached_shapes;
+use adagp_accel::layer_cost::PredictorCostModel;
+use adagp_accel::AcceleratorConfig;
+use adagp_sim::{model_sim_layers, SimConfig, StepSim};
+
+/// One simulated cell: batch-level makespans plus derived training-level
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimCellDetail {
+    /// The grid point that was simulated.
+    pub spec: CellSpec,
+    /// Simulated baseline batch makespan (cycles).
+    pub baseline_batch_cycles: u64,
+    /// Simulated Phase-BP batch makespan (cycles).
+    pub bp_batch_cycles: u64,
+    /// Simulated Phase-GP batch makespan (cycles).
+    pub gp_batch_cycles: u64,
+    /// Simulated end-to-end training speed-up.
+    pub sim_speedup: f64,
+    /// Simulated ADA-GP training cycles (epoch-mix weighted).
+    pub sim_cycles: f64,
+    /// Epoch-weighted main PE-array utilization.
+    pub pe_utilization: f64,
+    /// Epoch-weighted predictor-overlap efficiency.
+    pub overlap_efficiency: f64,
+    /// Peak buffer occupancy across the three batch schedules (words).
+    pub peak_buffer_words: i64,
+}
+
+/// Simulates one cell under `cfg`: the same shapes, accelerator config
+/// and epoch mix the analytic evaluator uses, executed on the event
+/// engine.
+pub fn simulate_cell(spec: &CellSpec, cfg: &SimConfig) -> SimCellDetail {
+    let shapes = cached_shapes(spec.model, spec.dataset.input_scale());
+    let layers = model_sim_layers(
+        &AcceleratorConfig::default(),
+        spec.dataflow,
+        &PredictorCostModel::default(),
+        &shapes,
+        cfg.batch,
+    );
+    let mix = spec.schedule.mix();
+    let step = StepSim::run(spec.design, &layers, &mix, cfg);
+    SimCellDetail {
+        spec: spec.clone(),
+        baseline_batch_cycles: step.baseline.makespan(),
+        bp_batch_cycles: step.bp.makespan(),
+        gp_batch_cycles: step.gp.makespan(),
+        sim_speedup: step.training_speedup(),
+        sim_cycles: step.adagp_training_cycles(),
+        pe_utilization: step.pe_utilization(),
+        overlap_efficiency: step.overlap_efficiency(),
+        peak_buffer_words: step.peak_buffer_words(),
+    }
+}
+
+/// Simulates every cell of `grid` in parallel on the shared runtime pool
+/// (expansion order, thread-count invariant — the same contract as
+/// [`crate::runner::run_grid`]).
+pub fn run_sim_grid(grid: &GridSpec, cfg: &SimConfig) -> Vec<SimCellDetail> {
+    adagp_runtime::pool().parallel_map(grid.expand(), |spec| simulate_cell(&spec, cfg))
+}
+
+/// Column layout of the sim-detail CSV.
+pub const SIM_CSV_HEADER: [&str; 13] = [
+    "id",
+    "dataflow",
+    "dataset",
+    "model",
+    "design",
+    "schedule",
+    "baseline_batch_cycles",
+    "bp_batch_cycles",
+    "gp_batch_cycles",
+    "sim_speedup",
+    "pe_utilization",
+    "overlap_efficiency",
+    "peak_buffer_words",
+];
+
+/// Renders simulated cells as byte-stable CSV (integers verbatim, floats
+/// at the store's fixed precision).
+pub fn sim_detail_csv(details: &[SimCellDetail]) -> String {
+    use crate::store::csv_float;
+    let mut out = String::new();
+    out.push_str(&SIM_CSV_HEADER.join(","));
+    out.push('\n');
+    for d in details {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            d.spec.id,
+            d.spec.dataflow.name(),
+            d.spec.dataset.name(),
+            d.spec.model.name(),
+            d.spec.design.name(),
+            d.spec.schedule.name(),
+            d.baseline_batch_cycles,
+            d.bp_batch_cycles,
+            d.gp_batch_cycles,
+            csv_float(d.sim_speedup),
+            csv_float(d.pe_utilization),
+            csv_float(d.overlap_efficiency),
+            d.peak_buffer_words,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{DatasetScale, PhaseSchedule};
+    use crate::presets;
+    use adagp_accel::speedup::training_speedup;
+    use adagp_accel::{AcceleratorConfig, AdaGpDesign, Dataflow};
+    use adagp_nn::models::CnnModel;
+
+    fn cell() -> CellSpec {
+        CellSpec::new(
+            Dataflow::WeightStationary,
+            DatasetScale::Cifar10,
+            CnnModel::Vgg13,
+            AdaGpDesign::Max,
+            PhaseSchedule::Paper,
+        )
+    }
+
+    #[test]
+    fn no_contention_speedup_is_bit_exact_vs_analytic() {
+        let d = simulate_cell(&cell(), &SimConfig::no_contention());
+        let shapes = cached_shapes(CnnModel::Vgg13, DatasetScale::Cifar10.input_scale());
+        let direct = training_speedup(
+            &AcceleratorConfig::default(),
+            Dataflow::WeightStationary,
+            AdaGpDesign::Max,
+            &shapes,
+            &PhaseSchedule::Paper.mix(),
+        );
+        assert_eq!(d.sim_speedup.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn contention_never_beats_the_ideal() {
+        let free = simulate_cell(&cell(), &SimConfig::no_contention());
+        let tight = simulate_cell(&cell(), &SimConfig::default());
+        assert!(tight.baseline_batch_cycles >= free.baseline_batch_cycles);
+        assert!(tight.bp_batch_cycles >= free.bp_batch_cycles);
+        assert!(tight.gp_batch_cycles >= free.gp_batch_cycles);
+        assert!(tight.sim_cycles >= free.sim_cycles);
+        assert!(tight.pe_utilization <= free.pe_utilization + 1e-12);
+    }
+
+    #[test]
+    fn sim_grid_is_thread_count_invariant_csv_bytes() {
+        let grid = presets::smoke();
+        let cfg = SimConfig::default();
+        let reference =
+            adagp_runtime::with_threads(1, || sim_detail_csv(&run_sim_grid(&grid, &cfg)));
+        for threads in [2, 4] {
+            let got =
+                adagp_runtime::with_threads(threads, || sim_detail_csv(&run_sim_grid(&grid, &cfg)));
+            assert_eq!(got, reference, "threads={threads}");
+        }
+        assert_eq!(reference.lines().count(), 1 + grid.cell_count());
+    }
+
+    #[test]
+    fn detail_csv_parses_and_orders_like_the_grid() {
+        let grid = presets::smoke();
+        let details = run_sim_grid(&grid, &SimConfig::no_contention());
+        let expected: Vec<String> = grid.expand().into_iter().map(|c| c.id).collect();
+        let got: Vec<String> = details.iter().map(|d| d.spec.id.clone()).collect();
+        assert_eq!(got, expected);
+        let csv = sim_detail_csv(&details);
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), SIM_CSV_HEADER.len());
+        }
+    }
+
+    #[test]
+    fn max_overlaps_better_than_efficient() {
+        let mk = |design| {
+            simulate_cell(
+                &CellSpec::new(
+                    Dataflow::WeightStationary,
+                    DatasetScale::Cifar10,
+                    CnnModel::ResNet50,
+                    design,
+                    PhaseSchedule::Paper,
+                ),
+                &SimConfig::no_contention(),
+            )
+        };
+        let max = mk(AdaGpDesign::Max);
+        let eff = mk(AdaGpDesign::Efficient);
+        assert!(max.overlap_efficiency > eff.overlap_efficiency);
+        assert!(max.sim_speedup > eff.sim_speedup);
+    }
+}

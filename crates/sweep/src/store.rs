@@ -23,12 +23,14 @@ use std::path::Path;
 /// Fixed decimal places for every metric float in CSV output.
 pub const CSV_FLOAT_DECIMALS: usize = 6;
 
-/// Schema version embedded in JSON run records.
-pub const RUN_SCHEMA_VERSION: u32 = 1;
+/// Schema version embedded in JSON run records. v2 added the
+/// discrete-event simulator metrics (`sim_cycles`, `pe_utilization`,
+/// `overlap_efficiency`).
+pub const RUN_SCHEMA_VERSION: u32 = 2;
 
 /// The CSV column layout: identity, axis values, then the metrics of
 /// [`METRICS`] in order.
-pub const CSV_HEADER: [&str; 11] = [
+pub const CSV_HEADER: [&str; 14] = [
     "id",
     "dataflow",
     "dataset",
@@ -40,6 +42,9 @@ pub const CSV_HEADER: [&str; 11] = [
     "adagp_cycles",
     "baseline_energy_j",
     "adagp_energy_j",
+    "sim_cycles",
+    "pe_utilization",
+    "overlap_efficiency",
 ];
 
 /// Number of leading non-metric (identity + axis) columns in the CSV.
@@ -55,8 +60,8 @@ pub struct Metric {
     pub higher_is_better: bool,
 }
 
-/// The five metric columns every cell produces, in CSV order.
-pub const METRICS: [Metric; 5] = [
+/// The eight metric columns every cell produces, in CSV order.
+pub const METRICS: [Metric; 8] = [
     Metric {
         name: "speedup",
         higher_is_better: true,
@@ -76,6 +81,18 @@ pub const METRICS: [Metric; 5] = [
     Metric {
         name: "adagp_energy_j",
         higher_is_better: false,
+    },
+    Metric {
+        name: "sim_cycles",
+        higher_is_better: false,
+    },
+    Metric {
+        name: "pe_utilization",
+        higher_is_better: true,
+    },
+    Metric {
+        name: "overlap_efficiency",
+        higher_is_better: true,
     },
 ];
 
@@ -118,8 +135,41 @@ pub struct CellRecord {
     pub baseline_energy_j: f64,
     /// ADA-GP memory energy (J).
     pub adagp_energy_j: f64,
+    /// Simulated ADA-GP training cycles (with contention).
+    pub sim_cycles: f64,
+    /// Simulated PE-array utilization.
+    pub pe_utilization: f64,
+    /// Simulated predictor-overlap efficiency.
+    pub overlap_efficiency: f64,
     /// Wall-clock microseconds for this cell.
     pub wall_micros: u64,
+}
+
+/// The PR 3 (schema v1) run record shape — loaded for backward
+/// compatibility, never written.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RunRecordV1 {
+    schema: u32,
+    grid: String,
+    total_wall_micros: u64,
+    cells: Vec<CellRecordV1>,
+}
+
+/// A schema-v1 cell record: the five analytic metrics only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CellRecordV1 {
+    id: String,
+    dataflow: String,
+    dataset: String,
+    model: String,
+    design: String,
+    schedule: String,
+    speedup: f64,
+    baseline_cycles: f64,
+    adagp_cycles: f64,
+    baseline_energy_j: f64,
+    adagp_energy_j: f64,
+    wall_micros: u64,
 }
 
 impl RunRecord {
@@ -144,6 +194,9 @@ impl RunRecord {
                     adagp_cycles: c.metrics.adagp_cycles,
                     baseline_energy_j: c.metrics.baseline_energy_j,
                     adagp_energy_j: c.metrics.adagp_energy_j,
+                    sim_cycles: c.metrics.sim_cycles,
+                    pe_utilization: c.metrics.pe_utilization,
+                    overlap_efficiency: c.metrics.overlap_efficiency,
                     wall_micros: c.wall_micros,
                 })
                 .collect(),
@@ -164,7 +217,7 @@ pub fn to_csv_string(run: &SweepRun) -> String {
     for c in &run.cells {
         let m = c.metrics;
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             c.spec.id,
             c.spec.dataflow.name(),
             c.spec.dataset.name(),
@@ -176,6 +229,9 @@ pub fn to_csv_string(run: &SweepRun) -> String {
             csv_float(m.adagp_cycles),
             csv_float(m.baseline_energy_j),
             csv_float(m.adagp_energy_j),
+            csv_float(m.sim_cycles),
+            csv_float(m.pe_utilization),
+            csv_float(m.overlap_efficiency),
         ));
     }
     out
@@ -215,7 +271,7 @@ pub struct StoredCell {
     /// Axis display values: dataflow, dataset, model, design, schedule.
     pub axes: [String; 5],
     /// Metric values, aligned with [`METRICS`].
-    pub metrics: [f64; 5],
+    pub metrics: [f64; METRICS.len()],
 }
 
 impl StoredCell {
@@ -225,11 +281,30 @@ impl StoredCell {
     }
 }
 
+/// Number of metric columns a schema-v1 (PR 3) CSV carried — the first
+/// five of [`METRICS`]; v2 appended the sim metrics, so v1 files parse as
+/// a prefix.
+pub const V1_METRIC_COUNT: usize = 5;
+
 /// A format-agnostic stored run: what the diff engine consumes.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoredRun {
     /// Stored cells, in file order.
     pub cells: Vec<StoredCell>,
+    /// How many leading entries of each cell's `metrics` the source file
+    /// actually carried ([`METRICS`]`.len()` for current files,
+    /// [`V1_METRIC_COUNT`] for legacy ones; the rest are zero-filled).
+    /// The diff engine only compares metrics both runs carry.
+    pub metric_count: usize,
+}
+
+impl Default for StoredRun {
+    fn default() -> Self {
+        StoredRun {
+            cells: Vec::new(),
+            metric_count: METRICS.len(),
+        }
+    }
 }
 
 impl StoredRun {
@@ -256,7 +331,9 @@ impl StoredRun {
         parsed.map_err(|e| format!("parse {}: {e}", path.display()))
     }
 
-    /// Parses the CSV form.
+    /// Parses the CSV form. Accepts the current header and the schema-v1
+    /// (PR 3) 11-column header, whose metrics are a prefix of today's —
+    /// old committed runs stay diffable against fresh ones.
     ///
     /// # Errors
     ///
@@ -265,27 +342,32 @@ impl StoredRun {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty CSV")?;
         let expected = CSV_HEADER.join(",");
-        if header != expected {
+        let v1_expected = CSV_HEADER[..CSV_META_COLUMNS + V1_METRIC_COUNT].join(",");
+        let metric_count = if header == expected {
+            METRICS.len()
+        } else if header == v1_expected {
+            V1_METRIC_COUNT
+        } else {
             return Err(format!(
                 "unexpected CSV header `{header}` (expected `{expected}`)"
             ));
-        }
+        };
+        let columns = CSV_META_COLUMNS + metric_count;
         let mut cells = Vec::new();
         for (lineno, line) in lines.enumerate() {
             if line.is_empty() {
                 continue;
             }
             let fields: Vec<&str> = line.split(',').collect();
-            if fields.len() != CSV_HEADER.len() {
+            if fields.len() != columns {
                 return Err(format!(
-                    "line {}: {} fields (expected {})",
+                    "line {}: {} fields (expected {columns})",
                     lineno + 2,
                     fields.len(),
-                    CSV_HEADER.len()
                 ));
             }
             let mut metrics = [0.0f64; METRICS.len()];
-            for (i, m) in metrics.iter_mut().enumerate() {
+            for (i, m) in metrics.iter_mut().take(metric_count).enumerate() {
                 let raw = fields[CSV_META_COLUMNS + i];
                 *m = raw.parse::<f64>().map_err(|_| {
                     format!("line {}: bad {} value `{raw}`", lineno + 2, METRICS[i].name)
@@ -303,39 +385,81 @@ impl StoredRun {
                 metrics,
             });
         }
-        Ok(StoredRun { cells })
+        Ok(StoredRun {
+            cells,
+            metric_count,
+        })
     }
 
-    /// Parses the JSON record form.
+    /// Parses the JSON record form — the current schema or the v1 (PR 3)
+    /// one, whose metrics are a prefix of today's.
     ///
     /// # Errors
     ///
     /// Returns a description of the syntax or schema mismatch.
     pub fn from_json_str(text: &str) -> Result<StoredRun, String> {
-        let record: RunRecord = serde::json::from_str(text).map_err(|e| e.to_string())?;
-        if record.schema != RUN_SCHEMA_VERSION {
-            return Err(format!(
-                "unsupported run schema {} (expected {RUN_SCHEMA_VERSION})",
-                record.schema
-            ));
+        let value = serde::json::parse_value(text).map_err(|e| e.to_string())?;
+        let schema = match &value {
+            serde::Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == "schema")
+                .and_then(|(_, v)| u32::from_value(v).ok()),
+            _ => None,
         }
-        Ok(StoredRun {
-            cells: record
-                .cells
-                .into_iter()
-                .map(|c| StoredCell {
-                    id: c.id,
-                    axes: [c.dataflow, c.dataset, c.model, c.design, c.schedule],
-                    metrics: [
-                        c.speedup,
-                        c.baseline_cycles,
-                        c.adagp_cycles,
-                        c.baseline_energy_j,
-                        c.adagp_energy_j,
-                    ],
+        .ok_or("run record has no schema field")?;
+        match schema {
+            RUN_SCHEMA_VERSION => {
+                let record = RunRecord::from_value(&value).map_err(|e| e.to_string())?;
+                Ok(StoredRun {
+                    cells: record
+                        .cells
+                        .into_iter()
+                        .map(|c| StoredCell {
+                            id: c.id,
+                            axes: [c.dataflow, c.dataset, c.model, c.design, c.schedule],
+                            metrics: [
+                                c.speedup,
+                                c.baseline_cycles,
+                                c.adagp_cycles,
+                                c.baseline_energy_j,
+                                c.adagp_energy_j,
+                                c.sim_cycles,
+                                c.pe_utilization,
+                                c.overlap_efficiency,
+                            ],
+                        })
+                        .collect(),
+                    metric_count: METRICS.len(),
                 })
-                .collect(),
-        })
+            }
+            1 => {
+                let record = RunRecordV1::from_value(&value).map_err(|e| e.to_string())?;
+                Ok(StoredRun {
+                    cells: record
+                        .cells
+                        .into_iter()
+                        .map(|c| StoredCell {
+                            id: c.id,
+                            axes: [c.dataflow, c.dataset, c.model, c.design, c.schedule],
+                            metrics: [
+                                c.speedup,
+                                c.baseline_cycles,
+                                c.adagp_cycles,
+                                c.baseline_energy_j,
+                                c.adagp_energy_j,
+                                0.0,
+                                0.0,
+                                0.0,
+                            ],
+                        })
+                        .collect(),
+                    metric_count: V1_METRIC_COUNT,
+                })
+            }
+            other => Err(format!(
+                "unsupported run schema {other} (expected {RUN_SCHEMA_VERSION} or 1)"
+            )),
+        }
     }
 }
 
@@ -422,6 +546,61 @@ mod tests {
         let truncated = good.replace(",paper,", ",paper");
         let err = StoredRun::from_csv_str(&truncated).unwrap_err();
         assert!(err.contains("fields"), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load_and_diff_against_fresh_runs() {
+        // A PR 3-era CSV (11 columns, no sim metrics) and JSON (schema 1)
+        // must load, report the smaller metric count, and diff cleanly
+        // against a fresh run over the shared analytic metrics.
+        let run = small_run();
+        let v1_columns = CSV_META_COLUMNS + V1_METRIC_COUNT;
+        let v1_csv: String = to_csv_string(&run)
+            .lines()
+            .map(|line| {
+                line.split(',')
+                    .take(v1_columns)
+                    .collect::<Vec<_>>()
+                    .join(",")
+                    + "\n"
+            })
+            .collect();
+        let legacy = StoredRun::from_csv_str(&v1_csv).expect("v1 CSV parses");
+        assert_eq!(legacy.metric_count, V1_METRIC_COUNT);
+        assert_eq!(legacy.cells.len(), run.cells.len());
+
+        let fresh = StoredRun::from_run(&run);
+        assert_eq!(fresh.metric_count, METRICS.len());
+        let report = crate::diff::diff_runs(&legacy, &fresh, &crate::diff::DiffConfig::default());
+        assert_eq!(report.matched_cells, run.cells.len());
+        assert!(!report.has_regressions(), "{}", report.render());
+        assert!(report.improvements.is_empty(), "{}", report.render());
+
+        let mut v1_json = to_json_string(&run);
+        v1_json = v1_json.replace("\"schema\": 2", "\"schema\": 1");
+        for key in ["sim_cycles", "pe_utilization", "overlap_efficiency"] {
+            let mut out = String::new();
+            for line in v1_json.lines() {
+                if !line.contains(&format!("\"{key}\"")) {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            v1_json = out;
+        }
+        let legacy_json = StoredRun::from_json_str(&v1_json).expect("v1 JSON parses");
+        assert_eq!(legacy_json.metric_count, V1_METRIC_COUNT);
+        // JSON keeps full precision; the fresh view is CSV-quantized.
+        assert_eq!(
+            legacy_json.cells[0].metrics[0].to_bits(),
+            run.cells[0].metrics.speedup.to_bits()
+        );
+        // Unknown future schemas still fail loudly.
+        assert!(StoredRun::from_json_str(
+            &to_json_string(&run).replace("\"schema\": 2", "\"schema\": 9")
+        )
+        .unwrap_err()
+        .contains("unsupported run schema 9"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * [`nn`] — layers, models, optimizers, schedulers, datasets, metrics.
 //! * [`adagp`] — the ADA-GP algorithm: predictor, reorganization, phases.
 //! * [`accel`] — accelerator cycle/energy/area models.
+//! * [`sim`] — discrete-event, layer-granular accelerator simulator.
 //! * [`pipeline`] — GPipe/DAPPLE/Chimera schedule models.
 //!
 //! ```
@@ -30,4 +31,5 @@ pub use adagp_core as adagp;
 pub use adagp_nn as nn;
 pub use adagp_pipeline as pipeline;
 pub use adagp_runtime as runtime;
+pub use adagp_sim as sim;
 pub use adagp_tensor as tensor;

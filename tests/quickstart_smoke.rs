@@ -31,3 +31,38 @@ fn quickstart_example_runs_to_completion() {
         "quickstart did not reach its final report\nstdout:\n{stdout}"
     );
 }
+
+#[test]
+fn sweep_sim_subcommand_runs_the_smoke_grid() {
+    // The documented simulator entry point — `sweep sim smoke` — must
+    // keep running end to end, just like the quickstart example.
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "adagp-bench",
+            "--bin",
+            "sweep",
+            "--",
+            "sim",
+            "smoke",
+        ])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn cargo");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "sweep sim exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    assert!(
+        stdout.contains("simulated 4 cells"),
+        "sweep sim did not report its cells\nstdout:\n{stdout}"
+    );
+    assert!(stdout.contains("Overlap eff"), "detail table missing");
+}
