@@ -7,12 +7,16 @@
 //! sim_timeline [--model VGG13] [--dataset cifar10|cifar100|imagenet]
 //!              [--design low|efficient|max] [--dataflow ws|os|is|rs]
 //!              [--phase baseline|bp|gp] [--no-contention]
+//!              [--bandwidth N] [--buffer-words N] [--dram-ports N]
 //!              [--limit N] [--trace out.json]
 //! ```
 //!
 //! Defaults simulate VGG13 / CIFAR10 / ADA-GP-MAX / WS / Phase GP with
-//! DRAM contention enabled. Time stamps in the exported trace are cycles
-//! (1 cycle = 1 µs in the viewer's axis).
+//! DRAM contention enabled (64 words/cycle, 128K-word buffer).
+//! `--bandwidth`, `--buffer-words` and `--dram-ports` steer the
+//! contention axes; `--no-contention` disables the DRAM channel (and
+//! with it all spill traffic). Time stamps in the exported trace are
+//! cycles (1 cycle = 1 µs in the viewer's axis).
 
 use adagp_accel::layer_cost::PredictorCostModel;
 use adagp_accel::{AcceleratorConfig, AdaGpDesign, Dataflow};
@@ -55,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         limit: 40,
         trace: None,
     };
+    let mut no_contention = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -97,7 +102,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown phase `{other}`")),
                 }
             }
-            "--no-contention" => opt.cfg.dram_words_per_cycle = None,
+            "--no-contention" => no_contention = true,
+            "--bandwidth" => {
+                let raw = value("--bandwidth")?;
+                let bw: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--bandwidth: bad value `{raw}`"))?;
+                opt.cfg.dram_words_per_cycle = Some(bw);
+            }
+            "--buffer-words" => {
+                let raw = value("--buffer-words")?;
+                let words: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--buffer-words: bad value `{raw}`"))?;
+                opt.cfg.buffer_words = Some(words);
+            }
+            "--dram-ports" => {
+                let raw = value("--dram-ports")?;
+                opt.cfg.dram_ports = raw
+                    .parse()
+                    .map_err(|_| format!("--dram-ports: bad value `{raw}`"))?;
+            }
             "--limit" => {
                 let raw = value("--limit")?;
                 opt.limit = raw
@@ -111,6 +136,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
+    if no_contention {
+        // Applied last so it wins regardless of flag order — the same
+        // precedence contract `sweep sim` documents and tests.
+        opt.cfg.dram_words_per_cycle = None;
+        opt.cfg.buffer_words = None;
+    }
     Ok(opt)
 }
 
@@ -118,6 +149,7 @@ const USAGE: &str = "\
 Usage: sim_timeline [--model VGG13] [--dataset cifar10|cifar100|imagenet]
                     [--design low|efficient|max] [--dataflow ws|os|is|rs]
                     [--phase baseline|bp|gp] [--no-contention]
+                    [--bandwidth N] [--buffer-words N] [--dram-ports N]
                     [--limit N] [--trace out.json]
 ";
 
@@ -141,7 +173,7 @@ fn main() -> ExitCode {
         opt.dataflow,
         &PredictorCostModel::default(),
         &shapes,
-        opt.cfg.batch,
+        &opt.cfg,
     );
     let design = match opt.phase {
         Phase::Baseline => None,

@@ -5,7 +5,9 @@
 //! sweep list                      # every preset with its axes and cell count
 //! sweep list <preset>             # the preset's cells (id + key)
 //! sweep run <preset> [--csv <path>] [--json <path>] [--quiet]
-//! sweep sim <preset> [--csv <path>] [--no-contention] [--quiet]
+//! sweep sim <preset> [--csv <path>] [--no-contention] [--bandwidth <n>]
+//!           [--buffer-words <n>] [--quiet]
+//! sweep roofline <preset> [--csv <path>] [--tol <rel>] [--quiet]
 //! sweep diff <before> <after> [--tol <rel>] [--preset <name>]
 //! ```
 //!
@@ -14,17 +16,24 @@
 //! the byte-stable metrics file, `--json` the full-precision run record
 //! with timings. `sim` runs every cell through the `adagp-sim`
 //! discrete-event simulator and reports the batch-level detail
-//! (per-phase makespans, simulated speed-up, utilization, overlap,
-//! buffer peak). `diff` loads two stored runs (CSV or JSON, by
-//! extension), compares them cell-by-cell and exits non-zero when a
-//! metric regressed beyond the tolerance — the cross-PR gate CI uses
-//! against the committed golden files; on a regression it prints the
-//! exact command that regenerates the golden (pass `--preset` so the
-//! hint can name it).
+//! (per-phase makespans, simulated speed-up, utilization, overlap, spill
+//! cycles, buffer peak); `--bandwidth`/`--buffer-words` set the base
+//! contention config, per-cell axis overrides apply on top, and
+//! `--no-contention` wins over everything (the analytic-equality mode).
+//! `roofline` reports each cell's bandwidth knee — the smallest DRAM
+//! bandwidth whose simulated training cycles are within the tolerance
+//! (default 1%) of the contention-free run. `diff` loads two stored runs
+//! (CSV or JSON, by extension), compares them cell-by-cell and exits
+//! non-zero when a metric regressed beyond the tolerance — the cross-PR
+//! gate CI uses against the committed golden files; on a regression it
+//! prints the exact command that regenerates the golden (pass `--preset`
+//! so the hint can name it).
 
 use adagp_bench::report::render_table;
 use adagp_sim::SimConfig;
-use adagp_sweep::{diff, presets, runner, simeval, store, DiffConfig, GridSpec, StoredRun};
+use adagp_sweep::{
+    diff, presets, roofline, runner, simeval, store, DiffConfig, GridSpec, StoredRun,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -34,6 +43,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
+        Some("roofline") => cmd_roofline(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -53,9 +63,16 @@ Usage:
   sweep list <preset>                       list a preset's cells (id + key)
   sweep run <preset> [--csv p] [--json p] [--quiet]
                                             execute a grid on the shared pool
-  sweep sim <preset> [--csv p] [--no-contention] [--quiet]
+  sweep sim <preset> [--csv p] [--no-contention] [--bandwidth n]
+            [--buffer-words n] [--quiet]
                                             simulate a grid on the event engine
-                                            (per-phase makespans, utilization)
+                                            (per-phase makespans, utilization,
+                                            spill cycles; --no-contention wins
+                                            over every bandwidth/buffer knob)
+  sweep roofline <preset> [--csv p] [--tol rel] [--quiet]
+                                            per-cell bandwidth knee: smallest
+                                            DRAM words/cycle within tol (1%)
+                                            of the contention-free cycles
   sweep diff <before> <after> [--tol rel] [--preset name]
                                             compare stored runs (.csv/.json);
                                             --preset names the grid in the
@@ -168,14 +185,40 @@ fn cmd_sim(args: &[String]) -> Result<ExitCode, String> {
     let mut csv_path: Option<PathBuf> = None;
     let mut quiet = false;
     let mut cfg = SimConfig::default();
+    let mut no_contention = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--csv" => csv_path = Some(path_arg(&mut it, "--csv")?),
-            "--no-contention" => cfg.dram_words_per_cycle = None,
+            "--no-contention" => no_contention = true,
+            "--bandwidth" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--bandwidth requires a value".to_string())?;
+                let bw: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--bandwidth: bad value `{raw}`"))?;
+                cfg.dram_words_per_cycle = Some(bw);
+            }
+            "--buffer-words" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--buffer-words requires a value".to_string())?;
+                let words: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--buffer-words: bad value `{raw}`"))?;
+                cfg.buffer_words = Some(words);
+            }
             "--quiet" => quiet = true,
             other => return Err(format!("sim: unexpected argument `{other}`")),
         }
+    }
+    if no_contention {
+        // Applied last: contention off silences every bandwidth/buffer
+        // knob, including the per-cell axis overrides (simeval composes
+        // overrides only while the DRAM channel exists).
+        cfg.dram_words_per_cycle = None;
+        cfg.buffer_words = None;
     }
 
     let details = simeval::run_sim_grid(&grid, &cfg);
@@ -189,6 +232,7 @@ fn cmd_sim(args: &[String]) -> Result<ExitCode, String> {
                     store::csv_float(d.sim_speedup),
                     store::csv_float(d.pe_utilization),
                     store::csv_float(d.overlap_efficiency),
+                    store::csv_float(d.spill_cycles),
                     d.peak_buffer_words.to_string(),
                 ]
             })
@@ -203,6 +247,7 @@ fn cmd_sim(args: &[String]) -> Result<ExitCode, String> {
                     "Sim speed-up",
                     "PE util",
                     "Overlap eff",
+                    "Spill cycles",
                     "Peak buf (words)"
                 ],
                 &rows
@@ -214,13 +259,95 @@ fn cmd_sim(args: &[String]) -> Result<ExitCode, String> {
         name,
         details.len(),
         match cfg.dram_words_per_cycle {
-            Some(bw) => format!("DRAM {bw} words/cycle"),
+            Some(bw) => format!(
+                "DRAM {bw} words/cycle, buffer {}",
+                match cfg.buffer_words {
+                    Some(w) => format!("{w} words"),
+                    None => "unbounded".to_string(),
+                }
+            ),
             None => "no contention".to_string(),
         },
         adagp_runtime::pool().size()
     );
     if let Some(p) = &csv_path {
         std::fs::write(p, simeval::sim_detail_csv(&details))
+            .map_err(|e| format!("write {}: {e}", p.display()))?;
+        println!("wrote CSV to {}", p.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_roofline(args: &[String]) -> Result<ExitCode, String> {
+    let name = args
+        .first()
+        .ok_or_else(|| format!("roofline: missing preset name\n{USAGE}"))?;
+    let grid = preset(name)?;
+    let mut csv_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut tolerance = roofline::KNEE_TOLERANCE;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => csv_path = Some(path_arg(&mut it, "--csv")?),
+            "--tol" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--tol requires a value".to_string())?;
+                tolerance = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| {
+                        format!("--tol: bad value `{raw}` (need a finite non-negative number)")
+                    })?;
+            }
+            "--quiet" => quiet = true,
+            other => return Err(format!("roofline: unexpected argument `{other}`")),
+        }
+    }
+
+    let points = roofline::run_roofline_grid(&grid, &SimConfig::default(), tolerance);
+    if !quiet {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.spec.id.clone(),
+                    p.spec.key(),
+                    p.knee_words_per_cycle.to_string(),
+                    store::csv_float(p.free_cycles),
+                    store::csv_float(p.sim_cycles),
+                    store::csv_float(p.spill_cycles),
+                    format!("{:.2}%", 100.0 * p.dram_stall_frac),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &format!("sweep roofline: {name} (tol {:.1}%)", 100.0 * tolerance),
+                &[
+                    "ID",
+                    "Cell",
+                    "Knee (w/c)",
+                    "Free cycles",
+                    "Sim cycles",
+                    "Spill cycles",
+                    "Stall"
+                ],
+                &rows
+            )
+        );
+    }
+    println!(
+        "{}: {} cells, knee = smallest bandwidth within {:.1}% of contention-free",
+        name,
+        points.len(),
+        100.0 * tolerance
+    );
+    if let Some(p) = &csv_path {
+        std::fs::write(p, roofline::roofline_csv(&points))
             .map_err(|e| format!("write {}: {e}", p.display()))?;
         println!("wrote CSV to {}", p.display());
     }

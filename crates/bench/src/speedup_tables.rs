@@ -47,6 +47,8 @@ fn panel_grid(df: Dataflow, dataset: DatasetScale) -> GridSpec {
         designs: AdaGpDesign::all().to_vec(),
         dataflows: vec![df],
         schedules: vec![PhaseSchedule::Paper],
+        bandwidths: vec![None],
+        buffers: vec![None],
     }
 }
 

@@ -1,0 +1,109 @@
+//! Golden gates for the contention-study subsystem:
+//!
+//! 1. The roofline knee of every fig17 model (the `roofline` preset:
+//!    all 13 models at ImageNet scale under ADA-GP-MAX) is pinned
+//!    byte-for-byte in `testdata/roofline_fig17_golden.csv` — the knee
+//!    search, the tiling-driven spill model and the CSV formatting cannot
+//!    drift silently.
+//! 2. The `bandwidth-smoke` preset's store CSV is byte-identical to the
+//!    committed golden and byte-stable across shared-pool thread counts
+//!    {1, 2, 4} — the determinism contract CI re-checks process-wide.
+
+use adagp_sim::SimConfig;
+use adagp_sweep::{presets, roofline, runner, store};
+use std::path::PathBuf;
+
+fn testdata(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("testdata/{name}"))
+}
+
+#[test]
+fn roofline_knee_per_fig17_model_matches_committed_golden_bytes() {
+    let golden =
+        std::fs::read_to_string(testdata("roofline_fig17_golden.csv")).expect("committed golden");
+    let points = roofline::run_roofline_grid(
+        &presets::roofline(),
+        &SimConfig::default(),
+        roofline::KNEE_TOLERANCE,
+    );
+    let fresh = roofline::roofline_csv(&points);
+    assert_eq!(
+        fresh, golden,
+        "roofline knees drifted from testdata/roofline_fig17_golden.csv; if \
+         the contention model changed intentionally, regenerate it with \
+         `cargo run --release -p adagp-bench --bin sweep -- roofline roofline \
+         --quiet --csv crates/bench/testdata/roofline_fig17_golden.csv` and \
+         explain the delta in the PR"
+    );
+    // The headline claim of the study: every fig17 model has a *finite*
+    // knee and a nonzero spill under the default 128K-word buffer.
+    for p in &points {
+        assert!(
+            p.knee_words_per_cycle < roofline::KNEE_MAX_BW,
+            "{}: knee hit the search cap",
+            p.spec.key()
+        );
+        assert!(p.spill_cycles > 0.0, "{}: expected spills", p.spec.key());
+    }
+}
+
+#[test]
+fn bandwidth_smoke_csv_matches_committed_golden_across_thread_counts() {
+    let golden = std::fs::read_to_string(testdata("bandwidth_smoke_golden.csv"))
+        .expect("committed bandwidth golden");
+    let grid = presets::bandwidth_smoke();
+    for threads in [1, 2, 4] {
+        let fresh =
+            adagp_runtime::with_threads(threads, || store::to_csv_string(&runner::run_grid(&grid)));
+        assert_eq!(
+            fresh, golden,
+            "bandwidth-smoke CSV drifted at ADAGP_THREADS={threads}; if the \
+             contention model changed intentionally, regenerate it with \
+             `cargo run --release -p adagp-bench --bin sweep -- run \
+             bandwidth-smoke --quiet --csv \
+             crates/bench/testdata/bandwidth_smoke_golden.csv` and explain \
+             the delta in the PR"
+        );
+    }
+}
+
+#[test]
+fn bandwidth_grid_shows_the_contention_gradient() {
+    // Within the committed bandwidth-smoke golden: at a fixed buffer,
+    // higher bandwidth never slows the simulated run; at a fixed
+    // bandwidth, a bigger buffer never spills more.
+    let golden = store::StoredRun::load(&testdata("bandwidth_smoke_golden.csv")).expect("loads");
+    let metric = |name: &str| {
+        store::METRICS
+            .iter()
+            .position(|m| m.name == name)
+            .expect("known metric")
+    };
+    let (sim_i, spill_i) = (metric("sim_cycles"), metric("spill_cycles"));
+    for a in &golden.cells {
+        for b in &golden.cells {
+            if a.axes[..5] == b.axes[..5] && a.axes[6] == b.axes[6] {
+                let (bw_a, bw_b): (u64, u64) =
+                    (a.axes[5].parse().unwrap(), b.axes[5].parse().unwrap());
+                if bw_a < bw_b {
+                    assert!(
+                        a.metrics[sim_i] >= b.metrics[sim_i],
+                        "{}: more bandwidth slowed the sim",
+                        a.key()
+                    );
+                }
+            }
+            if a.axes[..6] == b.axes[..6] {
+                let (buf_a, buf_b): (u64, u64) =
+                    (a.axes[6].parse().unwrap(), b.axes[6].parse().unwrap());
+                if buf_a < buf_b {
+                    assert!(
+                        a.metrics[spill_i] >= b.metrics[spill_i],
+                        "{}: a smaller buffer spilled less",
+                        a.key()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end checks of the `sweep` binary's contention surface, driven
+//! through the real executable (`CARGO_BIN_EXE_sweep`):
+//!
+//! * `sweep sim <grid> --no-contention` composes with the bandwidth
+//!   grid's per-cell buffer/bandwidth overrides by *winning*: every
+//!   `spill_cycles` value in the emitted CSV is exactly `0.000000`.
+//! * The same grid with contention on reports nonzero spills — the flag
+//!   is doing the silencing, not the grid.
+//! * `sweep roofline` exits cleanly and reports a knee per cell.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sweep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sweep"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("adagp-sweep-cli-{}-{name}", std::process::id()))
+}
+
+/// Runs `sweep sim bandwidth-smoke` with `extra` flags and returns the
+/// spill_cycles column of the emitted CSV.
+fn sim_spill_column(csv: &PathBuf, extra: &[&str]) -> Vec<String> {
+    let mut cmd = sweep();
+    cmd.args(["sim", "bandwidth-smoke", "--quiet", "--csv"])
+        .arg(csv)
+        .args(extra);
+    let out = cmd.output().expect("sweep sim runs");
+    assert!(
+        out.status.success(),
+        "sweep sim failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(csv).expect("CSV written");
+    let header: Vec<&str> = text.lines().next().expect("header").split(',').collect();
+    let spill = header
+        .iter()
+        .position(|&h| h == "spill_cycles")
+        .expect("spill_cycles column");
+    text.lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(spill).expect("column present").to_string())
+        .collect()
+}
+
+#[test]
+fn no_contention_zeroes_spill_cycles_exactly_even_with_buffer_overrides() {
+    let csv = tmp("no-contention.csv");
+    let spills = sim_spill_column(&csv, &["--no-contention"]);
+    assert_eq!(spills.len(), 8, "bandwidth-smoke has 8 cells");
+    for (i, s) in spills.iter().enumerate() {
+        assert_eq!(
+            s, "0.000000",
+            "cell {i}: --no-contention must zero spill_cycles exactly"
+        );
+    }
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn contention_on_reports_nonzero_spills_for_the_tight_buffer_cells() {
+    let csv = tmp("contention.csv");
+    let spills = sim_spill_column(&csv, &[]);
+    assert!(
+        spills.iter().any(|s| s != "0.000000"),
+        "expected at least one spilling cell in bandwidth-smoke: {spills:?}"
+    );
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn no_contention_composes_with_explicit_bandwidth_and_buffer_flags() {
+    // The flag must win even when the CLI also passes the base knobs.
+    let csv = tmp("composed.csv");
+    let spills = sim_spill_column(
+        &csv,
+        &[
+            "--bandwidth",
+            "4",
+            "--buffer-words",
+            "1024",
+            "--no-contention",
+        ],
+    );
+    assert!(spills.iter().all(|s| s == "0.000000"), "{spills:?}");
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn roofline_subcommand_reports_a_knee_per_cell() {
+    let out = sweep()
+        .args(["roofline", "bandwidth-smoke", "--quiet"])
+        .output()
+        .expect("sweep roofline runs");
+    assert!(
+        out.status.success(),
+        "sweep roofline failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("8 cells"),
+        "roofline summary missing:\n{stdout}"
+    );
+}

@@ -43,6 +43,9 @@ pub enum TaskKind {
     PredictorUpdate,
     /// Off-chip weight streaming for one layer.
     WeightLoad,
+    /// Excess DRAM traffic a too-small on-chip buffer forces for one
+    /// layer (operand re-reads beyond the ideal single pass).
+    Spill,
     /// ADA-GP-LOW's per-layer predictor weight reload on the shared array.
     PredictorReload,
     /// Zero-or-more-cycle synchronization node (no resource).
@@ -59,6 +62,7 @@ impl TaskKind {
             TaskKind::PredictorFill => "pred-fill",
             TaskKind::PredictorUpdate => "pred-update",
             TaskKind::WeightLoad => "weight-load",
+            TaskKind::Spill => "spill",
             TaskKind::PredictorReload => "pred-reload",
             TaskKind::Join => "join",
         }

@@ -19,7 +19,12 @@
 //! full fig17 grid in `adagp-bench`). With contention enabled, weight
 //! streaming serializes on the DRAM channel and the difference between
 //! simulated and analytic cycles *is* the bandwidth stall — a number the
-//! closed forms cannot produce.
+//! closed forms cannot produce. A finite [`SimConfig::buffer_words`]
+//! adds the second axis: layers whose working set exceeds the on-chip
+//! buffer re-stream operands ([`adagp_accel::buffer`]'s tiling model
+//! decides how many words) as [`TaskKind::Spill`] tasks on the same DRAM
+//! channel, and [`SimConfig`] port counts turn any resource multi-ported
+//! (the engine admits up to `capacity` tasks at once).
 //!
 //! * [`engine`] — the deterministic event core: tasks, resources, event
 //!   heap, spans, busy/occupancy accounting.
@@ -41,19 +46,15 @@
 //! use adagp_sim::{model_sim_layers, SimConfig, StepSim};
 //!
 //! let shapes = shapes::model_shapes(CnnModel::Vgg13, shapes::InputScale::Cifar);
+//! let cfg = SimConfig::no_contention();
 //! let layers = model_sim_layers(
 //!     &AcceleratorConfig::default(),
 //!     Dataflow::WeightStationary,
 //!     &Default::default(),
 //!     &shapes,
-//!     128,
+//!     &cfg,
 //! );
-//! let sim = StepSim::run(
-//!     AdaGpDesign::Max,
-//!     &layers,
-//!     &EpochMix::paper(),
-//!     &SimConfig::no_contention(),
-//! );
+//! let sim = StepSim::run(AdaGpDesign::Max, &layers, &EpochMix::paper(), &cfg);
 //! assert!(sim.training_speedup() > 1.0);
 //! assert!(sim.overlap_efficiency() > 0.9); // MAX hides the predictor
 //! ```
@@ -71,4 +72,6 @@ pub use engine::{
 pub use step::StepSim;
 pub use steps::{step_timeline, StepTimeline};
 pub use trace::{chrome_trace, write_chrome_trace};
-pub use workload::{model_sim_layers, simulate_batch, BatchSim, Phase, SimConfig, SimLayer};
+pub use workload::{
+    layer_spill_words, model_sim_layers, simulate_batch, BatchSim, Phase, SimConfig, SimLayer,
+};

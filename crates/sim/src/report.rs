@@ -56,9 +56,10 @@ pub fn utilization_report(sim: &BatchSim) -> String {
         ));
     }
     out.push_str(&format!(
-        "  model {} + predictor {} cycles; overlap efficiency {:.1}%\n",
+        "  model {} + predictor {} + buffer-spill {} cycles; overlap efficiency {:.1}%\n",
         sim.model_cycles,
         sim.predictor_cycles,
+        sim.spill_cycles,
         100.0 * sim.overlap_efficiency()
     ));
     out.push_str(&format!(
@@ -87,6 +88,7 @@ mod tests {
                 },
                 weight_words: 256,
                 activation_words: 64,
+                spill_words: 512,
             })
             .collect();
         simulate_batch(
@@ -102,6 +104,7 @@ mod tests {
         let s = sim();
         let full = span_table(&s.result, 0);
         assert!(full.contains("fwd l0") && full.contains("pred-fill l2"));
+        assert!(full.contains("spill l0"), "spill tasks appear in the table");
         let short = span_table(&s.result, 2);
         assert!(short.contains("more spans"));
         assert_eq!(short.lines().count(), 1 + 2 + 1); // header + 2 + ellipsis

@@ -45,17 +45,24 @@ impl StepSim {
         self.mix.total() as f64 * self.baseline.makespan() as f64
     }
 
-    /// Simulated ADA-GP training cycles — the analytic
-    /// [`adagp_accel::speedup::adagp_training_cycles`] shape: per stage,
-    /// `epochs × (g × GP batch + (1 − g) × BP batch)`.
-    pub fn adagp_training_cycles(&self) -> f64 {
-        let bp = self.bp.makespan() as f64;
-        let gp = self.gp.makespan() as f64;
+    /// The analytic [`adagp_accel::speedup::adagp_training_cycles`]
+    /// shape, applied to any per-batch statistic: per stage, `epochs ×
+    /// (g × GP value + (1 − g) × BP value)`, summed. Every epoch-weighted
+    /// number this type reports goes through this one expression so the
+    /// bit-exactness contract cannot drift between metrics.
+    fn epoch_total(&self, bp: f64, gp: f64) -> f64 {
         self.mix
             .stages()
             .iter()
             .map(|&(g, epochs)| epochs as f64 * (g * gp + (1.0 - g) * bp))
             .sum()
+    }
+
+    /// Simulated ADA-GP training cycles — the analytic
+    /// [`adagp_accel::speedup::adagp_training_cycles`] shape: per stage,
+    /// `epochs × (g × GP batch + (1 − g) × BP batch)`.
+    pub fn adagp_training_cycles(&self) -> f64 {
+        self.epoch_total(self.bp.makespan() as f64, self.gp.makespan() as f64)
     }
 
     /// Simulated end-to-end training speed-up.
@@ -66,13 +73,7 @@ impl StepSim {
     /// Epoch-weighted mean of a per-batch statistic over the ADA-GP run
     /// (warm-up and BP stages weigh the BP batch, GP shares the GP batch).
     fn epoch_weighted(&self, bp: f64, gp: f64) -> f64 {
-        let total: f64 = self
-            .mix
-            .stages()
-            .iter()
-            .map(|&(g, epochs)| epochs as f64 * (g * gp + (1.0 - g) * bp))
-            .sum();
-        total / self.mix.total() as f64
+        self.epoch_total(bp, gp) / self.mix.total() as f64
     }
 
     /// Epoch-weighted main-array utilization of the ADA-GP run.
@@ -83,6 +84,14 @@ impl StepSim {
     /// Epoch-weighted predictor-overlap efficiency of the ADA-GP run.
     pub fn overlap_efficiency(&self) -> f64 {
         self.epoch_weighted(self.bp.overlap_efficiency(), self.gp.overlap_efficiency())
+    }
+
+    /// Simulated ADA-GP spill cycles over the training run — the same
+    /// epoch weighting as [`StepSim::adagp_training_cycles`], applied to
+    /// each batch's [`crate::workload::BatchSim::spill_cycles`]. Exactly
+    /// zero with an unbounded buffer or with the DRAM channel disabled.
+    pub fn adagp_spill_cycles(&self) -> f64 {
+        self.epoch_total(self.bp.spill_cycles as f64, self.gp.spill_cycles as f64)
     }
 
     /// Largest buffer occupancy any of the three batches reached (words).
@@ -115,7 +124,7 @@ mod tests {
             Dataflow::WeightStationary,
             &Default::default(),
             &shapes,
-            sim_cfg.batch,
+            &sim_cfg,
         );
         for design in AdaGpDesign::all() {
             let sim = StepSim::run(design, &layers, &mix, &sim_cfg);

@@ -24,48 +24,99 @@
 //!   `Σ max(FW + BW, 3α)`.
 //!
 //! Contention is opt-in through [`SimConfig::dram_words_per_cycle`]: each
-//! layer's weights then stream over a capacity-1 DRAM channel before its
+//! layer's weights then stream over a DRAM channel before its
 //! FW may start (double-buffered prefetch — loads run ahead of compute
 //! but serialize against each other), which exposes bandwidth stalls the
-//! closed forms cannot see.
+//! closed forms cannot see. A finite [`SimConfig::buffer_words`] adds the
+//! second contention axis: layers whose working set exceeds the buffer
+//! re-stream operands ([`adagp_accel::buffer::tiled_fw_traffic`] decides
+//! how many extra words), modeled as a [`TaskKind::Spill`] task on the
+//! same DRAM channel that must drain before the layer's FW starts. With
+//! the channel disabled (`dram_words_per_cycle: None`) neither weight
+//! loads nor spills exist, whatever the buffer knobs say — so
+//! `--no-contention` always reproduces the closed forms bit-for-bit.
 
 use crate::engine::{ResourceId, SimBuilder, SimResult, TaskKind, TaskSpec};
+use adagp_accel::buffer::{tiled_fw_traffic, BufferConfig};
 use adagp_accel::dataflow::{AcceleratorConfig, Dataflow};
 use adagp_accel::layer_cost::{model_costs, LayerCost, PredictorCostModel};
 use adagp_accel::speedup::MODEL_BATCH;
 use adagp_accel::AdaGpDesign;
 use adagp_nn::models::shapes::LayerShape;
 
-/// Simulator configuration: batch size and optional contention modeling.
+/// Simulator configuration: batch size plus the contention axes — DRAM
+/// bandwidth, on-chip buffer capacity and per-resource port counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
-    /// Off-chip bandwidth in words per cycle; `None` disables weight
-    /// streaming entirely — the no-contention configuration that matches
-    /// the analytic model bit-for-bit.
+    /// Off-chip bandwidth in words per cycle; `None` disables the DRAM
+    /// channel entirely (no weight streaming, no spills) — the
+    /// no-contention configuration that matches the analytic model
+    /// bit-for-bit.
     pub dram_words_per_cycle: Option<u64>,
     /// Mini-batch size fed to the cycle model (paper standard: 128).
     pub batch: usize,
+    /// On-chip global-buffer capacity in 4-byte words; `None` models an
+    /// unbounded buffer (perfect reuse, no spill traffic). Only matters
+    /// while the DRAM channel exists — spills *are* DRAM traffic.
+    pub buffer_words: Option<u64>,
+    /// DRAM channel ports (engine resource capacity): with 1 the weight
+    /// stream and spill traffic serialize head-of-line; 2 lets a spill
+    /// bypass the prefetch stream (each port moves
+    /// `dram_words_per_cycle`, so this scales aggregate bandwidth too).
+    pub dram_ports: u32,
+    /// Main PE-array ports. The paper's schedules serialize through
+    /// dependency chains, so >1 changes nothing today; the knob exists
+    /// for hypothetical split-array studies.
+    pub pe_ports: u32,
+    /// ADA-GP-MAX predictor-array ports (same caveat as `pe_ports`).
+    pub pred_ports: u32,
 }
 
 impl Default for SimConfig {
-    /// Contention on at 64 words/cycle — wide enough that large conv
-    /// layers stay compute-bound, narrow enough that early high-resolution
-    /// layers and FC heads expose real streaming stalls.
+    /// Contention on at 64 words/cycle over a single-ported channel, with
+    /// the paper-class 128K-word (512 KB) buffer — wide enough that large
+    /// conv layers stay compute-bound, narrow enough that early
+    /// high-resolution layers, FC heads and over-capacity working sets
+    /// expose real streaming stalls and spills.
     fn default() -> Self {
         SimConfig {
             dram_words_per_cycle: Some(64),
             batch: MODEL_BATCH,
+            buffer_words: Some(BufferConfig::default().capacity_words),
+            dram_ports: 1,
+            pe_ports: 1,
+            pred_ports: 1,
         }
     }
 }
 
 impl SimConfig {
-    /// Infinite-bandwidth configuration: the simulated makespans equal
-    /// the analytic per-batch cycle counts exactly.
+    /// Infinite-bandwidth, unbounded-buffer configuration: the simulated
+    /// makespans equal the analytic per-batch cycle counts exactly.
     pub fn no_contention() -> Self {
         SimConfig {
             dram_words_per_cycle: None,
             batch: MODEL_BATCH,
+            buffer_words: None,
+            dram_ports: 1,
+            pe_ports: 1,
+            pred_ports: 1,
+        }
+    }
+
+    /// This configuration with the DRAM bandwidth replaced.
+    pub fn with_bandwidth(self, words_per_cycle: u64) -> Self {
+        SimConfig {
+            dram_words_per_cycle: Some(words_per_cycle),
+            ..self
+        }
+    }
+
+    /// This configuration with the buffer capacity replaced.
+    pub fn with_buffer_words(self, words: Option<u64>) -> Self {
+        SimConfig {
+            buffer_words: words,
+            ..self
         }
     }
 }
@@ -104,6 +155,9 @@ pub struct SimLayer {
     pub weight_words: u64,
     /// Output-activation words held in the buffer while alive (0 = none).
     pub activation_words: u64,
+    /// Excess DRAM words the finite buffer forces the layer's FW to
+    /// re-stream (tiled traffic minus ideal traffic; 0 = fits).
+    pub spill_words: u64,
 }
 
 impl SimLayer {
@@ -115,20 +169,48 @@ impl SimLayer {
             cost,
             weight_words: 0,
             activation_words: 0,
+            spill_words: 0,
         }
     }
 }
 
+/// Excess forward-pass DRAM words of one layer under a finite buffer:
+/// the tiling model's traffic minus the infinite-buffer ideal. Monotone
+/// non-increasing in the capacity (a bigger buffer never spills more).
+pub fn layer_spill_words(
+    buffer_words: Option<u64>,
+    df: Dataflow,
+    layer: &LayerShape,
+    batch: usize,
+) -> u64 {
+    let Some(capacity_words) = buffer_words else {
+        return 0;
+    };
+    let tiled = tiled_fw_traffic(&BufferConfig { capacity_words }, df, layer, batch).total();
+    let ideal = tiled_fw_traffic(
+        &BufferConfig {
+            capacity_words: u64::MAX,
+        },
+        df,
+        layer,
+        batch,
+    )
+    .total();
+    tiled - ideal
+}
+
 /// Derives the simulator's layer list for a model the same way the
 /// analytic model does: [`model_costs`] on the same shapes, plus the
-/// weight/activation word counts the shapes imply.
+/// weight/activation word counts the shapes imply and the spill traffic
+/// the configured buffer capacity forces ([`layer_spill_words`]).
 pub fn model_sim_layers(
     cfg: &AcceleratorConfig,
     df: Dataflow,
     pred: &PredictorCostModel,
     layers: &[LayerShape],
-    batch: usize,
+    sim: &SimConfig,
 ) -> Vec<SimLayer> {
+    let batch = sim.batch;
     let costs = model_costs(cfg, df, pred, layers, batch);
     layers
         .iter()
@@ -138,6 +220,7 @@ pub fn model_sim_layers(
             cost,
             weight_words: l.weight_count(),
             activation_words: l.out_activations() * batch as u64,
+            spill_words: layer_spill_words(sim.buffer_words, df, l, batch),
         })
         .collect()
 }
@@ -164,6 +247,10 @@ pub struct BatchSim {
     pub model_cycles: u64,
     /// Σ durations of predictor tasks (fill, update, reload).
     pub predictor_cycles: u64,
+    /// Σ durations of buffer-spill tasks (excess DRAM traffic a
+    /// too-small buffer forced; 0 with an unbounded buffer or with the
+    /// DRAM channel disabled).
+    pub spill_cycles: u64,
     /// Resource id of the main PE array in [`BatchSim::result`].
     pub pe_array: ResourceId,
 }
@@ -225,6 +312,36 @@ fn add_weight_load(
     }))
 }
 
+/// Builder-side helper: adds the layer's buffer-spill task (the excess
+/// re-stream traffic a too-small buffer forces) when contention is
+/// enabled; returns the dependency FW must wait on. Unlike weight loads,
+/// a spill re-reads *operands the previous layer produced*, so it carries
+/// `deps` (the same readiness dependency the FW has) instead of
+/// prefetching from t = 0.
+fn add_spill(
+    b: &mut SimBuilder,
+    lanes: &Lanes,
+    cfg: &SimConfig,
+    layer_idx: usize,
+    layer: &SimLayer,
+    deps: Vec<usize>,
+) -> Option<usize> {
+    let dram = lanes.dram?;
+    let cycles = load_cycles(cfg, layer.spill_words)?;
+    if layer.spill_words == 0 {
+        return None;
+    }
+    Some(b.add_task(TaskSpec {
+        label: format!("spill {}", layer.label),
+        kind: TaskKind::Spill,
+        layer: Some(layer_idx),
+        resource: Some(dram),
+        duration: cycles,
+        deps,
+        buffer_delta: 0,
+    }))
+}
+
 fn compute_task(
     kind: TaskKind,
     layer_idx: usize,
@@ -273,14 +390,16 @@ pub fn simulate_batch(
         assert!(design.is_some(), "ADA-GP phases need a design");
     }
     let mut b = SimBuilder::new();
-    let pe = b.add_resource("pe-array", 1);
+    let pe = b.add_resource("pe-array", cfg.pe_ports);
     let pred = match design {
         Some(AdaGpDesign::Max) if phase != Phase::Baseline => {
-            Some(b.add_resource("predictor-array", 1))
+            Some(b.add_resource("predictor-array", cfg.pred_ports))
         }
         _ => None,
     };
-    let dram = cfg.dram_words_per_cycle.map(|_| b.add_resource("dram", 1));
+    let dram = cfg
+        .dram_words_per_cycle
+        .map(|_| b.add_resource("dram", cfg.dram_ports));
     let lanes = Lanes { pe, pred, dram };
 
     match (phase, design) {
@@ -295,6 +414,7 @@ pub fn simulate_batch(
     let result = b.simulate();
     let mut model_cycles = 0u64;
     let mut predictor_cycles = 0u64;
+    let mut spill_cycles = 0u64;
     for t in &result.tasks {
         match t.kind {
             TaskKind::Forward | TaskKind::BackwardData | TaskKind::BackwardWeight => {
@@ -303,6 +423,7 @@ pub fn simulate_batch(
             TaskKind::PredictorFill | TaskKind::PredictorUpdate | TaskKind::PredictorReload => {
                 predictor_cycles += t.duration
             }
+            TaskKind::Spill => spill_cycles += t.duration,
             TaskKind::WeightLoad | TaskKind::Join => {}
         }
     }
@@ -312,6 +433,7 @@ pub fn simulate_batch(
         result,
         model_cycles,
         predictor_cycles,
+        spill_cycles,
         pe_array: pe,
     }
 }
@@ -320,8 +442,10 @@ pub fn simulate_batch(
 fn build_baseline(b: &mut SimBuilder, lanes: &Lanes, layers: &[SimLayer], cfg: &SimConfig) {
     let mut prev: Option<usize> = None;
     for (i, l) in layers.iter().enumerate() {
-        let mut deps: Vec<usize> = prev.into_iter().collect();
+        let ready: Vec<usize> = prev.into_iter().collect();
+        let mut deps = ready.clone();
         deps.extend(add_weight_load(b, lanes, cfg, i, l));
+        deps.extend(add_spill(b, lanes, cfg, i, l, ready));
         let mut fwd = compute_task(TaskKind::Forward, i, &l.label, lanes.pe, l.cost.fw, deps);
         fwd.buffer_delta = l.activation_words as i64;
         prev = Some(b.add_task(fwd));
@@ -362,8 +486,10 @@ fn build_bp_shared(
     let reload = design.reload_cycles();
     let mut prev: Option<usize> = None;
     for (i, l) in layers.iter().enumerate() {
-        let mut deps: Vec<usize> = prev.into_iter().collect();
+        let ready: Vec<usize> = prev.into_iter().collect();
+        let mut deps = ready.clone();
         deps.extend(add_weight_load(b, lanes, cfg, i, l));
+        deps.extend(add_spill(b, lanes, cfg, i, l, ready));
         let mut fwd = compute_task(TaskKind::Forward, i, &l.label, lanes.pe, l.cost.fw, deps);
         fwd.buffer_delta = l.activation_words as i64;
         prev = Some(b.add_task(fwd));
@@ -438,6 +564,7 @@ fn build_bp_max(b: &mut SimBuilder, lanes: &Lanes, layers: &[SimLayer], cfg: &Si
         let window: Vec<usize> = barrier.into_iter().collect();
         let mut fwd_deps = window.clone();
         fwd_deps.extend(add_weight_load(b, lanes, cfg, i, l));
+        fwd_deps.extend(add_spill(b, lanes, cfg, i, l, window.clone()));
         let mut fwd = compute_task(
             TaskKind::Forward,
             i,
@@ -501,8 +628,10 @@ fn build_gp_shared(
     let reload = design.reload_cycles();
     let mut prev: Option<usize> = None;
     for (i, l) in layers.iter().enumerate() {
-        let mut deps: Vec<usize> = prev.into_iter().collect();
+        let ready: Vec<usize> = prev.into_iter().collect();
+        let mut deps = ready.clone();
         deps.extend(add_weight_load(b, lanes, cfg, i, l));
+        deps.extend(add_spill(b, lanes, cfg, i, l, ready));
         let mut fwd = compute_task(TaskKind::Forward, i, &l.label, lanes.pe, l.cost.fw, deps);
         fwd.buffer_delta = l.activation_words as i64;
         prev = Some(b.add_task(fwd));
@@ -539,6 +668,7 @@ fn build_gp_max(b: &mut SimBuilder, lanes: &Lanes, layers: &[SimLayer], cfg: &Si
         let slot: Vec<usize> = barrier.into_iter().collect();
         let mut fwd_deps = slot.clone();
         fwd_deps.extend(add_weight_load(b, lanes, cfg, i, l));
+        fwd_deps.extend(add_spill(b, lanes, cfg, i, l, slot.clone()));
         let mut fwd = compute_task(
             TaskKind::Forward,
             i,
@@ -603,8 +733,19 @@ mod tests {
             cost,
             weight_words: 10_000,
             activation_words: 5_000,
+            spill_words: 0,
         })
         .collect()
+    }
+
+    fn spilling_layers() -> Vec<SimLayer> {
+        layers()
+            .into_iter()
+            .map(|mut l| {
+                l.spill_words = 50_000;
+                l
+            })
+            .collect()
     }
 
     fn costs() -> Vec<LayerCost> {
@@ -672,20 +813,14 @@ mod tests {
                 phase,
                 design,
                 &ls,
-                &SimConfig {
-                    dram_words_per_cycle: Some(4),
-                    batch: MODEL_BATCH,
-                },
+                &SimConfig::no_contention().with_bandwidth(4),
             )
             .makespan();
             let loose = simulate_batch(
                 phase,
                 design,
                 &ls,
-                &SimConfig {
-                    dram_words_per_cycle: Some(1_000_000),
-                    batch: MODEL_BATCH,
-                },
+                &SimConfig::no_contention().with_bandwidth(1_000_000),
             )
             .makespan();
             assert!(tight >= loose, "{phase:?}");
@@ -728,6 +863,117 @@ mod tests {
     }
 
     #[test]
+    fn spills_add_cycles_and_are_metered() {
+        let cfg = SimConfig::default(); // 64 w/c: 50_000 words ≈ 782 cycles/layer
+        for (phase, design) in [
+            (Phase::Baseline, None),
+            (Phase::Bp, Some(AdaGpDesign::Max)),
+            (Phase::Gp, Some(AdaGpDesign::Efficient)),
+        ] {
+            let clean = simulate_batch(phase, design, &layers(), &cfg);
+            let spilled = simulate_batch(phase, design, &spilling_layers(), &cfg);
+            assert_eq!(clean.spill_cycles, 0, "{phase:?}");
+            assert_eq!(
+                spilled.spill_cycles,
+                3 * 50_000u64.div_ceil(64),
+                "{phase:?}"
+            );
+            assert!(spilled.makespan() > clean.makespan(), "{phase:?}");
+        }
+    }
+
+    #[test]
+    fn no_contention_ignores_spill_words_and_buffer_knobs() {
+        // The DRAM channel is the only place spill traffic can land: with
+        // it disabled the buffer knobs are inert and the analytic equality
+        // holds even for layers that would spill.
+        let cfg = SimConfig {
+            buffer_words: Some(1), // absurdly small — must not matter
+            ..SimConfig::no_contention()
+        };
+        let ls = spilling_layers();
+        let cs = costs();
+        let sim = simulate_batch(Phase::Baseline, None, &ls, &cfg);
+        assert_eq!(sim.spill_cycles, 0);
+        assert_eq!(sim.makespan(), baseline_batch_cycles(&cs));
+    }
+
+    #[test]
+    fn spill_gates_the_layers_forward_pass() {
+        // One layer, huge spill: FW may only start once the re-stream
+        // drains, so the makespan is load + spill + FW exactly.
+        let mut l = SimLayer::from_cost(
+            "solo",
+            LayerCost {
+                fw: 1000,
+                bw: 2000,
+                alpha: 10,
+            },
+        );
+        l.weight_words = 640;
+        l.spill_words = 6_400;
+        let cfg = SimConfig::default(); // 64 words/cycle
+        let sim = simulate_batch(Phase::Baseline, None, &[l], &cfg);
+        assert_eq!(sim.makespan(), 10 + 100 + 1000 + 2000);
+    }
+
+    #[test]
+    fn second_dram_port_lets_spills_bypass_the_weight_stream() {
+        // Single-ported: layer 1's spill queues behind layer 2's prefetch;
+        // a second port serves them concurrently, so the makespan can only
+        // shrink (and here strictly does).
+        let one = SimConfig::default();
+        let two = SimConfig {
+            dram_ports: 2,
+            ..SimConfig::default()
+        };
+        let ls: Vec<SimLayer> = spilling_layers()
+            .into_iter()
+            .map(|mut l| {
+                l.weight_words = 500_000;
+                l
+            })
+            .collect();
+        let serial = simulate_batch(Phase::Baseline, None, &ls, &one);
+        let ported = simulate_batch(Phase::Baseline, None, &ls, &two);
+        assert!(ported.makespan() < serial.makespan());
+    }
+
+    #[test]
+    fn model_layers_spill_only_when_the_buffer_is_too_small() {
+        use adagp_nn::models::shapes::LayerShape;
+        let shapes = vec![
+            LayerShape::conv("small", 8, 8, 3, 14),    // 576 weights
+            LayerShape::conv("huge", 512, 512, 3, 14), // 2.36M weights
+        ];
+        let acfg = AcceleratorConfig::default();
+        let pred = PredictorCostModel::default();
+        let sim_cfg = SimConfig::default(); // 128K-word buffer
+        let ls = model_sim_layers(&acfg, Dataflow::WeightStationary, &pred, &shapes, &sim_cfg);
+        assert_eq!(ls[0].spill_words, 0, "fitting layer must not spill");
+        assert!(ls[1].spill_words > 0, "over-capacity layer must spill");
+        let unbounded = model_sim_layers(
+            &acfg,
+            Dataflow::WeightStationary,
+            &pred,
+            &shapes,
+            &sim_cfg.with_buffer_words(None),
+        );
+        assert!(unbounded.iter().all(|l| l.spill_words == 0));
+        // A bigger buffer never spills more, layer by layer.
+        let bigger = model_sim_layers(
+            &acfg,
+            Dataflow::WeightStationary,
+            &pred,
+            &shapes,
+            &sim_cfg.with_buffer_words(Some(1 << 22)),
+        );
+        for (b, s) in bigger.iter().zip(&ls) {
+            assert!(b.spill_words <= s.spill_words);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "DRAM bandwidth must be positive")]
     fn zero_bandwidth_is_rejected_not_clamped() {
         let ls = layers();
@@ -735,10 +981,7 @@ mod tests {
             Phase::Baseline,
             None,
             &ls,
-            &SimConfig {
-                dram_words_per_cycle: Some(0),
-                batch: MODEL_BATCH,
-            },
+            &SimConfig::no_contention().with_bandwidth(0),
         );
     }
 

@@ -32,6 +32,7 @@ fn random_layers(rng: &mut Prng) -> Vec<SimLayer> {
                 cost: LayerCost { fw, bw, alpha },
                 weight_words: rng.next_u64() % 1_000_000,
                 activation_words: rng.next_u64() % 1_000_000,
+                spill_words: rng.next_u64() % 500_000,
             }
         })
         .collect()

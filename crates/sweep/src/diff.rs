@@ -165,8 +165,12 @@ mod tests {
                 "VGG13".into(),
                 "ADA-GP-MAX".into(),
                 "paper".into(),
+                "default".into(),
+                "default".into(),
             ],
-            metrics: [speedup, 100.0, 50.0, 10.0, 5.0, 55.0, 0.9, 0.5],
+            metrics: [
+                speedup, 100.0, 50.0, 10.0, 5.0, 55.0, 0.9, 0.5, 120.0, 0.1, 48.0,
+            ],
         }
     }
 

@@ -125,10 +125,18 @@ pub struct CellSpec {
     pub design: AdaGpDesign,
     /// Phase schedule (epoch mix).
     pub schedule: PhaseSchedule,
+    /// Simulator DRAM bandwidth override (words/cycle); `None` means the
+    /// evaluator's default. Default-valued cells keep the pre-axis key
+    /// (and therefore their PR 3/4 IDs); overridden cells append `bw<n>`.
+    pub dram_words_per_cycle: Option<u64>,
+    /// Simulator buffer-capacity override (words); `None` means the
+    /// evaluator's default. Overridden cells append `buf<n>` to the key.
+    pub buffer_words: Option<u64>,
 }
 
 impl CellSpec {
-    /// Builds the cell for one combination of axis values (ID included).
+    /// Builds the cell for one combination of the five primary axis
+    /// values (ID included, simulator knobs at their defaults).
     pub fn new(
         dataflow: Dataflow,
         dataset: DatasetScale,
@@ -136,43 +144,66 @@ impl CellSpec {
         design: AdaGpDesign,
         schedule: PhaseSchedule,
     ) -> Self {
-        let key = Self::key_of(dataflow, dataset, model, design, schedule);
-        CellSpec {
-            id: format!("{:016x}", fnv1a64(key.as_bytes())),
-            dataflow,
-            dataset,
-            model,
-            design,
-            schedule,
-        }
+        Self::with_contention(dataflow, dataset, model, design, schedule, None, None)
     }
 
-    /// Canonical human-readable key: `dataflow/dataset/model/design/schedule`.
-    pub fn key(&self) -> String {
-        Self::key_of(
-            self.dataflow,
-            self.dataset,
-            self.model,
-            self.design,
-            self.schedule,
-        )
-    }
-
-    fn key_of(
+    /// Builds a cell with explicit simulator contention knobs.
+    pub fn with_contention(
         dataflow: Dataflow,
         dataset: DatasetScale,
         model: CnnModel,
         design: AdaGpDesign,
         schedule: PhaseSchedule,
-    ) -> String {
-        format!(
+        dram_words_per_cycle: Option<u64>,
+        buffer_words: Option<u64>,
+    ) -> Self {
+        let mut cell = CellSpec {
+            id: String::new(),
+            dataflow,
+            dataset,
+            model,
+            design,
+            schedule,
+            dram_words_per_cycle,
+            buffer_words,
+        };
+        cell.id = format!("{:016x}", fnv1a64(cell.key().as_bytes()));
+        cell
+    }
+
+    /// Canonical human-readable key:
+    /// `dataflow/dataset/model/design/schedule[/bw<n>][/buf<n>]` — the
+    /// contention segments appear only when the cell overrides the
+    /// evaluator defaults, so every pre-contention-axis cell keeps the
+    /// exact key (and content-derived ID) it has had since PR 3.
+    pub fn key(&self) -> String {
+        let mut key = format!(
             "{}/{}/{}/{}/{}",
-            dataflow.name(),
-            dataset.name(),
-            model.name(),
-            design.name(),
-            schedule.name()
-        )
+            self.dataflow.name(),
+            self.dataset.name(),
+            self.model.name(),
+            self.design.name(),
+            self.schedule.name()
+        );
+        if let Some(bw) = self.dram_words_per_cycle {
+            key.push_str(&format!("/bw{bw}"));
+        }
+        if let Some(buf) = self.buffer_words {
+            key.push_str(&format!("/buf{buf}"));
+        }
+        key
+    }
+
+    /// CSV/JSON display value of the bandwidth override column.
+    pub fn dram_bw_name(&self) -> String {
+        self.dram_words_per_cycle
+            .map_or_else(|| "default".to_string(), |v| v.to_string())
+    }
+
+    /// CSV/JSON display value of the buffer-capacity override column.
+    pub fn buffer_words_name(&self) -> String {
+        self.buffer_words
+            .map_or_else(|| "default".to_string(), |v| v.to_string())
     }
 }
 
@@ -203,6 +234,12 @@ pub struct GridSpec {
     pub dataflows: Vec<Dataflow>,
     /// Phase-schedule axis.
     pub schedules: Vec<PhaseSchedule>,
+    /// Simulator DRAM-bandwidth axis (words/cycle); `None` = evaluator
+    /// default. Standard grids use `vec![None]`.
+    pub bandwidths: Vec<Option<u64>>,
+    /// Simulator buffer-capacity axis (words); `None` = evaluator
+    /// default. Standard grids use `vec![None]`.
+    pub buffers: Vec<Option<u64>>,
 }
 
 impl GridSpec {
@@ -213,10 +250,13 @@ impl GridSpec {
             * self.designs.len()
             * self.dataflows.len()
             * self.schedules.len()
+            * self.bandwidths.len()
+            * self.buffers.len()
     }
 
     /// Expands the axes into cells, in the deterministic nesting order
-    /// dataflow → dataset → model → design → schedule.
+    /// dataflow → dataset → model → design → schedule → bandwidth →
+    /// buffer.
     pub fn expand(&self) -> Vec<CellSpec> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for &df in &self.dataflows {
@@ -224,7 +264,11 @@ impl GridSpec {
                 for &m in &self.models {
                     for &d in &self.designs {
                         for &s in &self.schedules {
-                            cells.push(CellSpec::new(df, ds, m, d, s));
+                            for &bw in &self.bandwidths {
+                                for &buf in &self.buffers {
+                                    cells.push(CellSpec::with_contention(df, ds, m, d, s, bw, buf));
+                                }
+                            }
                         }
                     }
                 }
@@ -233,16 +277,24 @@ impl GridSpec {
         cells
     }
 
-    /// One-line summary of the axis sizes, e.g. `13m × 3ds × 3d × 1df × 1s`.
+    /// One-line summary of the axis sizes, e.g. `13m × 3ds × 3d × 1df ×
+    /// 1s` (the contention axes are appended only when swept).
     pub fn axes_summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}m × {}ds × {}d × {}df × {}s",
             self.models.len(),
             self.datasets.len(),
             self.designs.len(),
             self.dataflows.len(),
             self.schedules.len()
-        )
+        );
+        if self.bandwidths.len() > 1 {
+            out.push_str(&format!(" × {}bw", self.bandwidths.len()));
+        }
+        if self.buffers.len() > 1 {
+            out.push_str(&format!(" × {}buf", self.buffers.len()));
+        }
+        out
     }
 }
 
@@ -258,6 +310,8 @@ mod tests {
             designs: vec![AdaGpDesign::Efficient, AdaGpDesign::Max],
             dataflows: vec![Dataflow::WeightStationary],
             schedules: vec![PhaseSchedule::Paper],
+            bandwidths: vec![None],
+            buffers: vec![None],
         }
     }
 
@@ -309,11 +363,45 @@ mod tests {
             designs: AdaGpDesign::all().to_vec(),
             dataflows: Dataflow::all().to_vec(),
             schedules: PhaseSchedule::all().to_vec(),
+            bandwidths: vec![None, Some(16), Some(64)],
+            buffers: vec![None, Some(1 << 15)],
         };
         let cells = g.expand();
-        assert_eq!(cells.len(), 13 * 3 * 3 * 4 * 3);
+        assert_eq!(cells.len(), 13 * 3 * 3 * 4 * 3 * 3 * 2);
         let ids: std::collections::HashSet<_> = cells.iter().map(|c| c.id.clone()).collect();
         assert_eq!(ids.len(), cells.len(), "cell ID collision");
+    }
+
+    #[test]
+    fn contention_axes_extend_the_key_only_when_overridden() {
+        // Golden: a default-knob cell keeps its PR 3 key and ID...
+        let plain = CellSpec::new(
+            Dataflow::WeightStationary,
+            DatasetScale::Cifar10,
+            CnnModel::Vgg13,
+            AdaGpDesign::Efficient,
+            PhaseSchedule::Paper,
+        );
+        assert_eq!(plain.key(), "WS/Cifar10/VGG13/ADA-GP-Efficient/paper");
+        // ...while overridden knobs append stable, value-bearing segments.
+        let swept = CellSpec::with_contention(
+            Dataflow::WeightStationary,
+            DatasetScale::Cifar10,
+            CnnModel::Vgg13,
+            AdaGpDesign::Efficient,
+            PhaseSchedule::Paper,
+            Some(32),
+            Some(65536),
+        );
+        assert_eq!(
+            swept.key(),
+            "WS/Cifar10/VGG13/ADA-GP-Efficient/paper/bw32/buf65536"
+        );
+        assert_ne!(swept.id, plain.id);
+        assert_eq!(swept.dram_bw_name(), "32");
+        assert_eq!(swept.buffer_words_name(), "65536");
+        assert_eq!(plain.dram_bw_name(), "default");
+        assert_eq!(plain.buffer_words_name(), "default");
     }
 
     #[test]

@@ -26,9 +26,14 @@
 //! * [`diff`] — compares two stored runs cell-by-cell with configurable
 //!   tolerances and classifies regressions/improvements — the cross-PR
 //!   trajectory tracker ROADMAP asked for.
+//! * [`roofline`] — the bandwidth-roofline analysis: per cell, the
+//!   smallest DRAM bandwidth within 1% of the contention-free training
+//!   cycles (the *knee*), found by binary search on the simulator's
+//!   monotone bandwidth→makespan curve and memoized across bandwidth-axis
+//!   siblings.
 //! * [`presets`] — the named grids the `sweep` CLI exposes (`fig17-ws`,
 //!   `fig18-rs`, `fig19-is`, `energy`, `dataflows`, `schedules`,
-//!   `smoke`).
+//!   `bandwidth`, `bandwidth-smoke`, `roofline`, `smoke`).
 //!
 //! ## Example
 //!
@@ -49,6 +54,7 @@
 pub mod diff;
 pub mod grid;
 pub mod presets;
+pub mod roofline;
 pub mod runner;
 pub mod shapes;
 pub mod simeval;
@@ -56,6 +62,7 @@ pub mod store;
 
 pub use diff::{diff_runs, DiffConfig, DiffReport};
 pub use grid::{CellSpec, DatasetScale, GridSpec, PhaseSchedule};
+pub use roofline::{cell_knee, cell_roofline, roofline_csv, run_roofline_grid, RooflinePoint};
 pub use runner::{run_grid, CellMetrics, CellResult, SweepRun};
-pub use simeval::{run_sim_grid, sim_detail_csv, simulate_cell, SimCellDetail};
+pub use simeval::{cell_sim_config, run_sim_grid, sim_detail_csv, simulate_cell, SimCellDetail};
 pub use store::StoredRun;

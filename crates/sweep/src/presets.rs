@@ -21,6 +21,8 @@ pub fn speedup_figure(df: Dataflow) -> GridSpec {
         designs: AdaGpDesign::all().to_vec(),
         dataflows: vec![df],
         schedules: vec![PhaseSchedule::Paper],
+        bandwidths: vec![None],
+        buffers: vec![None],
     }
 }
 
@@ -35,6 +37,8 @@ pub fn energy() -> GridSpec {
         designs: vec![AdaGpDesign::Efficient, AdaGpDesign::Max],
         dataflows: vec![Dataflow::WeightStationary],
         schedules: vec![PhaseSchedule::Paper],
+        bandwidths: vec![None],
+        buffers: vec![None],
     }
 }
 
@@ -55,6 +59,8 @@ pub fn dataflows() -> GridSpec {
         designs: AdaGpDesign::all().to_vec(),
         dataflows: Dataflow::all().to_vec(),
         schedules: vec![PhaseSchedule::Paper],
+        bandwidths: vec![None],
+        buffers: vec![None],
     }
 }
 
@@ -68,6 +74,8 @@ pub fn schedules() -> GridSpec {
         designs: AdaGpDesign::all().to_vec(),
         dataflows: vec![Dataflow::WeightStationary],
         schedules: PhaseSchedule::all().to_vec(),
+        bandwidths: vec![None],
+        buffers: vec![None],
     }
 }
 
@@ -81,6 +89,65 @@ pub fn smoke() -> GridSpec {
         designs: vec![AdaGpDesign::Efficient, AdaGpDesign::Max],
         dataflows: vec![Dataflow::WeightStationary],
         schedules: vec![PhaseSchedule::Paper],
+        bandwidths: vec![None],
+        buffers: vec![None],
+    }
+}
+
+/// The contention study: the fig17 model set swept over DRAM bandwidth
+/// and buffer capacity for the MAX design — where the §3.7 per-layer
+/// windows either hide the predictor or stall on the memory system.
+/// Buffer points: 32K words (128 KB, aggressively small), the default
+/// 128K words (512 KB) and 512K words (2 MB, fits most working sets).
+pub fn bandwidth() -> GridSpec {
+    GridSpec {
+        name: "bandwidth".to_string(),
+        models: CnnModel::all().to_vec(),
+        datasets: vec![DatasetScale::Cifar10],
+        designs: vec![AdaGpDesign::Max],
+        dataflows: vec![Dataflow::WeightStationary],
+        schedules: vec![PhaseSchedule::Paper],
+        bandwidths: [8u64, 16, 32, 64, 128, 256]
+            .iter()
+            .map(|&b| Some(b))
+            .collect(),
+        buffers: [32 * 1024u64, 128 * 1024, 512 * 1024]
+            .iter()
+            .map(|&b| Some(b))
+            .collect(),
+    }
+}
+
+/// CI-sized slice of [`bandwidth`]: 2 models × 2 bandwidths × 2 buffer
+/// capacities (8 cells), byte-compared against a committed golden across
+/// thread counts.
+pub fn bandwidth_smoke() -> GridSpec {
+    GridSpec {
+        name: "bandwidth-smoke".to_string(),
+        models: vec![CnnModel::Vgg13, CnnModel::ResNet50],
+        datasets: vec![DatasetScale::Cifar10],
+        designs: vec![AdaGpDesign::Max],
+        dataflows: vec![Dataflow::WeightStationary],
+        schedules: vec![PhaseSchedule::Paper],
+        bandwidths: vec![Some(16), Some(256)],
+        buffers: vec![Some(16 * 1024), Some(1024 * 1024)],
+    }
+}
+
+/// The roofline grid: every fig17 model at ImageNet scale (the largest
+/// working sets) under the MAX design with default knobs — the `sweep
+/// roofline` subcommand reports each model's bandwidth knee on it and
+/// `runs/roofline.csv` pins the full metric set across PRs.
+pub fn roofline() -> GridSpec {
+    GridSpec {
+        name: "roofline".to_string(),
+        models: CnnModel::all().to_vec(),
+        datasets: vec![DatasetScale::ImageNet],
+        designs: vec![AdaGpDesign::Max],
+        dataflows: vec![Dataflow::WeightStationary],
+        schedules: vec![PhaseSchedule::Paper],
+        bandwidths: vec![None],
+        buffers: vec![None],
     }
 }
 
@@ -93,6 +160,9 @@ pub fn all() -> Vec<GridSpec> {
         energy(),
         dataflows(),
         schedules(),
+        bandwidth(),
+        bandwidth_smoke(),
+        roofline(),
         smoke(),
     ]
 }
@@ -125,5 +195,20 @@ mod tests {
         assert_eq!(fig17.cell_count(), 117);
         assert_eq!(smoke().cell_count(), 4);
         assert_eq!(energy().cell_count(), 26);
+        assert_eq!(bandwidth().cell_count(), 13 * 6 * 3);
+        assert_eq!(bandwidth_smoke().cell_count(), 8);
+        assert_eq!(roofline().cell_count(), 13);
+    }
+
+    #[test]
+    fn contention_presets_override_every_cell() {
+        for cell in bandwidth().expand() {
+            assert!(cell.dram_words_per_cycle.is_some());
+            assert!(cell.buffer_words.is_some());
+        }
+        for cell in roofline().expand() {
+            assert!(cell.dram_words_per_cycle.is_none());
+            assert!(cell.buffer_words.is_none());
+        }
     }
 }

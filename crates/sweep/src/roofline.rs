@@ -1,0 +1,381 @@
+//! Bandwidth-roofline analysis: for each grid cell, the smallest DRAM
+//! bandwidth at which the simulated ADA-GP training run comes within
+//! [`KNEE_TOLERANCE`] of its contention-free cycles — the model's
+//! *roofline knee*. Below the knee the memory system stalls the paper's
+//! per-layer overlap windows; above it extra bandwidth buys nothing.
+//!
+//! The search leans on a property the simulator guarantees (and
+//! `crates/sim/tests/contention_properties.rs` sweeps): the simulated
+//! makespan is monotone non-increasing in `dram_words_per_cycle`, so the
+//! knee is well-defined and binary search finds it exactly. The
+//! contention-free reference is the `no_contention` simulation, which
+//! equals the analytic closed form bit-for-bit — the knee is therefore
+//! anchored to the same number the figures print.
+//!
+//! Knees are memoized per (cell-sans-bandwidth, buffer, batch, ports,
+//! tolerance): the `bandwidth` preset revisits the same (model, buffer)
+//! point once per bandwidth axis value, and the fig17-sized grids ask
+//! once per cell.
+
+use crate::grid::{CellSpec, GridSpec};
+use crate::shapes::cached_shapes;
+use crate::simeval::cell_sim_config;
+use crate::store::csv_float;
+use adagp_accel::layer_cost::PredictorCostModel;
+use adagp_accel::speedup::EpochMix;
+use adagp_accel::{AcceleratorConfig, AdaGpDesign};
+use adagp_sim::{model_sim_layers, simulate_batch, Phase, SimConfig, SimLayer};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Relative slack over the contention-free cycles that still counts as
+/// "at the roofline" (1%).
+pub const KNEE_TOLERANCE: f64 = 0.01;
+
+/// Upper end of the knee search range (words/cycle). A cell that is not
+/// within tolerance even here reports the cap itself — by monotonicity
+/// that only happens when per-task streaming *latency* (not bandwidth)
+/// dominates, which no paper-scale model exhibits.
+pub const KNEE_MAX_BW: u64 = 1 << 20;
+
+/// Simulated ADA-GP training cycles (the [`adagp_sim::StepSim`] epoch
+/// weighting) from just the two batches it needs — the knee search calls
+/// this dozens of times per cell, so the baseline batch is skipped.
+fn adagp_training_cycles(
+    design: AdaGpDesign,
+    layers: &[SimLayer],
+    mix: &EpochMix,
+    cfg: &SimConfig,
+) -> f64 {
+    let bp = simulate_batch(Phase::Bp, Some(design), layers, cfg).makespan() as f64;
+    let gp = simulate_batch(Phase::Gp, Some(design), layers, cfg).makespan() as f64;
+    mix.stages()
+        .iter()
+        .map(|&(g, epochs)| epochs as f64 * (g * gp + (1.0 - g) * bp))
+        .sum()
+}
+
+/// Smallest bandwidth in `[1, KNEE_MAX_BW]` whose simulated training
+/// cycles are within `tolerance` of `free_cycles`, by binary search on
+/// the monotone bandwidth→cycles curve.
+fn knee_search(
+    design: AdaGpDesign,
+    layers: &[SimLayer],
+    mix: &EpochMix,
+    cfg: &SimConfig,
+    free_cycles: f64,
+    tolerance: f64,
+) -> u64 {
+    let target = free_cycles * (1.0 + tolerance);
+    let at = |bw: u64| adagp_training_cycles(design, layers, mix, &cfg.with_bandwidth(bw));
+    if at(KNEE_MAX_BW) > target {
+        return KNEE_MAX_BW; // capped: even the top of the range stalls
+    }
+    let (mut lo, mut hi) = (1u64, KNEE_MAX_BW); // invariant: at(hi) ≤ target
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if at(mid) <= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    hi
+}
+
+fn knee_cache() -> &'static Mutex<HashMap<String, u64>> {
+    static CACHE: std::sync::OnceLock<Mutex<HashMap<String, u64>>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Everything the knee search needs about one cell, built once.
+struct CellCurve {
+    layers: Vec<SimLayer>,
+    mix: EpochMix,
+    cfg: SimConfig,
+    /// Contention-free ADA-GP training cycles (== the analytic form).
+    free: f64,
+}
+
+fn cell_curve(spec: &CellSpec, base: &SimConfig) -> CellCurve {
+    let cfg = cell_sim_config(spec, base);
+    let shapes = cached_shapes(spec.model, spec.dataset.input_scale());
+    let layers = model_sim_layers(
+        &AcceleratorConfig::default(),
+        spec.dataflow,
+        &PredictorCostModel::default(),
+        &shapes,
+        &cfg,
+    );
+    let mix = spec.schedule.mix();
+    let free = adagp_training_cycles(
+        spec.design,
+        &layers,
+        &mix,
+        &SimConfig {
+            batch: cfg.batch,
+            ..SimConfig::no_contention()
+        },
+    );
+    CellCurve {
+        layers,
+        mix,
+        cfg,
+        free,
+    }
+}
+
+/// Memo key of one cell's knee. The cell's own bandwidth value is
+/// irrelevant — the knee *is* the bandwidth sweep — but its buffer
+/// override and the base config's batch/ports all shape the curve and
+/// key the memo. Derivable from the resolved config alone, so callers
+/// can check the cache before building a [`CellCurve`].
+fn memo_key(spec: &CellSpec, cfg: &SimConfig, tolerance: f64) -> String {
+    format!(
+        "{}/{}/{}/{}/{}/buf{:?}/batch{}/ports{},{},{}/tol{tolerance}",
+        spec.dataflow.name(),
+        spec.dataset.name(),
+        spec.model.name(),
+        spec.design.name(),
+        spec.schedule.name(),
+        cfg.buffer_words,
+        cfg.batch,
+        cfg.dram_ports,
+        cfg.pe_ports,
+        cfg.pred_ports,
+    )
+}
+
+/// Memoized knee of a built curve.
+fn knee_of_curve(spec: &CellSpec, curve: &CellCurve, tolerance: f64) -> u64 {
+    let key = memo_key(spec, &curve.cfg, tolerance);
+    if let Some(&knee) = knee_cache().lock().unwrap().get(&key) {
+        return knee;
+    }
+    let knee = knee_search(
+        spec.design,
+        &curve.layers,
+        &curve.mix,
+        &curve.cfg,
+        curve.free,
+        tolerance,
+    );
+    knee_cache().lock().unwrap().insert(key, knee);
+    knee
+}
+
+/// The roofline knee of one cell (words/cycle), memoized. A memo hit
+/// costs only the key lookup — the layer list and the contention-free
+/// reference simulations are built only on a miss.
+pub fn cell_knee(spec: &CellSpec, base: &SimConfig, tolerance: f64) -> u64 {
+    let cfg = cell_sim_config(spec, base);
+    if let Some(&knee) = knee_cache()
+        .lock()
+        .unwrap()
+        .get(&memo_key(spec, &cfg, tolerance))
+    {
+        return knee;
+    }
+    knee_of_curve(spec, &cell_curve(spec, base), tolerance)
+}
+
+/// One cell's roofline summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// The grid point analyzed.
+    pub spec: CellSpec,
+    /// Contention-free ADA-GP training cycles (bit-identical to the
+    /// analytic closed form).
+    pub free_cycles: f64,
+    /// The roofline knee: smallest bandwidth (words/cycle) within
+    /// tolerance of `free_cycles` ([`KNEE_MAX_BW`] caps the search).
+    pub knee_words_per_cycle: u64,
+    /// Simulated training cycles at the knee bandwidth.
+    pub knee_cycles: f64,
+    /// Simulated training cycles at the cell's configured bandwidth.
+    pub sim_cycles: f64,
+    /// Epoch-weighted spill cycles at the cell's configured bandwidth.
+    pub spill_cycles: f64,
+    /// Fraction of `sim_cycles` that is memory stall (bandwidth + spill):
+    /// `(sim_cycles − free_cycles) / sim_cycles`, 0 when contention-free.
+    pub dram_stall_frac: f64,
+}
+
+/// Analyzes one cell: knee (memoized), contention-free reference and the
+/// stall breakdown at the cell's configured bandwidth.
+pub fn cell_roofline(spec: &CellSpec, base: &SimConfig, tolerance: f64) -> RooflinePoint {
+    let curve = cell_curve(spec, base);
+    let knee = knee_of_curve(spec, &curve, tolerance);
+    let knee_cycles = adagp_training_cycles(
+        spec.design,
+        &curve.layers,
+        &curve.mix,
+        &curve.cfg.with_bandwidth(knee),
+    );
+    let step = adagp_sim::StepSim::run(spec.design, &curve.layers, &curve.mix, &curve.cfg);
+    let sim_cycles = step.adagp_training_cycles();
+    RooflinePoint {
+        spec: spec.clone(),
+        free_cycles: curve.free,
+        knee_words_per_cycle: knee,
+        knee_cycles,
+        sim_cycles,
+        spill_cycles: step.adagp_spill_cycles(),
+        dram_stall_frac: ((sim_cycles - curve.free) / sim_cycles).max(0.0),
+    }
+}
+
+/// Roofline analysis of every cell of `grid`, in expansion order, on the
+/// shared runtime pool (thread-count invariant like the other runners).
+pub fn run_roofline_grid(grid: &GridSpec, base: &SimConfig, tolerance: f64) -> Vec<RooflinePoint> {
+    adagp_runtime::pool().parallel_map(grid.expand(), |spec| cell_roofline(&spec, base, tolerance))
+}
+
+/// Column layout of the roofline CSV.
+pub const ROOFLINE_CSV_HEADER: [&str; 14] = [
+    "id",
+    "dataflow",
+    "dataset",
+    "model",
+    "design",
+    "schedule",
+    "dram_bw",
+    "buffer_words",
+    "knee_words_per_cycle",
+    "free_cycles",
+    "knee_cycles",
+    "sim_cycles",
+    "spill_cycles",
+    "dram_stall_frac",
+];
+
+/// Renders roofline points as byte-stable CSV (integers verbatim, floats
+/// at the store's fixed precision).
+pub fn roofline_csv(points: &[RooflinePoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&ROOFLINE_CSV_HEADER.join(","));
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            p.spec.id,
+            p.spec.dataflow.name(),
+            p.spec.dataset.name(),
+            p.spec.model.name(),
+            p.spec.design.name(),
+            p.spec.schedule.name(),
+            p.spec.dram_bw_name(),
+            p.spec.buffer_words_name(),
+            p.knee_words_per_cycle,
+            csv_float(p.free_cycles),
+            csv_float(p.knee_cycles),
+            csv_float(p.sim_cycles),
+            csv_float(p.spill_cycles),
+            csv_float(p.dram_stall_frac),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{DatasetScale, PhaseSchedule};
+    use adagp_accel::Dataflow;
+    use adagp_nn::models::CnnModel;
+
+    fn cell(buffer: Option<u64>) -> CellSpec {
+        CellSpec::with_contention(
+            Dataflow::WeightStationary,
+            DatasetScale::Cifar10,
+            CnnModel::Vgg13,
+            AdaGpDesign::Max,
+            PhaseSchedule::Paper,
+            None,
+            buffer,
+        )
+    }
+
+    #[test]
+    fn knee_is_within_tolerance_and_minimal() {
+        let base = SimConfig::default();
+        let p = cell_roofline(&cell(None), &base, KNEE_TOLERANCE);
+        assert!(p.knee_words_per_cycle >= 1);
+        assert!(p.knee_words_per_cycle < KNEE_MAX_BW, "finite knee expected");
+        assert!(p.knee_cycles <= p.free_cycles * (1.0 + KNEE_TOLERANCE));
+        // One step below the knee must violate the tolerance (minimality).
+        if p.knee_words_per_cycle > 1 {
+            let shapes = cached_shapes(CnnModel::Vgg13, DatasetScale::Cifar10.input_scale());
+            let cfg = cell_sim_config(&cell(None), &base);
+            let layers = model_sim_layers(
+                &AcceleratorConfig::default(),
+                Dataflow::WeightStationary,
+                &PredictorCostModel::default(),
+                &shapes,
+                &cfg,
+            );
+            let below = adagp_training_cycles(
+                AdaGpDesign::Max,
+                &layers,
+                &PhaseSchedule::Paper.mix(),
+                &cfg.with_bandwidth(p.knee_words_per_cycle - 1),
+            );
+            assert!(below > p.free_cycles * (1.0 + KNEE_TOLERANCE));
+        }
+    }
+
+    #[test]
+    fn smaller_buffer_never_lowers_the_knee() {
+        let base = SimConfig::default();
+        let big = cell_roofline(&cell(Some(1 << 22)), &base, KNEE_TOLERANCE);
+        let small = cell_roofline(&cell(Some(1 << 13)), &base, KNEE_TOLERANCE);
+        assert!(small.knee_words_per_cycle >= big.knee_words_per_cycle);
+        assert!(small.spill_cycles >= big.spill_cycles);
+    }
+
+    #[test]
+    fn memoized_knee_matches_the_direct_search() {
+        let base = SimConfig::default();
+        let spec = cell(Some(1 << 14));
+        let curve = cell_curve(&spec, &base);
+        let direct = knee_search(
+            AdaGpDesign::Max,
+            &curve.layers,
+            &curve.mix,
+            &curve.cfg,
+            curve.free,
+            KNEE_TOLERANCE,
+        );
+        assert_eq!(cell_knee(&spec, &base, KNEE_TOLERANCE), direct);
+        assert_eq!(cell_knee(&spec, &base, KNEE_TOLERANCE), direct); // cached
+    }
+
+    #[test]
+    fn stall_fraction_is_a_proper_fraction_and_zero_without_contention() {
+        let p = cell_roofline(&cell(None), &SimConfig::default(), KNEE_TOLERANCE);
+        assert!(
+            (0.0..1.0).contains(&p.dram_stall_frac),
+            "{}",
+            p.dram_stall_frac
+        );
+        let free = cell_roofline(&cell(None), &SimConfig::no_contention(), KNEE_TOLERANCE);
+        assert_eq!(free.dram_stall_frac, 0.0);
+        assert_eq!(free.spill_cycles, 0.0);
+        assert_eq!(free.sim_cycles.to_bits(), free.free_cycles.to_bits());
+    }
+
+    #[test]
+    fn csv_is_byte_stable_and_well_formed() {
+        let base = SimConfig::default();
+        let points: Vec<RooflinePoint> = [Some(1 << 14), None]
+            .iter()
+            .map(|&b| cell_roofline(&cell(b), &base, KNEE_TOLERANCE))
+            .collect();
+        let a = roofline_csv(&points);
+        let b = roofline_csv(&points);
+        assert_eq!(a, b);
+        for line in a.lines().skip(1) {
+            assert_eq!(line.split(',').count(), ROOFLINE_CSV_HEADER.len());
+        }
+    }
+}

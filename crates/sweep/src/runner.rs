@@ -8,6 +8,7 @@
 //! it never enters the CSV, which must stay byte-stable across runs.
 
 use crate::grid::{CellSpec, GridSpec};
+use crate::roofline;
 use crate::shapes::cached_shapes;
 use crate::simeval::simulate_cell;
 use adagp_accel::energy::{adagp_energy_joules, baseline_energy_joules, EnergyConfig};
@@ -16,10 +17,11 @@ use adagp_accel::AcceleratorConfig;
 use adagp_sim::SimConfig;
 use std::time::Instant;
 
-/// The metric values one cell produces. All eight are deterministic
+/// The metric values one cell produces. All eleven are deterministic
 /// functions of the cell's axis values: five from the closed-form
-/// analytic models, three from the discrete-event simulator under the
-/// default contention-enabled [`SimConfig`].
+/// analytic models, six from the discrete-event simulator under the
+/// default contention-enabled [`SimConfig`] (with the cell's
+/// bandwidth/buffer overrides applied).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellMetrics {
     /// End-to-end training speed-up over the baseline (higher is better).
@@ -33,12 +35,22 @@ pub struct CellMetrics {
     /// ADA-GP off-chip memory energy in joules (lower is better).
     pub adagp_energy_j: f64,
     /// Simulated ADA-GP training cycles with DRAM contention (lower is
-    /// better); the gap to `adagp_cycles` is the bandwidth stall.
+    /// better); the gap to `adagp_cycles` is the memory stall.
     pub sim_cycles: f64,
     /// Simulated epoch-weighted PE-array utilization (higher is better).
     pub pe_utilization: f64,
     /// Simulated predictor-overlap efficiency (higher is better).
     pub overlap_efficiency: f64,
+    /// Epoch-weighted buffer-spill cycles the finite buffer forces
+    /// (lower is better; 0 when every working set fits).
+    pub spill_cycles: f64,
+    /// Fraction of `sim_cycles` that is memory stall — bandwidth plus
+    /// spill (lower is better).
+    pub dram_stall_frac: f64,
+    /// The bandwidth-roofline knee (words/cycle): smallest DRAM bandwidth
+    /// within 1% of the contention-free cycles (lower is better — a low
+    /// knee means the model tolerates a narrow channel).
+    pub knee_words_per_cycle: f64,
 }
 
 /// One executed cell: its spec, metrics and wall time.
@@ -67,8 +79,10 @@ pub struct SweepRun {
 /// Evaluates one cell: the analytic speed-up/cycle/energy metrics of its
 /// (model, dataset, dataflow, design, schedule) combination — identical
 /// to what the standalone fig17–21 binaries computed, by construction —
-/// plus the three discrete-event metrics from `adagp-sim` under the
-/// default contention-enabled configuration.
+/// plus the six discrete-event metrics from `adagp-sim` under the
+/// default contention-enabled configuration (the cell's bandwidth/buffer
+/// overrides applied; the roofline knee is the cell's own bandwidth
+/// sweep, memoized across cells that share everything but bandwidth).
 pub fn evaluate_cell(spec: &CellSpec) -> CellMetrics {
     let layers = cached_shapes(spec.model, spec.dataset.input_scale());
     let cfg = AcceleratorConfig::default();
@@ -76,7 +90,9 @@ pub fn evaluate_cell(spec: &CellSpec) -> CellMetrics {
     let baseline_cycles = baseline_training_cycles(&cfg, spec.dataflow, &layers, &mix);
     let adagp_cycles = adagp_training_cycles(&cfg, spec.dataflow, spec.design, &layers, &mix);
     let ecfg = EnergyConfig::default();
-    let sim = simulate_cell(spec, &SimConfig::default());
+    let sim_base = SimConfig::default();
+    let sim = simulate_cell(spec, &sim_base);
+    let knee = roofline::cell_knee(spec, &sim_base, roofline::KNEE_TOLERANCE);
     CellMetrics {
         speedup: baseline_cycles / adagp_cycles,
         baseline_cycles,
@@ -86,6 +102,11 @@ pub fn evaluate_cell(spec: &CellSpec) -> CellMetrics {
         sim_cycles: sim.sim_cycles,
         pe_utilization: sim.pe_utilization,
         overlap_efficiency: sim.overlap_efficiency,
+        spill_cycles: sim.spill_cycles,
+        // The no-contention sim equals the analytic cycles bit-for-bit,
+        // so the analytic value is the contention-free reference here.
+        dram_stall_frac: ((sim.sim_cycles - adagp_cycles) / sim.sim_cycles).max(0.0),
+        knee_words_per_cycle: knee as f64,
     }
 }
 
@@ -125,6 +146,8 @@ mod tests {
             designs: AdaGpDesign::all().to_vec(),
             dataflows: vec![Dataflow::WeightStationary],
             schedules: vec![PhaseSchedule::Paper],
+            bandwidths: vec![None],
+            buffers: vec![None],
         }
     }
 
@@ -164,6 +187,19 @@ mod tests {
                 "{}: {}",
                 x.spec.key(),
                 m.overlap_efficiency
+            );
+            assert!(m.spill_cycles >= 0.0, "{}", x.spec.key());
+            assert!(
+                (0.0..1.0).contains(&m.dram_stall_frac),
+                "{}: {}",
+                x.spec.key(),
+                m.dram_stall_frac
+            );
+            assert!(
+                m.knee_words_per_cycle >= 1.0,
+                "{}: {}",
+                x.spec.key(),
+                m.knee_words_per_cycle
             );
         }
     }

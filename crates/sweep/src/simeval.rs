@@ -45,24 +45,48 @@ pub struct SimCellDetail {
     pub pe_utilization: f64,
     /// Epoch-weighted predictor-overlap efficiency.
     pub overlap_efficiency: f64,
+    /// Epoch-weighted buffer-spill cycles of the ADA-GP run (exactly 0
+    /// with contention off or an unbounded buffer).
+    pub spill_cycles: f64,
     /// Peak buffer occupancy across the three batch schedules (words).
     pub peak_buffer_words: i64,
 }
 
-/// Simulates one cell under `cfg`: the same shapes, accelerator config
-/// and epoch mix the analytic evaluator uses, executed on the event
-/// engine.
-pub fn simulate_cell(spec: &CellSpec, cfg: &SimConfig) -> SimCellDetail {
+/// Resolves the simulator configuration one cell runs under: the cell's
+/// bandwidth/buffer overrides applied on top of `base`. When `base` has
+/// the DRAM channel disabled (`--no-contention`), the overrides are
+/// ignored entirely — contention off *composes* with the contention axes
+/// by winning, so the analytic-equality contract holds for every cell of
+/// every grid.
+pub fn cell_sim_config(spec: &CellSpec, base: &SimConfig) -> SimConfig {
+    let mut cfg = *base;
+    if cfg.dram_words_per_cycle.is_none() {
+        return cfg;
+    }
+    if let Some(bw) = spec.dram_words_per_cycle {
+        cfg.dram_words_per_cycle = Some(bw);
+    }
+    if let Some(buf) = spec.buffer_words {
+        cfg.buffer_words = Some(buf);
+    }
+    cfg
+}
+
+/// Simulates one cell under [`cell_sim_config`]`(spec, base)`: the same
+/// shapes, accelerator config and epoch mix the analytic evaluator uses,
+/// executed on the event engine.
+pub fn simulate_cell(spec: &CellSpec, base: &SimConfig) -> SimCellDetail {
+    let cfg = cell_sim_config(spec, base);
     let shapes = cached_shapes(spec.model, spec.dataset.input_scale());
     let layers = model_sim_layers(
         &AcceleratorConfig::default(),
         spec.dataflow,
         &PredictorCostModel::default(),
         &shapes,
-        cfg.batch,
+        &cfg,
     );
     let mix = spec.schedule.mix();
-    let step = StepSim::run(spec.design, &layers, &mix, cfg);
+    let step = StepSim::run(spec.design, &layers, &mix, &cfg);
     SimCellDetail {
         spec: spec.clone(),
         baseline_batch_cycles: step.baseline.makespan(),
@@ -72,6 +96,7 @@ pub fn simulate_cell(spec: &CellSpec, cfg: &SimConfig) -> SimCellDetail {
         sim_cycles: step.adagp_training_cycles(),
         pe_utilization: step.pe_utilization(),
         overlap_efficiency: step.overlap_efficiency(),
+        spill_cycles: step.adagp_spill_cycles(),
         peak_buffer_words: step.peak_buffer_words(),
     }
 }
@@ -84,19 +109,22 @@ pub fn run_sim_grid(grid: &GridSpec, cfg: &SimConfig) -> Vec<SimCellDetail> {
 }
 
 /// Column layout of the sim-detail CSV.
-pub const SIM_CSV_HEADER: [&str; 13] = [
+pub const SIM_CSV_HEADER: [&str; 16] = [
     "id",
     "dataflow",
     "dataset",
     "model",
     "design",
     "schedule",
+    "dram_bw",
+    "buffer_words",
     "baseline_batch_cycles",
     "bp_batch_cycles",
     "gp_batch_cycles",
     "sim_speedup",
     "pe_utilization",
     "overlap_efficiency",
+    "spill_cycles",
     "peak_buffer_words",
 ];
 
@@ -109,19 +137,22 @@ pub fn sim_detail_csv(details: &[SimCellDetail]) -> String {
     out.push('\n');
     for d in details {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             d.spec.id,
             d.spec.dataflow.name(),
             d.spec.dataset.name(),
             d.spec.model.name(),
             d.spec.design.name(),
             d.spec.schedule.name(),
+            d.spec.dram_bw_name(),
+            d.spec.buffer_words_name(),
             d.baseline_batch_cycles,
             d.bp_batch_cycles,
             d.gp_batch_cycles,
             csv_float(d.sim_speedup),
             csv_float(d.pe_utilization),
             csv_float(d.overlap_efficiency),
+            csv_float(d.spill_cycles),
             d.peak_buffer_words,
         ));
     }
@@ -159,6 +190,34 @@ mod tests {
             &PhaseSchedule::Paper.mix(),
         );
         assert_eq!(d.sim_speedup.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn no_contention_base_wins_over_cell_overrides() {
+        // `sweep sim --no-contention` on the bandwidth grid: the cells
+        // carry bandwidth/buffer overrides, but a contention-off base
+        // must silence them — zero spills, analytic-exact speed-up.
+        let spec = CellSpec::with_contention(
+            Dataflow::WeightStationary,
+            DatasetScale::Cifar10,
+            CnnModel::Vgg13,
+            AdaGpDesign::Max,
+            PhaseSchedule::Paper,
+            Some(4),
+            Some(1024),
+        );
+        let base = SimConfig::no_contention();
+        assert_eq!(cell_sim_config(&spec, &base), base);
+        let d = simulate_cell(&spec, &base);
+        assert_eq!(d.spill_cycles, 0.0);
+        let plain = simulate_cell(&cell(), &base);
+        assert_eq!(d.sim_speedup.to_bits(), plain.sim_speedup.to_bits());
+
+        // With a contention-on base the overrides bite: tighter bandwidth
+        // and a tiny buffer can only slow things down.
+        let tight = simulate_cell(&spec, &SimConfig::default());
+        assert!(tight.sim_cycles > plain.sim_cycles);
+        assert!(tight.spill_cycles > 0.0);
     }
 
     #[test]

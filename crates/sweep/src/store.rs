@@ -25,18 +25,23 @@ pub const CSV_FLOAT_DECIMALS: usize = 6;
 
 /// Schema version embedded in JSON run records. v2 added the
 /// discrete-event simulator metrics (`sim_cycles`, `pe_utilization`,
-/// `overlap_efficiency`).
-pub const RUN_SCHEMA_VERSION: u32 = 2;
+/// `overlap_efficiency`); v3 added the contention axes (`dram_bw`,
+/// `buffer_words` columns) and the contention-study metrics
+/// (`spill_cycles`, `dram_stall_frac`, `knee_words_per_cycle`).
+pub const RUN_SCHEMA_VERSION: u32 = 3;
 
-/// The CSV column layout: identity, axis values, then the metrics of
-/// [`METRICS`] in order.
-pub const CSV_HEADER: [&str; 14] = [
+/// The CSV column layout: identity, axis values (the two contention
+/// columns read `default` when a cell does not override the simulator
+/// knobs), then the metrics of [`METRICS`] in order.
+pub const CSV_HEADER: [&str; 19] = [
     "id",
     "dataflow",
     "dataset",
     "model",
     "design",
     "schedule",
+    "dram_bw",
+    "buffer_words",
     "speedup",
     "baseline_cycles",
     "adagp_cycles",
@@ -45,10 +50,17 @@ pub const CSV_HEADER: [&str; 14] = [
     "sim_cycles",
     "pe_utilization",
     "overlap_efficiency",
+    "spill_cycles",
+    "dram_stall_frac",
+    "knee_words_per_cycle",
 ];
 
 /// Number of leading non-metric (identity + axis) columns in the CSV.
-pub const CSV_META_COLUMNS: usize = 6;
+pub const CSV_META_COLUMNS: usize = 8;
+
+/// Number of leading non-metric columns a schema-v1/v2 CSV carried
+/// (before the contention-axis columns existed).
+pub const LEGACY_META_COLUMNS: usize = 6;
 
 /// One metric column: its name and which direction is an improvement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,8 +72,8 @@ pub struct Metric {
     pub higher_is_better: bool,
 }
 
-/// The eight metric columns every cell produces, in CSV order.
-pub const METRICS: [Metric; 8] = [
+/// The eleven metric columns every cell produces, in CSV order.
+pub const METRICS: [Metric; 11] = [
     Metric {
         name: "speedup",
         higher_is_better: true,
@@ -94,6 +106,18 @@ pub const METRICS: [Metric; 8] = [
         name: "overlap_efficiency",
         higher_is_better: true,
     },
+    Metric {
+        name: "spill_cycles",
+        higher_is_better: false,
+    },
+    Metric {
+        name: "dram_stall_frac",
+        higher_is_better: false,
+    },
+    Metric {
+        name: "knee_words_per_cycle",
+        higher_is_better: false,
+    },
 ];
 
 /// JSON run record (schema, grid name, timing, cells).
@@ -125,6 +149,10 @@ pub struct CellRecord {
     pub design: String,
     /// Schedule name.
     pub schedule: String,
+    /// Simulator bandwidth override (`"default"` or words/cycle).
+    pub dram_bw: String,
+    /// Simulator buffer-capacity override (`"default"` or words).
+    pub buffer_words: String,
     /// End-to-end speed-up.
     pub speedup: f64,
     /// Baseline training cycles.
@@ -141,8 +169,45 @@ pub struct CellRecord {
     pub pe_utilization: f64,
     /// Simulated predictor-overlap efficiency.
     pub overlap_efficiency: f64,
+    /// Epoch-weighted buffer-spill cycles.
+    pub spill_cycles: f64,
+    /// Memory-stall fraction of the simulated cycles.
+    pub dram_stall_frac: f64,
+    /// Bandwidth-roofline knee (words/cycle).
+    pub knee_words_per_cycle: f64,
     /// Wall-clock microseconds for this cell.
     pub wall_micros: u64,
+}
+
+/// The PR 4 (schema v2) run record shape — loaded for backward
+/// compatibility, never written.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RunRecordV2 {
+    schema: u32,
+    grid: String,
+    total_wall_micros: u64,
+    cells: Vec<CellRecordV2>,
+}
+
+/// A schema-v2 cell record: five analytic plus three sim metrics, no
+/// contention axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CellRecordV2 {
+    id: String,
+    dataflow: String,
+    dataset: String,
+    model: String,
+    design: String,
+    schedule: String,
+    speedup: f64,
+    baseline_cycles: f64,
+    adagp_cycles: f64,
+    baseline_energy_j: f64,
+    adagp_energy_j: f64,
+    sim_cycles: f64,
+    pe_utilization: f64,
+    overlap_efficiency: f64,
+    wall_micros: u64,
 }
 
 /// The PR 3 (schema v1) run record shape — loaded for backward
@@ -189,6 +254,8 @@ impl RunRecord {
                     model: c.spec.model.name().to_string(),
                     design: c.spec.design.name().to_string(),
                     schedule: c.spec.schedule.name().to_string(),
+                    dram_bw: c.spec.dram_bw_name(),
+                    buffer_words: c.spec.buffer_words_name(),
                     speedup: c.metrics.speedup,
                     baseline_cycles: c.metrics.baseline_cycles,
                     adagp_cycles: c.metrics.adagp_cycles,
@@ -197,6 +264,9 @@ impl RunRecord {
                     sim_cycles: c.metrics.sim_cycles,
                     pe_utilization: c.metrics.pe_utilization,
                     overlap_efficiency: c.metrics.overlap_efficiency,
+                    spill_cycles: c.metrics.spill_cycles,
+                    dram_stall_frac: c.metrics.dram_stall_frac,
+                    knee_words_per_cycle: c.metrics.knee_words_per_cycle,
                     wall_micros: c.wall_micros,
                 })
                 .collect(),
@@ -217,13 +287,15 @@ pub fn to_csv_string(run: &SweepRun) -> String {
     for c in &run.cells {
         let m = c.metrics;
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             c.spec.id,
             c.spec.dataflow.name(),
             c.spec.dataset.name(),
             c.spec.model.name(),
             c.spec.design.name(),
             c.spec.schedule.name(),
+            c.spec.dram_bw_name(),
+            c.spec.buffer_words_name(),
             csv_float(m.speedup),
             csv_float(m.baseline_cycles),
             csv_float(m.adagp_cycles),
@@ -232,6 +304,9 @@ pub fn to_csv_string(run: &SweepRun) -> String {
             csv_float(m.sim_cycles),
             csv_float(m.pe_utilization),
             csv_float(m.overlap_efficiency),
+            csv_float(m.spill_cycles),
+            csv_float(m.dram_stall_frac),
+            csv_float(m.knee_words_per_cycle),
         ));
     }
     out
@@ -268,23 +343,39 @@ pub fn write_json(path: &Path, run: &SweepRun) -> std::io::Result<()> {
 pub struct StoredCell {
     /// Content-derived cell ID.
     pub id: String,
-    /// Axis display values: dataflow, dataset, model, design, schedule.
-    pub axes: [String; 5],
+    /// Axis display values: dataflow, dataset, model, design, schedule,
+    /// dram_bw, buffer_words (the last two read `default` for cells
+    /// without overrides — including every cell of a legacy file).
+    pub axes: [String; 7],
     /// Metric values, aligned with [`METRICS`].
     pub metrics: [f64; METRICS.len()],
 }
 
 impl StoredCell {
-    /// `dataflow/dataset/model/design/schedule` — the cell's readable key.
+    /// The cell's readable key, matching
+    /// [`CellSpec::key`](crate::grid::CellSpec::key):
+    /// `dataflow/dataset/model/design/schedule[/bw<n>][/buf<n>]` — the
+    /// contention segments appear only for overriding cells.
     pub fn key(&self) -> String {
-        self.axes.join("/")
+        let mut key = self.axes[..5].join("/");
+        if self.axes[5] != "default" {
+            key.push_str(&format!("/bw{}", self.axes[5]));
+        }
+        if self.axes[6] != "default" {
+            key.push_str(&format!("/buf{}", self.axes[6]));
+        }
+        key
     }
 }
 
 /// Number of metric columns a schema-v1 (PR 3) CSV carried — the first
-/// five of [`METRICS`]; v2 appended the sim metrics, so v1 files parse as
-/// a prefix.
+/// five of [`METRICS`]; later schemas append, so older files parse as a
+/// prefix.
 pub const V1_METRIC_COUNT: usize = 5;
+
+/// Number of metric columns a schema-v2 (PR 4) CSV carried — the first
+/// eight of [`METRICS`].
+pub const V2_METRIC_COUNT: usize = 8;
 
 /// A format-agnostic stored run: what the diff engine consumes.
 #[derive(Debug, Clone, PartialEq)]
@@ -331,9 +422,11 @@ impl StoredRun {
         parsed.map_err(|e| format!("parse {}: {e}", path.display()))
     }
 
-    /// Parses the CSV form. Accepts the current header and the schema-v1
-    /// (PR 3) 11-column header, whose metrics are a prefix of today's —
-    /// old committed runs stay diffable against fresh ones.
+    /// Parses the CSV form. Accepts the current header, the schema-v2
+    /// (PR 4) 14-column header and the schema-v1 (PR 3) 11-column header
+    /// — legacy metrics are a prefix of today's and legacy cells carry no
+    /// contention columns (loaded as `default`), so old committed runs
+    /// stay diffable against fresh ones.
     ///
     /// # Errors
     ///
@@ -342,17 +435,23 @@ impl StoredRun {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty CSV")?;
         let expected = CSV_HEADER.join(",");
-        let v1_expected = CSV_HEADER[..CSV_META_COLUMNS + V1_METRIC_COUNT].join(",");
-        let metric_count = if header == expected {
-            METRICS.len()
-        } else if header == v1_expected {
-            V1_METRIC_COUNT
+        let legacy_header = |metrics: usize| {
+            let mut cols: Vec<&str> = CSV_HEADER[..LEGACY_META_COLUMNS].to_vec();
+            cols.extend(METRICS[..metrics].iter().map(|m| m.name));
+            cols.join(",")
+        };
+        let (meta_columns, metric_count) = if header == expected {
+            (CSV_META_COLUMNS, METRICS.len())
+        } else if header == legacy_header(V2_METRIC_COUNT) {
+            (LEGACY_META_COLUMNS, V2_METRIC_COUNT)
+        } else if header == legacy_header(V1_METRIC_COUNT) {
+            (LEGACY_META_COLUMNS, V1_METRIC_COUNT)
         } else {
             return Err(format!(
                 "unexpected CSV header `{header}` (expected `{expected}`)"
             ));
         };
-        let columns = CSV_META_COLUMNS + metric_count;
+        let columns = meta_columns + metric_count;
         let mut cells = Vec::new();
         for (lineno, line) in lines.enumerate() {
             if line.is_empty() {
@@ -368,11 +467,18 @@ impl StoredRun {
             }
             let mut metrics = [0.0f64; METRICS.len()];
             for (i, m) in metrics.iter_mut().take(metric_count).enumerate() {
-                let raw = fields[CSV_META_COLUMNS + i];
+                let raw = fields[meta_columns + i];
                 *m = raw.parse::<f64>().map_err(|_| {
                     format!("line {}: bad {} value `{raw}`", lineno + 2, METRICS[i].name)
                 })?;
             }
+            let contention = |idx: usize| {
+                if meta_columns == CSV_META_COLUMNS {
+                    fields[idx].to_string()
+                } else {
+                    "default".to_string()
+                }
+            };
             cells.push(StoredCell {
                 id: fields[0].to_string(),
                 axes: [
@@ -381,6 +487,8 @@ impl StoredRun {
                     fields[3].to_string(),
                     fields[4].to_string(),
                     fields[5].to_string(),
+                    contention(6),
+                    contention(7),
                 ],
                 metrics,
             });
@@ -391,8 +499,8 @@ impl StoredRun {
         })
     }
 
-    /// Parses the JSON record form — the current schema or the v1 (PR 3)
-    /// one, whose metrics are a prefix of today's.
+    /// Parses the JSON record form — the current schema or the v2 (PR 4)
+    /// / v1 (PR 3) ones, whose metrics are a prefix of today's.
     ///
     /// # Errors
     ///
@@ -407,6 +515,7 @@ impl StoredRun {
             _ => None,
         }
         .ok_or("run record has no schema field")?;
+        let default = || "default".to_string();
         match schema {
             RUN_SCHEMA_VERSION => {
                 let record = RunRecord::from_value(&value).map_err(|e| e.to_string())?;
@@ -416,7 +525,15 @@ impl StoredRun {
                         .into_iter()
                         .map(|c| StoredCell {
                             id: c.id,
-                            axes: [c.dataflow, c.dataset, c.model, c.design, c.schedule],
+                            axes: [
+                                c.dataflow,
+                                c.dataset,
+                                c.model,
+                                c.design,
+                                c.schedule,
+                                c.dram_bw,
+                                c.buffer_words,
+                            ],
                             metrics: [
                                 c.speedup,
                                 c.baseline_cycles,
@@ -426,10 +543,48 @@ impl StoredRun {
                                 c.sim_cycles,
                                 c.pe_utilization,
                                 c.overlap_efficiency,
+                                c.spill_cycles,
+                                c.dram_stall_frac,
+                                c.knee_words_per_cycle,
                             ],
                         })
                         .collect(),
                     metric_count: METRICS.len(),
+                })
+            }
+            2 => {
+                let record = RunRecordV2::from_value(&value).map_err(|e| e.to_string())?;
+                Ok(StoredRun {
+                    cells: record
+                        .cells
+                        .into_iter()
+                        .map(|c| StoredCell {
+                            id: c.id,
+                            axes: [
+                                c.dataflow,
+                                c.dataset,
+                                c.model,
+                                c.design,
+                                c.schedule,
+                                default(),
+                                default(),
+                            ],
+                            metrics: [
+                                c.speedup,
+                                c.baseline_cycles,
+                                c.adagp_cycles,
+                                c.baseline_energy_j,
+                                c.adagp_energy_j,
+                                c.sim_cycles,
+                                c.pe_utilization,
+                                c.overlap_efficiency,
+                                0.0,
+                                0.0,
+                                0.0,
+                            ],
+                        })
+                        .collect(),
+                    metric_count: V2_METRIC_COUNT,
                 })
             }
             1 => {
@@ -440,13 +595,24 @@ impl StoredRun {
                         .into_iter()
                         .map(|c| StoredCell {
                             id: c.id,
-                            axes: [c.dataflow, c.dataset, c.model, c.design, c.schedule],
+                            axes: [
+                                c.dataflow,
+                                c.dataset,
+                                c.model,
+                                c.design,
+                                c.schedule,
+                                default(),
+                                default(),
+                            ],
                             metrics: [
                                 c.speedup,
                                 c.baseline_cycles,
                                 c.adagp_cycles,
                                 c.baseline_energy_j,
                                 c.adagp_energy_j,
+                                0.0,
+                                0.0,
+                                0.0,
                                 0.0,
                                 0.0,
                                 0.0,
@@ -457,7 +623,7 @@ impl StoredRun {
                 })
             }
             other => Err(format!(
-                "unsupported run schema {other} (expected {RUN_SCHEMA_VERSION} or 1)"
+                "unsupported run schema {other} (expected {RUN_SCHEMA_VERSION}, 2 or 1)"
             )),
         }
     }
@@ -479,7 +645,43 @@ mod tests {
             designs: vec![AdaGpDesign::Efficient, AdaGpDesign::Max],
             dataflows: vec![Dataflow::WeightStationary],
             schedules: vec![PhaseSchedule::Paper],
+            bandwidths: vec![None],
+            buffers: vec![None],
         })
+    }
+
+    /// Rewrites a current CSV into its legacy form: drops the contention
+    /// meta columns and keeps the first `metric_count` metric columns.
+    fn legacy_csv(current: &str, metric_count: usize) -> String {
+        current
+            .lines()
+            .map(|line| {
+                let fields: Vec<&str> = line.split(',').collect();
+                let mut kept: Vec<&str> = fields[..LEGACY_META_COLUMNS].to_vec();
+                kept.extend(&fields[CSV_META_COLUMNS..CSV_META_COLUMNS + metric_count]);
+                kept.join(",") + "\n"
+            })
+            .collect()
+    }
+
+    /// Rewrites a current JSON record into a legacy schema: patches the
+    /// schema number and strips the named per-cell fields.
+    fn legacy_json(current: &str, schema: u32, dropped: &[&str]) -> String {
+        let mut text = current.replace(
+            &format!("\"schema\": {RUN_SCHEMA_VERSION}"),
+            &format!("\"schema\": {schema}"),
+        );
+        for key in dropped {
+            let mut out = String::new();
+            for line in text.lines() {
+                if !line.contains(&format!("\"{key}\"")) {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            text = out;
+        }
+        text
     }
 
     #[test]
@@ -549,22 +751,61 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v2_files_still_load_and_diff_against_fresh_v3_runs() {
+        // A PR 4-era CSV (14 columns: no contention axes, no spill/stall/
+        // knee metrics) and JSON (schema 2) must load, report the smaller
+        // metric count, and diff cleanly against a fresh v3 run over the
+        // shared eight metrics.
+        let run = small_run();
+        let v2_csv = legacy_csv(&to_csv_string(&run), V2_METRIC_COUNT);
+        let legacy = StoredRun::from_csv_str(&v2_csv).expect("v2 CSV parses");
+        assert_eq!(legacy.metric_count, V2_METRIC_COUNT);
+        assert_eq!(legacy.cells.len(), run.cells.len());
+        // Legacy cells read `default` contention axes, so their keys (and
+        // content-derived IDs) line up with fresh default-knob cells.
+        assert_eq!(legacy.cells[0].key(), run.cells[0].spec.key());
+
+        let fresh = StoredRun::from_run(&run);
+        assert_eq!(fresh.metric_count, METRICS.len());
+        let report = crate::diff::diff_runs(&legacy, &fresh, &crate::diff::DiffConfig::default());
+        assert_eq!(report.matched_cells, run.cells.len());
+        assert!(!report.has_regressions(), "{}", report.render());
+        assert!(report.improvements.is_empty(), "{}", report.render());
+
+        let v2_json = legacy_json(
+            &to_json_string(&run),
+            2,
+            &[
+                "dram_bw",
+                "buffer_words",
+                "spill_cycles",
+                "dram_stall_frac",
+                "knee_words_per_cycle",
+            ],
+        );
+        let legacy_json_run = StoredRun::from_json_str(&v2_json).expect("v2 JSON parses");
+        assert_eq!(legacy_json_run.metric_count, V2_METRIC_COUNT);
+        // JSON keeps full precision; sim metrics are present in v2.
+        assert_eq!(
+            legacy_json_run.cells[0].metrics[5].to_bits(),
+            run.cells[0].metrics.sim_cycles.to_bits()
+        );
+        let report = crate::diff::diff_runs(
+            &legacy_json_run,
+            &fresh,
+            &crate::diff::DiffConfig::default(),
+        );
+        assert_eq!(report.matched_cells, run.cells.len());
+        assert!(!report.has_regressions(), "{}", report.render());
+    }
+
+    #[test]
     fn legacy_v1_files_still_load_and_diff_against_fresh_runs() {
         // A PR 3-era CSV (11 columns, no sim metrics) and JSON (schema 1)
         // must load, report the smaller metric count, and diff cleanly
         // against a fresh run over the shared analytic metrics.
         let run = small_run();
-        let v1_columns = CSV_META_COLUMNS + V1_METRIC_COUNT;
-        let v1_csv: String = to_csv_string(&run)
-            .lines()
-            .map(|line| {
-                line.split(',')
-                    .take(v1_columns)
-                    .collect::<Vec<_>>()
-                    .join(",")
-                    + "\n"
-            })
-            .collect();
+        let v1_csv = legacy_csv(&to_csv_string(&run), V1_METRIC_COUNT);
         let legacy = StoredRun::from_csv_str(&v1_csv).expect("v1 CSV parses");
         assert_eq!(legacy.metric_count, V1_METRIC_COUNT);
         assert_eq!(legacy.cells.len(), run.cells.len());
@@ -576,28 +817,30 @@ mod tests {
         assert!(!report.has_regressions(), "{}", report.render());
         assert!(report.improvements.is_empty(), "{}", report.render());
 
-        let mut v1_json = to_json_string(&run);
-        v1_json = v1_json.replace("\"schema\": 2", "\"schema\": 1");
-        for key in ["sim_cycles", "pe_utilization", "overlap_efficiency"] {
-            let mut out = String::new();
-            for line in v1_json.lines() {
-                if !line.contains(&format!("\"{key}\"")) {
-                    out.push_str(line);
-                    out.push('\n');
-                }
-            }
-            v1_json = out;
-        }
-        let legacy_json = StoredRun::from_json_str(&v1_json).expect("v1 JSON parses");
-        assert_eq!(legacy_json.metric_count, V1_METRIC_COUNT);
+        let v1_json = legacy_json(
+            &to_json_string(&run),
+            1,
+            &[
+                "dram_bw",
+                "buffer_words",
+                "sim_cycles",
+                "pe_utilization",
+                "overlap_efficiency",
+                "spill_cycles",
+                "dram_stall_frac",
+                "knee_words_per_cycle",
+            ],
+        );
+        let legacy_json_run = StoredRun::from_json_str(&v1_json).expect("v1 JSON parses");
+        assert_eq!(legacy_json_run.metric_count, V1_METRIC_COUNT);
         // JSON keeps full precision; the fresh view is CSV-quantized.
         assert_eq!(
-            legacy_json.cells[0].metrics[0].to_bits(),
+            legacy_json_run.cells[0].metrics[0].to_bits(),
             run.cells[0].metrics.speedup.to_bits()
         );
         // Unknown future schemas still fail loudly.
         assert!(StoredRun::from_json_str(
-            &to_json_string(&run).replace("\"schema\": 2", "\"schema\": 9")
+            &to_json_string(&run).replace("\"schema\": 3", "\"schema\": 9")
         )
         .unwrap_err()
         .contains("unsupported run schema 9"));
