@@ -1,0 +1,94 @@
+//! The `serve` CLI: run the resident sweep server.
+//!
+//! ```text
+//! serve [--addr host:port] [--workers n] [--queue-depth n] [--window n]
+//!       [--warm path]... [--flush path]
+//! ```
+//!
+//! Binds, warm-loads the cache from every `--warm` artifact (committed
+//! `runs/*.csv`/`.json`, any schema version), prints the bound address
+//! on stdout (`listening on <addr>` — parseable by scripts and the
+//! load-test harness), and serves until `POST /shutdown`, at which point
+//! it drains in-flight evaluations and, with `--flush`, writes the
+//! byte-stable cache snapshot. Cell evaluations run on the shared
+//! runtime pool (`ADAGP_THREADS` sizes it).
+
+use adagp_serve::{server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage:
+  serve [--addr host:port]   bind address (default 127.0.0.1:0, ephemeral)
+        [--workers n]        connection worker threads (default 4)
+        [--queue-depth n]    bounded accept queue; overflow answers 503
+        [--window n]         cells per /grid streaming window (default 8)
+        [--warm path]...     warm the cache from stored runs (repeatable)
+        [--flush path]       write the cache snapshot on shutdown
+
+Endpoints: GET /health, GET /metrics, POST /grid, POST /shutdown.
+
+Exit codes:
+  0  clean shutdown (drained and, if configured, flushed)
+  2  usage, bind, warm-load or flush error
+";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => cfg.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue-depth" => {
+                cfg.queue_depth = parse_num(&value("--queue-depth")?, "--queue-depth")?;
+            }
+            "--window" => cfg.grid_window = parse_num(&value("--window")?, "--window")?,
+            "--warm" => cfg.warm.push(PathBuf::from(value("--warm")?)),
+            "--flush" => cfg.flush_path = Some(PathBuf::from(value("--flush")?)),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    let handle = server::start(cfg)?;
+    let state = handle.state().clone();
+    println!("listening on {}", handle.addr());
+    match handle.serve_forever()? {
+        Some(flushed) => println!("drained; flushed {flushed} cells"),
+        None => println!("drained"),
+    }
+    let m: std::collections::HashMap<&str, u64> = state.metrics.snapshot().into_iter().collect();
+    println!(
+        "served {} requests ({} grids, {} cells: {} hits, {} evaluated, {} joined)",
+        m["requests_total"],
+        m["grid_requests"],
+        m["cells_served"],
+        m["cell_hits"],
+        m["evaluations"],
+        m["coalesced_waits"]
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse::<usize>()
+        .map_err(|_| format!("{flag}: `{text}` is not a count\n{USAGE}"))
+}

@@ -87,6 +87,57 @@ fn no_contention_composes_with_explicit_bandwidth_and_buffer_flags() {
     std::fs::remove_file(&csv).ok();
 }
 
+/// `sweep diff`'s documented exit-code contract, end to end: 0 for a
+/// clean comparison, 1 when a metric regressed beyond tolerance, 2 for
+/// usage errors — the codes CI branches on.
+#[test]
+fn diff_exit_codes_cover_clean_regressed_and_usage() {
+    use adagp_sweep::store::{RunRecord, StoredCell};
+    use adagp_sweep::{evaluate_cell, presets};
+
+    let cells: Vec<StoredCell> = presets::smoke()
+        .expand()
+        .iter()
+        .map(|s| StoredCell::from_evaluation(s, &evaluate_cell(s)))
+        .collect();
+    let write = |name: &str, cells: &[StoredCell]| {
+        let path = tmp(name);
+        let text = serde::json::to_string_pretty(&RunRecord::from_stored_cells("smoke", cells));
+        std::fs::write(&path, text).expect("run record written");
+        path
+    };
+    let before = write("diff-before.json", &cells);
+    let mut worse = cells.clone();
+    worse[0].metrics[0] *= 0.9; // speed-up down 10%: a regression
+    let after = write("diff-after.json", &worse);
+
+    let code = |args: &[&str]| {
+        let out = sweep()
+            .args(["diff"])
+            .args(args)
+            .output()
+            .expect("sweep diff runs");
+        out.status.code().expect("exit code")
+    };
+    let before_s = before.to_string_lossy().to_string();
+    let after_s = after.to_string_lossy().to_string();
+    assert_eq!(code(&[&before_s, &before_s]), 0, "identical runs are clean");
+    assert_eq!(code(&[&before_s, &after_s]), 1, "regression exits 1");
+    assert_eq!(
+        code(&[&before_s, &after_s, "--tol", "0.5"]),
+        0,
+        "a loose tolerance absorbs the regression"
+    );
+    assert_eq!(code(&[&before_s]), 2, "missing <after> is a usage error");
+    assert_eq!(
+        code(&[&before_s, "/nonexistent/run.json"]),
+        2,
+        "unreadable input is an I/O error"
+    );
+    std::fs::remove_file(&before).ok();
+    std::fs::remove_file(&after).ok();
+}
+
 #[test]
 fn roofline_subcommand_reports_a_knee_per_cell() {
     let out = sweep()

@@ -44,5 +44,5 @@ pub mod queue;
 pub mod stats;
 
 pub use pool::{det_chunk_len, pool, with_threads, ThreadPool, THREADS_ENV};
-pub use queue::{BoundedQueue, WaitGroup};
+pub use queue::{BoundedQueue, TryPushError, WaitGroup};
 pub use stats::{PipelineStats, Stage, StageReport};

@@ -92,6 +92,27 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Non-blocking push: enqueues `item` only if there is room right now.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back, tagged with why it was refused: the queue is
+    /// at capacity ([`TryPushError::Full`] — the caller should shed load,
+    /// e.g. a server answering 503) or closed ([`TryPushError::Closed`]).
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Non-blocking pop: `None` if currently empty (closed or not).
     pub fn try_pop(&self) -> Option<T> {
         let mut s = self.state.lock().unwrap();
@@ -126,6 +147,25 @@ impl<T> BoundedQueue<T> {
     /// Whether the queue is currently empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Why [`BoundedQueue::try_push`] refused an item (the item rides along
+/// so the caller can still use it — e.g. answer the connection with 503).
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity right now.
+    Full(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// Recovers the refused item.
+    pub fn into_inner(self) -> T {
+        match self {
+            TryPushError::Full(item) | TryPushError::Closed(item) => item,
+        }
     }
 }
 
@@ -227,6 +267,23 @@ mod tests {
             q.close();
             assert_eq!(h.join().unwrap(), None);
         });
+    }
+
+    #[test]
+    fn try_push_never_blocks_and_tags_the_refusal() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(5), Err(TryPushError::Closed(5)));
+        assert_eq!(TryPushError::Full(7).into_inner(), 7);
+        // Items enqueued before the close still drain in FIFO order.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

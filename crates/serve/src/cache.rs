@@ -1,0 +1,376 @@
+//! The memoized cell store: content-derived cell IDs → evaluated
+//! metrics, with request coalescing and a byte-stable disk snapshot.
+//!
+//! ## Coalescing
+//!
+//! [`CellCache::get_or_evaluate`] guarantees **exactly one evaluation
+//! per cell**, no matter how many requests ask concurrently: the first
+//! asker installs an in-flight marker and evaluates on its own thread;
+//! everyone else parks on the marker's condvar and receives the shared
+//! result ([`Served::Joined`]). The marker only ever exists while its
+//! creator is actively evaluating, so a waiter always waits on a running
+//! computation — there is no lock-holding across the evaluation and no
+//! cross-flight waiting, hence no deadlock on any pool size (including
+//! `ADAGP_THREADS=1`, where pool regions run inline).
+//!
+//! ## Warm start vs. bit-exactness
+//!
+//! The cache warm-loads from any committed `runs/*` artifact (CSV or
+//! JSON, schema v1–v3). Legacy files carry fewer metric columns, so
+//! their entries are **partial**: they answer nothing by themselves —
+//! a request for such a cell re-evaluates and upgrades the entry. Full
+//! CSV entries are quantized to 6 decimals (byte-stable, not bit-exact);
+//! callers that require bit-exact metrics (the load-test harness) start
+//! cold instead of warm.
+//!
+//! ## Snapshot
+//!
+//! [`CellCache::snapshot_json`] emits the full-precision JSON run-record
+//! form, cells sorted by ID, timing zeroed — reloading and re-flushing
+//! is byte-identical (asserted by the cache-consistency tests). CSV is
+//! deliberately *not* used here: 6-decimal quantization of ~4e11-cycle
+//! metrics exceeds an `f64`'s ~17 significant digits, so CSV would not
+//! reload byte-stably.
+
+use adagp_sweep::grid::CellSpec;
+use adagp_sweep::store::{RunRecord, StoredCell, StoredRun, METRICS};
+use adagp_sweep::{evaluate_cell, metrics_from_array, CellMetrics};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One memoized cell with how many of its metric slots are real (legacy
+/// warm loads carry a prefix; the rest are zero-filled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedCell {
+    /// The cell's stored form (id, axes, metrics).
+    pub cell: StoredCell,
+    /// Leading valid entries of `cell.metrics`.
+    pub metric_count: usize,
+}
+
+impl CachedCell {
+    /// Whether every metric slot is valid (a current-schema entry).
+    pub fn is_full(&self) -> bool {
+        self.metric_count == METRICS.len()
+    }
+
+    /// The typed metrics view. Only meaningful when [`is_full`]
+    /// (partial entries have zero-filled tails).
+    ///
+    /// [`is_full`]: CachedCell::is_full
+    pub fn metrics(&self) -> CellMetrics {
+        metrics_from_array(&self.cell.metrics)
+    }
+}
+
+/// How a cell was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Already memoized in full.
+    Hit,
+    /// This call ran the evaluator.
+    Evaluated,
+    /// A concurrent call was already evaluating; this one waited for it.
+    Joined,
+}
+
+/// Completion slot of one in-flight evaluation.
+#[derive(Debug)]
+enum FlightState {
+    Pending,
+    Done(Arc<CachedCell>),
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<Arc<CachedCell>, String>) {
+        let mut s = self.state.lock().unwrap();
+        *s = match result {
+            Ok(cell) => FlightState::Done(cell),
+            Err(msg) => FlightState::Failed(msg),
+        };
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<CachedCell>, String> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            match &*s {
+                FlightState::Pending => s = self.done.wait(s).unwrap(),
+                FlightState::Done(cell) => return Ok(Arc::clone(cell)),
+                FlightState::Failed(msg) => return Err(msg.clone()),
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Entry {
+    Ready(Arc<CachedCell>),
+    InFlight(Arc<Flight>),
+}
+
+/// What the map lookup decided this caller should do.
+enum Claim {
+    Hit(Arc<CachedCell>),
+    Wait(Arc<Flight>),
+    Evaluate(Arc<Flight>),
+}
+
+/// The concurrent memo store. See the module docs for the contract.
+#[derive(Debug, Default)]
+pub struct CellCache {
+    map: Mutex<HashMap<String, Entry>>,
+}
+
+impl CellCache {
+    /// An empty (cold) cache.
+    pub fn new() -> Self {
+        CellCache::default()
+    }
+
+    /// Number of ready (memoized) cells, partial entries included.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|e| matches!(e, Entry::Ready(_)))
+            .count()
+    }
+
+    /// Whether no cell is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serves `spec` from the memo store, evaluating it (exactly once
+    /// across all concurrent callers) on a miss. Partial warm-loaded
+    /// entries count as misses and are upgraded in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic message if the evaluation itself panicked (the
+    /// entry is removed so a later request can retry).
+    pub fn get_or_evaluate(&self, spec: &CellSpec) -> Result<(Arc<CachedCell>, Served), String> {
+        let claim = {
+            let mut map = self.map.lock().unwrap();
+            match map.get(&spec.id) {
+                Some(Entry::Ready(cell)) if cell.is_full() => Claim::Hit(Arc::clone(cell)),
+                Some(Entry::InFlight(flight)) => Claim::Wait(Arc::clone(flight)),
+                _ => {
+                    // Absent or partial: this caller evaluates.
+                    let flight = Arc::new(Flight::new());
+                    map.insert(spec.id.clone(), Entry::InFlight(Arc::clone(&flight)));
+                    Claim::Evaluate(flight)
+                }
+            }
+        };
+        match claim {
+            Claim::Hit(cell) => Ok((cell, Served::Hit)),
+            Claim::Wait(flight) => flight.wait().map(|cell| (cell, Served::Joined)),
+            Claim::Evaluate(flight) => {
+                let result = catch_unwind(AssertUnwindSafe(|| evaluate_cell(spec)));
+                let mut map = self.map.lock().unwrap();
+                match result {
+                    Ok(metrics) => {
+                        let cell = Arc::new(CachedCell {
+                            cell: StoredCell::from_evaluation(spec, &metrics),
+                            metric_count: METRICS.len(),
+                        });
+                        map.insert(spec.id.clone(), Entry::Ready(Arc::clone(&cell)));
+                        drop(map);
+                        flight.complete(Ok(Arc::clone(&cell)));
+                        Ok((cell, Served::Evaluated))
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        map.remove(&spec.id);
+                        drop(map);
+                        flight.complete(Err(msg.clone()));
+                        Err(msg)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Memoizes every cell of an already-loaded stored run. Entries that
+    /// are already memoized in full (or mid-evaluation) are left alone;
+    /// a fuller record upgrades a partial one. Returns how many entries
+    /// were inserted or upgraded.
+    pub fn warm_from_stored(&self, run: &StoredRun) -> usize {
+        let mut map = self.map.lock().unwrap();
+        let mut loaded = 0;
+        for cell in &run.cells {
+            let upgrade = match map.get(&cell.id) {
+                None => true,
+                Some(Entry::Ready(existing)) => existing.metric_count < run.metric_count,
+                Some(Entry::InFlight(_)) => false,
+            };
+            if upgrade {
+                map.insert(
+                    cell.id.clone(),
+                    Entry::Ready(Arc::new(CachedCell {
+                        cell: cell.clone(),
+                        metric_count: run.metric_count,
+                    })),
+                );
+                loaded += 1;
+            }
+        }
+        loaded
+    }
+
+    /// Warm-loads a committed run artifact (CSV or JSON, any supported
+    /// schema version). Returns how many entries were inserted/upgraded.
+    ///
+    /// # Errors
+    ///
+    /// Returns the loader's description of an I/O or parse failure.
+    pub fn warm_load(&self, path: &Path) -> Result<usize, String> {
+        Ok(self.warm_from_stored(&StoredRun::load(path)?))
+    }
+
+    /// Renders the byte-stable snapshot: every *full* entry, sorted by
+    /// cell ID, as a full-precision schema-v3 JSON run record (grid name
+    /// `cache`, timing zeroed). Partial legacy entries are skipped —
+    /// flushing their zero-filled tails would masquerade as real data.
+    pub fn snapshot_json(&self) -> String {
+        let mut cells: Vec<StoredCell> = {
+            let map = self.map.lock().unwrap();
+            map.values()
+                .filter_map(|e| match e {
+                    Entry::Ready(c) if c.is_full() => Some(c.cell.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        cells.sort_by(|a, b| a.id.cmp(&b.id));
+        let mut text =
+            serde::json::to_string_pretty(&RunRecord::from_stored_cells("cache", &cells));
+        text.push('\n');
+        text
+    }
+
+    /// Writes [`CellCache::snapshot_json`] to `path`, returning how many
+    /// cells it holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn flush(&self, path: &Path) -> std::io::Result<usize> {
+        let full = {
+            let map = self.map.lock().unwrap();
+            map.values()
+                .filter(|e| matches!(e, Entry::Ready(c) if c.is_full()))
+                .count()
+        };
+        std::fs::write(path, self.snapshot_json())?;
+        Ok(full)
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("evaluation panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("evaluation panicked: {s}")
+    } else {
+        "evaluation panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adagp_sweep::grid::{DatasetScale, PhaseSchedule};
+    use adagp_sweep::metrics_to_array;
+
+    fn spec() -> CellSpec {
+        CellSpec::new(
+            adagp_accel::Dataflow::WeightStationary,
+            DatasetScale::Cifar10,
+            adagp_nn::models::CnnModel::Vgg13,
+            adagp_accel::AdaGpDesign::Efficient,
+            PhaseSchedule::Paper,
+        )
+    }
+
+    #[test]
+    fn evaluate_then_hit_bit_exact() {
+        let cache = CellCache::new();
+        assert!(cache.is_empty());
+        let (first, served) = cache.get_or_evaluate(&spec()).unwrap();
+        assert_eq!(served, Served::Evaluated);
+        let (second, served) = cache.get_or_evaluate(&spec()).unwrap();
+        assert_eq!(served, Served::Hit);
+        assert_eq!(cache.len(), 1);
+        let direct = metrics_to_array(&evaluate_cell(&spec()));
+        for ((a, b), d) in first
+            .cell
+            .metrics
+            .iter()
+            .zip(&second.cell.metrics)
+            .zip(&direct)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), d.to_bits());
+        }
+        assert_eq!(first.metrics(), evaluate_cell(&spec()));
+    }
+
+    #[test]
+    fn partial_warm_entries_are_upgraded_by_evaluation() {
+        let cache = CellCache::new();
+        let s = spec();
+        let partial = StoredRun {
+            cells: vec![StoredCell::from_evaluation(&s, &evaluate_cell(&s))],
+            metric_count: 5, // pretend it came from a schema-v1 file
+        };
+        assert_eq!(cache.warm_from_stored(&partial), 1);
+        assert_eq!(cache.len(), 1);
+        // A partial entry is a miss: the cell is re-evaluated in full.
+        let (cell, served) = cache.get_or_evaluate(&s).unwrap();
+        assert_eq!(served, Served::Evaluated);
+        assert!(cell.is_full());
+        // And now it hits.
+        assert_eq!(cache.get_or_evaluate(&s).unwrap().1, Served::Hit);
+        // Re-warming with a *less* complete record does not downgrade.
+        assert_eq!(cache.warm_from_stored(&partial), 0);
+        assert_eq!(cache.get_or_evaluate(&s).unwrap().1, Served::Hit);
+    }
+
+    #[test]
+    fn snapshot_skips_partial_entries_and_sorts_by_id() {
+        let cache = CellCache::new();
+        let s = spec();
+        let partial = StoredRun {
+            cells: vec![StoredCell::from_evaluation(&s, &evaluate_cell(&s))],
+            metric_count: 5,
+        };
+        cache.warm_from_stored(&partial);
+        let empty = StoredRun::from_json_str(&cache.snapshot_json()).unwrap();
+        assert!(empty.cells.is_empty(), "partial entries must not flush");
+        cache.get_or_evaluate(&s).unwrap();
+        let full = StoredRun::from_json_str(&cache.snapshot_json()).unwrap();
+        assert_eq!(full.cells.len(), 1);
+        assert_eq!(full.cells[0].id, s.id);
+    }
+}

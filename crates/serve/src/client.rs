@@ -1,0 +1,163 @@
+//! A small blocking client for the serve wire protocol — what the
+//! load-test harness, the CLI and the integration tests talk through.
+//!
+//! One request per connection, `Connection: close` framing: the client
+//! writes the request, shutting down its write half, and reads to EOF.
+
+use crate::metrics::parse_metrics;
+use crate::wire::{is_error_line, parse_cell_line, parse_done_line, CellLine, DoneLine};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A raw HTTP exchange: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// Response status code.
+    pub status: u16,
+    /// Response body (header section stripped).
+    pub body: String,
+}
+
+/// Performs one request against `addr` and reads the reply to EOF.
+///
+/// # Errors
+///
+/// Returns a description of a connect/write/read failure or a reply
+/// that is not parseable HTTP.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<HttpReply, String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    parse_reply(&raw)
+}
+
+/// Splits a raw reply into status and body.
+fn parse_reply(raw: &[u8]) -> Result<HttpReply, String> {
+    let text = String::from_utf8(raw.to_vec()).map_err(|_| "reply is not UTF-8".to_string())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("reply without head terminator: `{text}`"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    Ok(HttpReply {
+        status,
+        body: body.to_string(),
+    })
+}
+
+/// A fully read `/grid` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResponse {
+    /// Grid name echoed by the header line.
+    pub grid: String,
+    /// Cell count announced by the header line.
+    pub announced_cells: u64,
+    /// Every successfully served cell, in stream order.
+    pub cells: Vec<CellLine>,
+    /// Mid-stream cell error lines, verbatim.
+    pub cell_errors: Vec<String>,
+    /// The terminating summary.
+    pub done: DoneLine,
+}
+
+/// Submits a grid (JSON text) and parses the NDJSON stream.
+///
+/// # Errors
+///
+/// Returns a description of a transport failure, a non-200 status (with
+/// the server's error body), or a malformed stream.
+pub fn submit_grid(addr: SocketAddr, spec_json: &str) -> Result<GridResponse, String> {
+    let reply = http_request(addr, "POST", "/grid", Some(spec_json))?;
+    if reply.status != 200 {
+        return Err(format!(
+            "/grid answered {}: {}",
+            reply.status,
+            reply.body.trim()
+        ));
+    }
+    let mut lines = reply.body.lines().filter(|l| !l.is_empty());
+    let header = lines.next().ok_or("empty /grid stream")?;
+    let header_v = serde::json::parse_value(header).map_err(|e| e.to_string())?;
+    let grid = header_v
+        .field("grid")
+        .ok()
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("malformed header line `{header}`"))?
+        .to_string();
+    let announced_cells = header_v
+        .field("cells")
+        .ok()
+        .and_then(serde::Value::as_u64)
+        .ok_or_else(|| format!("malformed header line `{header}`"))?;
+    let mut cells = Vec::new();
+    let mut cell_errors = Vec::new();
+    let mut done = None;
+    for line in lines {
+        if let Ok(d) = parse_done_line(line) {
+            done = Some(d);
+        } else if is_error_line(line) {
+            cell_errors.push(line.to_string());
+        } else {
+            cells.push(parse_cell_line(line)?);
+        }
+    }
+    Ok(GridResponse {
+        grid,
+        announced_cells,
+        cells,
+        cell_errors,
+        done: done.ok_or("stream ended without a done line")?,
+    })
+}
+
+/// Scrapes `/metrics` into a name → value map.
+///
+/// # Errors
+///
+/// Returns a description of a transport failure, a non-200 status, or a
+/// malformed metrics body.
+pub fn fetch_metrics(addr: SocketAddr) -> Result<HashMap<String, u64>, String> {
+    let reply = http_request(addr, "GET", "/metrics", None)?;
+    if reply.status != 200 {
+        return Err(format!("/metrics answered {}", reply.status));
+    }
+    parse_metrics(&reply.body)
+}
+
+/// Requests remote shutdown.
+///
+/// # Errors
+///
+/// Returns a description of a transport failure or a non-200 status.
+pub fn request_shutdown(addr: SocketAddr) -> Result<(), String> {
+    let reply = http_request(addr, "POST", "/shutdown", None)?;
+    if reply.status != 200 {
+        return Err(format!("/shutdown answered {}", reply.status));
+    }
+    Ok(())
+}

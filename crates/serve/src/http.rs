@@ -1,0 +1,416 @@
+//! A minimal, incremental HTTP/1.1 layer: enough protocol to serve the
+//! sweep service over raw `TcpStream`s, nothing more.
+//!
+//! The parser is a *push* parser — callers [`feed`](RequestParser::feed)
+//! it whatever bytes the socket produced, at whatever chunk boundaries
+//! the kernel chose, and it either asks for more, yields a complete
+//! [`Request`], or fails with a typed [`HttpError`] carrying the 4xx/5xx
+//! status the connection should answer with. It never panics on any byte
+//! sequence and never needs to look at the socket itself, which is what
+//! makes the protocol property tests (arbitrary split points, truncated
+//! bodies, garbage bytes) possible without network I/O.
+//!
+//! Scope intentionally left out: chunked transfer encoding (rejected with
+//! 501), keep-alive (every response says `Connection: close`; one request
+//! per connection keeps the server's draining logic trivial), and TLS.
+
+use std::fmt;
+
+/// Hard cap on the request head (request line + headers) in bytes.
+/// Exceeding it fails with `431 Request Header Fields Too Large`.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Hard cap on a request body in bytes. A larger declared
+/// `Content-Length` fails with `413 Content Too Large`.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed request: method, path, headers (name-lowercased), body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (`/grid`, `/metrics`, ...).
+    pub path: String,
+    /// Headers in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A protocol failure: the HTTP status the connection should answer with
+/// and a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status code (4xx/5xx).
+    pub status: u16,
+    /// Reason detail for the response body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Builds an error from a status and message.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+/// Parsed head: method, path, declared body length.
+#[derive(Debug)]
+struct Head {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+}
+
+/// Incremental request parser; see the module docs for the contract.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    head: Option<Head>,
+    received_any: bool,
+}
+
+/// Finds the end of the head in `buf`: offset of the terminator and its
+/// length. Accepts both `\r\n\r\n` and the lenient bare `\n\n`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    for i in 0..buf.len() {
+        if buf[i..].starts_with(b"\r\n\r\n") {
+            return Some((i, 4));
+        }
+        if buf[i..].starts_with(b"\n\n") {
+            return Some((i, 2));
+        }
+    }
+    None
+}
+
+impl RequestParser {
+    /// Creates an empty parser (one per connection).
+    pub fn new() -> Self {
+        RequestParser::default()
+    }
+
+    /// Consumes the next chunk of socket bytes. Returns `Ok(None)` while
+    /// the request is still incomplete, `Ok(Some(_))` exactly once when
+    /// it completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`HttpError`] the connection should answer with:
+    /// 400 for malformed syntax, 413/431 for size-cap violations,
+    /// 501 for chunked bodies, 505 for non-HTTP/1.x versions.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        if !bytes.is_empty() {
+            self.received_any = true;
+        }
+        self.buf.extend_from_slice(bytes);
+        if self.head.is_none() {
+            match find_head_end(&self.buf) {
+                None => {
+                    if self.buf.len() > MAX_HEAD_BYTES {
+                        return Err(HttpError::new(431, "request head too large"));
+                    }
+                    return Ok(None);
+                }
+                Some((head_len, term_len)) => {
+                    if head_len > MAX_HEAD_BYTES {
+                        return Err(HttpError::new(431, "request head too large"));
+                    }
+                    let head = parse_head(&self.buf[..head_len])?;
+                    self.buf.drain(..head_len + term_len);
+                    self.head = Some(head);
+                }
+            }
+        }
+        let head = self.head.as_ref().expect("head parsed above");
+        if self.buf.len() < head.content_length {
+            return Ok(None);
+        }
+        let head = self.head.take().expect("head parsed above");
+        let body = self.buf.drain(..head.content_length).collect();
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
+            body,
+        }))
+    }
+
+    /// Signals end-of-stream. `Ok(())` if the connection was silent (no
+    /// bytes at all — e.g. the shutdown wake-up probe) or every received
+    /// request completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `400 truncated request` when EOF arrived mid-head or
+    /// mid-body — the guarantee that a half-sent request can never hang
+    /// the connection handler.
+    pub fn finish(&self) -> Result<(), HttpError> {
+        if self.head.is_some() || !self.buf.is_empty() {
+            return Err(HttpError::new(400, "truncated request"));
+        }
+        Ok(())
+    }
+
+    /// Whether the parser has seen any bytes at all.
+    pub fn received_any(&self) -> bool {
+        self.received_any
+    }
+}
+
+/// Parses the head (request line + header lines) from its raw bytes.
+fn parse_head(raw: &[u8]) -> Result<Head, HttpError> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line `{request_line}`"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/") {
+        return Err(HttpError::new(
+            400,
+            format!("malformed request line `{request_line}`"),
+        ));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(
+            505,
+            format!("unsupported protocol version `{version}`"),
+        ));
+    }
+    if !method.chars().all(|c| c.is_ascii_uppercase()) || method.is_empty() {
+        return Err(HttpError::new(400, format!("malformed method `{method}`")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, format!("malformed header line `{line}`")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::new(
+                400,
+                format!("malformed header name `{name}`"),
+            ));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.to_ascii_lowercase().contains("chunked"))
+    {
+        return Err(HttpError::new(501, "chunked transfer encoding unsupported"));
+    }
+    let mut content_length = 0usize;
+    let mut seen_length: Option<usize> = None;
+    for (k, v) in &headers {
+        if k == "content-length" {
+            let n: usize = v
+                .parse()
+                .map_err(|_| HttpError::new(400, format!("bad content-length `{v}`")))?;
+            if let Some(prev) = seen_length {
+                if prev != n {
+                    return Err(HttpError::new(400, "conflicting content-length headers"));
+                }
+            }
+            seen_length = Some(n);
+            content_length = n;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+    Ok(Head {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        content_length,
+    })
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Renders a complete response with a `Content-Length` framed body.
+pub fn response(status: u16, content_type: &str, body: &str) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Renders the head of a streaming response: no `Content-Length`, the
+/// body is framed by connection close (every response closes anyway).
+pub fn streaming_head(status: u16, content_type: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+    )
+    .into_bytes()
+}
+
+/// Renders the standard JSON error response for `err`.
+pub fn error_response(err: &HttpError) -> Vec<u8> {
+    let body = serde::json::to_string(&serde::Value::object(vec![
+        ("error", serde::Value::String(err.message.clone())),
+        ("status", serde::Value::UInt(u64::from(err.status))),
+    ]));
+    response(err.status, "application/json", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut p = RequestParser::new();
+        p.feed(bytes)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_across_feeds() {
+        let raw = b"POST /grid HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut p = RequestParser::new();
+        // One byte at a time — the worst-case TCP fragmentation.
+        for &b in &raw[..raw.len() - 1] {
+            assert_eq!(p.feed(&[b]).unwrap(), None);
+        }
+        let req = p.feed(&raw[raw.len() - 1..]).unwrap().unwrap();
+        assert_eq!(req.body, b"hello");
+        assert!(p.finish().is_ok());
+    }
+
+    #[test]
+    fn lenient_bare_newlines_parse_too() {
+        let req = parse_all(b"GET /health HTTP/1.1\nHost: x\n\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/health");
+    }
+
+    #[test]
+    fn rejects_malformed_syntax_with_400() {
+        for raw in [
+            &b"NOT A REQUEST\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n",
+        ] {
+            assert_eq!(parse_all(raw).unwrap_err().status, 400, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversize_head_and_body() {
+        let huge = format!(
+            "GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(parse_all(huge.as_bytes()).unwrap_err().status, 431);
+        let big_body = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse_all(big_body.as_bytes()).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn rejects_unsupported_version_and_chunked() {
+        assert_eq!(parse_all(b"GET /x HTTP/2\r\n\r\n").unwrap_err().status, 505);
+        assert_eq!(
+            parse_all(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            501
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_clean_400_never_a_hang() {
+        let mut p = RequestParser::new();
+        assert_eq!(
+            p.feed(b"POST /grid HTTP/1.1\r\nContent-Length: 10\r\n\r\nhal")
+                .unwrap(),
+            None
+        );
+        assert_eq!(p.finish().unwrap_err().status, 400);
+        // A silent connection (shutdown probe) finishes clean.
+        assert!(RequestParser::new().finish().is_ok());
+    }
+
+    #[test]
+    fn responses_are_well_formed() {
+        let bytes = response(200, "application/json", "{}");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let head = String::from_utf8(streaming_head(200, "application/x-ndjson")).unwrap();
+        assert!(!head.contains("Content-Length"));
+        assert!(head.ends_with("\r\n\r\n"));
+        let err = String::from_utf8(error_response(&HttpError::new(400, "nope"))).unwrap();
+        assert!(err.starts_with("HTTP/1.1 400 Bad Request\r\n"));
+        assert!(err.contains("\"error\":\"nope\""));
+    }
+}

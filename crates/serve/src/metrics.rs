@@ -1,0 +1,199 @@
+//! Server observability: lock-free atomic counters rendered on the
+//! `/metrics` endpoint in the flat `name value` text form.
+//!
+//! The counters are not independent — they satisfy two invariants the CI
+//! smoke asserts after every load test:
+//!
+//! * `cell_hits + cell_misses == cells_served` — every served cell was
+//!   either memoized or not.
+//! * `evaluations + coalesced_waits == cell_misses` — every miss either
+//!   ran the evaluator or joined a concurrent in-flight evaluation
+//!   (request coalescing), never both.
+//!
+//! [`ServerMetrics::consistent`] checks both, and [`parse_metrics`]
+//! reads a scraped `/metrics` body back into a map so tests can assert
+//! them from outside the process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Metric name prefix on the wire.
+const PREFIX: &str = "adagp_serve_";
+
+/// The server's counter set. All counters are monotonically increasing
+/// except `requests_in_flight`, which is a gauge.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests that parsed successfully (any endpoint).
+    pub requests_total: AtomicU64,
+    /// Requests currently being served (gauge).
+    pub requests_in_flight: AtomicU64,
+    /// `/grid` submissions accepted.
+    pub grid_requests: AtomicU64,
+    /// Cells answered across all `/grid` responses.
+    pub cells_served: AtomicU64,
+    /// Cells answered straight from the memo store.
+    pub cell_hits: AtomicU64,
+    /// Cells not memoized at request time.
+    pub cell_misses: AtomicU64,
+    /// Cell evaluations actually executed.
+    pub evaluations: AtomicU64,
+    /// Misses that joined a concurrent evaluation instead of running one.
+    pub coalesced_waits: AtomicU64,
+    /// Connections refused with 503 because the request queue was full.
+    pub overload_rejections: AtomicU64,
+    /// Requests answered with a 4xx/5xx protocol or decode error.
+    pub bad_requests: AtomicU64,
+    /// Total wall-clock microseconds across served requests.
+    pub request_micros_total: AtomicU64,
+    /// Largest single-request wall-clock microseconds.
+    pub request_micros_max: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fresh all-zero counters.
+    pub fn new() -> Self {
+        ServerMetrics::default()
+    }
+
+    /// Records one served request taking `micros` wall-clock.
+    pub fn record_request_micros(&self, micros: u64) {
+        self.request_micros_total
+            .fetch_add(micros, Ordering::Relaxed);
+        self.request_micros_max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Name/value pairs in stable render order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let v = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        vec![
+            ("requests_total", v(&self.requests_total)),
+            ("requests_in_flight", v(&self.requests_in_flight)),
+            ("grid_requests", v(&self.grid_requests)),
+            ("cells_served", v(&self.cells_served)),
+            ("cell_hits", v(&self.cell_hits)),
+            ("cell_misses", v(&self.cell_misses)),
+            ("evaluations", v(&self.evaluations)),
+            ("coalesced_waits", v(&self.coalesced_waits)),
+            ("overload_rejections", v(&self.overload_rejections)),
+            ("bad_requests", v(&self.bad_requests)),
+            ("request_micros_total", v(&self.request_micros_total)),
+            ("request_micros_max", v(&self.request_micros_max)),
+        ]
+    }
+
+    /// Renders the `/metrics` body: one `adagp_serve_<name> <value>`
+    /// line per counter, in stable order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.snapshot() {
+            out.push_str(PREFIX);
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Checks the cross-counter invariants (see module docs). `None`
+    /// means consistent; `Some(why)` describes the first violation.
+    pub fn consistent(&self) -> Option<String> {
+        let m: HashMap<&str, u64> = self.snapshot().into_iter().collect();
+        check_invariants(&m.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// Parses a scraped `/metrics` body back into a name → value map (names
+/// without the `adagp_serve_` prefix).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_metrics(text: &str) -> Result<HashMap<String, u64>, String> {
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed metrics line `{line}`"))?;
+        let name = name
+            .strip_prefix(PREFIX)
+            .ok_or_else(|| format!("metrics line without `{PREFIX}` prefix: `{line}`"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("non-integer metrics value in `{line}`"))?;
+        out.insert(name.to_string(), value);
+    }
+    Ok(out)
+}
+
+/// The invariant checker both [`ServerMetrics::consistent`] and external
+/// scrapers use. `None` means consistent.
+pub fn check_invariants(m: &HashMap<String, u64>) -> Option<String> {
+    let get = |name: &str| m.get(name).copied().unwrap_or(0);
+    let (hits, misses, served) = (get("cell_hits"), get("cell_misses"), get("cells_served"));
+    if hits + misses != served {
+        return Some(format!(
+            "cell_hits ({hits}) + cell_misses ({misses}) != cells_served ({served})"
+        ));
+    }
+    let (evals, joined) = (get("evaluations"), get("coalesced_waits"));
+    if evals + joined != misses {
+        return Some(format!(
+            "evaluations ({evals}) + coalesced_waits ({joined}) != cell_misses ({misses})"
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let m = ServerMetrics::new();
+        m.requests_total.store(7, Ordering::Relaxed);
+        m.cells_served.store(10, Ordering::Relaxed);
+        m.cell_hits.store(6, Ordering::Relaxed);
+        m.cell_misses.store(4, Ordering::Relaxed);
+        m.evaluations.store(3, Ordering::Relaxed);
+        m.coalesced_waits.store(1, Ordering::Relaxed);
+        m.record_request_micros(120);
+        m.record_request_micros(80);
+        let text = m.render();
+        let parsed = parse_metrics(&text).unwrap();
+        assert_eq!(parsed["requests_total"], 7);
+        assert_eq!(parsed["request_micros_total"], 200);
+        assert_eq!(parsed["request_micros_max"], 120);
+        assert_eq!(parsed.len(), m.snapshot().len());
+        assert_eq!(m.consistent(), None);
+        assert_eq!(check_invariants(&parsed), None);
+    }
+
+    #[test]
+    fn inconsistencies_are_named() {
+        let m = ServerMetrics::new();
+        m.cells_served.store(3, Ordering::Relaxed);
+        m.cell_hits.store(1, Ordering::Relaxed);
+        let why = m.consistent().expect("inconsistent");
+        assert!(why.contains("cells_served"), "{why}");
+        let m2 = ServerMetrics::new();
+        m2.cells_served.store(2, Ordering::Relaxed);
+        m2.cell_misses.store(2, Ordering::Relaxed);
+        m2.evaluations.store(2, Ordering::Relaxed);
+        m2.coalesced_waits.store(1, Ordering::Relaxed);
+        assert!(m2.consistent().unwrap().contains("coalesced_waits"));
+    }
+
+    #[test]
+    fn malformed_scrapes_are_rejected() {
+        assert!(parse_metrics("adagp_serve_x 1\n\nadagp_serve_y 2\n").is_ok());
+        assert!(parse_metrics("no_prefix 1\n").is_err());
+        assert!(parse_metrics("adagp_serve_x one\n").is_err());
+        assert!(parse_metrics("adagp_serve_x\n").is_err());
+    }
+}

@@ -1,0 +1,499 @@
+//! The resident sweep server: accept loop, bounded connection queue,
+//! worker threads, routing, and graceful drain-and-flush shutdown.
+//!
+//! Threading model: one accept thread pushes connections onto a
+//! [`BoundedQueue`] with [`try_push`](BoundedQueue::try_push) — a full
+//! queue answers `503` immediately instead of growing without bound —
+//! and a small fixed set of worker threads pops them, parses one request
+//! per connection, and serves it. Grid evaluations run on the shared
+//! `adagp_runtime::pool()` in windows, so cell results stream back while
+//! later windows are still evaluating, and every evaluation is memoized
+//! and coalesced by the [`CellCache`].
+//!
+//! Shutdown (via [`ServerHandle::shutdown`] or `POST /shutdown`) raises
+//! a flag and pokes the listener with a wake-up connection; the accept
+//! thread stops and closes the queue, the workers finish every already
+//! accepted request (draining in-flight evaluations with them), and the
+//! cache is flushed to disk as a byte-stable JSON snapshot.
+
+use crate::cache::{CellCache, Served};
+use crate::http::{error_response, response, streaming_head, HttpError, Request, RequestParser};
+use crate::metrics::ServerMetrics;
+use crate::wire::{cell_line, done_line, error_line, header_line, parse_grid_request, DoneLine};
+use adagp_runtime::{BoundedQueue, TryPushError};
+use adagp_sweep::grid::GridSpec;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tunables. `Default` is suitable for tests: an ephemeral port,
+/// four workers, a 64-connection queue.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Connection-serving worker threads.
+    pub workers: usize,
+    /// Bounded connection-queue depth; overflow answers 503.
+    pub queue_depth: usize,
+    /// Cells per streaming window of a `/grid` response.
+    pub grid_window: usize,
+    /// Run artifacts to warm the cache from before accepting traffic.
+    pub warm: Vec<PathBuf>,
+    /// Where shutdown flushes the cache snapshot (`None`: no flush).
+    pub flush_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            grid_window: 8,
+            warm: Vec::new(),
+            flush_path: None,
+        }
+    }
+}
+
+/// Shared server state: the memo cache, the counters, and the shutdown
+/// flag.
+#[derive(Debug)]
+pub struct ServeState {
+    /// The memoized, coalescing cell store.
+    pub cache: CellCache,
+    /// The `/metrics` counters.
+    pub metrics: ServerMetrics,
+    addr: SocketAddr,
+    grid_window: usize,
+    stop: AtomicBool,
+}
+
+impl ServeState {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown: raises the flag and pokes the accept loop with
+    /// a wake-up connection so a blocking `accept()` observes it.
+    pub fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The probe connection sends no bytes; the handler ignores it.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// Where a parsed request routes. Pure — computable without a socket,
+/// which is what the protocol tests exercise.
+#[derive(Debug)]
+pub enum Routed {
+    /// `GET /health`.
+    Health,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /shutdown`.
+    Shutdown,
+    /// `POST /grid` with a decoded submission.
+    Grid(GridSpec),
+    /// Anything else: the error to answer with.
+    Error(HttpError),
+}
+
+/// Routes a parsed request.
+pub fn route(req: &Request) -> Routed {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => Routed::Health,
+        ("GET", "/metrics") => Routed::Metrics,
+        ("POST", "/shutdown") => Routed::Shutdown,
+        ("POST", "/grid") => match parse_grid_request(&req.body) {
+            Ok(spec) => Routed::Grid(spec),
+            Err(msg) => Routed::Error(HttpError::new(400, msg)),
+        },
+        (_, "/health" | "/metrics" | "/shutdown" | "/grid") => Routed::Error(HttpError::new(
+            405,
+            format!("method {} not allowed on {}", req.method, req.path),
+        )),
+        (_, path) => Routed::Error(HttpError::new(404, format!("no such endpoint `{path}`"))),
+    }
+}
+
+/// A running server: its address, state, and joinable threads.
+#[derive(Debug)]
+pub struct ServerHandle {
+    state: Arc<ServeState>,
+    flush_path: Option<PathBuf>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Starts a server per `cfg`: warm-loads the cache, binds, and spawns
+/// the accept and worker threads. Returns once the server is accepting.
+///
+/// # Errors
+///
+/// Returns a description of a warm-load or bind failure.
+pub fn start(cfg: ServerConfig) -> Result<ServerHandle, String> {
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let state = Arc::new(ServeState {
+        cache: CellCache::new(),
+        metrics: ServerMetrics::new(),
+        addr,
+        grid_window: cfg.grid_window.max(1),
+        stop: AtomicBool::new(false),
+    });
+    for path in &cfg.warm {
+        state.cache.warm_load(path)?;
+    }
+    let queue = Arc::new(BoundedQueue::<TcpStream>::new(cfg.queue_depth.max(1)));
+    let workers = (0..cfg.workers.max(1))
+        .map(|i| {
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("adagp-serve-{i}"))
+                .spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        handle_connection(&state, stream);
+                    }
+                })
+                .expect("spawn serve worker")
+        })
+        .collect();
+    let accept = {
+        let state = Arc::clone(&state);
+        let queue = Arc::clone(&queue);
+        std::thread::Builder::new()
+            .name("adagp-serve-accept".to_string())
+            .spawn(move || {
+                accept_loop(&listener, &state, &queue);
+                queue.close();
+            })
+            .expect("spawn serve accept loop")
+    };
+    Ok(ServerHandle {
+        state,
+        flush_path: cfg.flush_path,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &ServeState, queue: &BoundedQueue<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.stopping() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.stopping() {
+            // The wake-up probe (or a late arrival); drop and stop.
+            drop(stream);
+            return;
+        }
+        match queue.try_push(stream) {
+            Ok(()) => {}
+            Err(TryPushError::Full(stream)) => {
+                state
+                    .metrics
+                    .overload_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                reject_overload(stream);
+            }
+            Err(TryPushError::Closed(_)) => return,
+        }
+    }
+}
+
+/// Answers a connection the queue had no room for: 503 with a
+/// `Retry-After` hint, without reading the request.
+fn reject_overload(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let body = r#"{"error":"server overloaded, retry later"}"#;
+    let head = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+}
+
+/// Reads, parses and serves one request on `stream` (one request per
+/// connection; every response closes).
+fn handle_connection(state: &ServeState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut parser = RequestParser::new();
+    let mut buf = [0u8; 4096];
+    let req = loop {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                // EOF: a silent wake-up probe closes clean; a truncated
+                // request earns its 400.
+                if let Err(e) = parser.finish() {
+                    state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.write_all(&error_response(&e));
+                }
+                return;
+            }
+            Ok(n) => match parser.feed(&buf[..n]) {
+                Ok(Some(req)) => break req,
+                Ok(None) => {}
+                Err(e) => {
+                    state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.write_all(&error_response(&e));
+                    return;
+                }
+            },
+            // Read timeout or reset: drop the connection. Nothing useful
+            // can be said to a peer that stopped talking mid-request.
+            Err(_) => return,
+        }
+    };
+    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    state
+        .metrics
+        .requests_in_flight
+        .fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let _ = respond(state, &req, &mut stream, started);
+    state
+        .metrics
+        .record_request_micros(started.elapsed().as_micros() as u64);
+    state
+        .metrics
+        .requests_in_flight
+        .fetch_sub(1, Ordering::Relaxed);
+}
+
+fn respond(
+    state: &ServeState,
+    req: &Request,
+    stream: &mut TcpStream,
+    started: Instant,
+) -> std::io::Result<()> {
+    match route(req) {
+        Routed::Health => stream.write_all(&response(
+            200,
+            "application/json",
+            &format!(r#"{{"ok":true,"cells_cached":{}}}"#, state.cache.len()),
+        )),
+        Routed::Metrics => stream.write_all(&response(
+            200,
+            "text/plain; charset=utf-8",
+            &state.metrics.render(),
+        )),
+        Routed::Shutdown => {
+            stream.write_all(&response(
+                200,
+                "application/json",
+                r#"{"ok":true,"draining":true}"#,
+            ))?;
+            stream.flush()?;
+            state.request_shutdown();
+            Ok(())
+        }
+        Routed::Grid(spec) => serve_grid(state, &spec, stream, started),
+        Routed::Error(e) => {
+            state.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            stream.write_all(&error_response(&e))
+        }
+    }
+}
+
+/// Streams a `/grid` response: header line, cell lines in evaluation
+/// windows (flushed per window), summary line.
+fn serve_grid(
+    state: &ServeState,
+    spec: &GridSpec,
+    stream: &mut TcpStream,
+    started: Instant,
+) -> std::io::Result<()> {
+    state.metrics.grid_requests.fetch_add(1, Ordering::Relaxed);
+    let cells = spec.expand();
+    stream.write_all(&streaming_head(200, "application/x-ndjson"))?;
+    let mut line = header_line(&spec.name, cells.len());
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()?;
+    let mut done = DoneLine {
+        cells: 0,
+        hits: 0,
+        evaluated: 0,
+        joined: 0,
+        micros: 0,
+    };
+    for window in cells.chunks(state.grid_window) {
+        let results = adagp_runtime::pool().parallel_map(window.to_vec(), |cell| {
+            let outcome = state.cache.get_or_evaluate(&cell);
+            (cell, outcome)
+        });
+        let mut chunk = String::new();
+        for (cell, outcome) in results {
+            match outcome {
+                Ok((cached, served)) => {
+                    state.metrics.cells_served.fetch_add(1, Ordering::Relaxed);
+                    done.cells += 1;
+                    match served {
+                        Served::Hit => {
+                            state.metrics.cell_hits.fetch_add(1, Ordering::Relaxed);
+                            done.hits += 1;
+                        }
+                        Served::Evaluated => {
+                            state.metrics.cell_misses.fetch_add(1, Ordering::Relaxed);
+                            state.metrics.evaluations.fetch_add(1, Ordering::Relaxed);
+                            done.evaluated += 1;
+                        }
+                        Served::Joined => {
+                            state.metrics.cell_misses.fetch_add(1, Ordering::Relaxed);
+                            state
+                                .metrics
+                                .coalesced_waits
+                                .fetch_add(1, Ordering::Relaxed);
+                            done.joined += 1;
+                        }
+                    }
+                    chunk.push_str(&cell_line(
+                        &cell.id,
+                        &cell.key(),
+                        matches!(served, Served::Hit),
+                        &cached.metrics(),
+                    ));
+                }
+                Err(msg) => chunk.push_str(&error_line(&cell.id, &msg)),
+            }
+            chunk.push('\n');
+        }
+        stream.write_all(chunk.as_bytes())?;
+        stream.flush()?;
+    }
+    done.micros = started.elapsed().as_micros() as u64;
+    let mut tail = done_line(&done);
+    tail.push('\n');
+    stream.write_all(tail.as_bytes())
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral-port bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// The shared state (cache + metrics), for in-process assertions.
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, drain every accepted request
+    /// (in-flight evaluations included), join all threads, and flush the
+    /// cache snapshot if configured. Returns the number of cells flushed
+    /// (`None` when no flush path was configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of a flush I/O failure; the threads are
+    /// joined regardless.
+    pub fn shutdown(mut self) -> Result<Option<usize>, String> {
+        self.shutdown_impl()
+    }
+
+    /// Blocks until shutdown is requested remotely (`POST /shutdown`),
+    /// then drains, joins and flushes exactly like
+    /// [`shutdown`](ServerHandle::shutdown). This is the CLI's main
+    /// loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of a flush I/O failure.
+    pub fn serve_forever(mut self) -> Result<Option<usize>, String> {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&mut self) -> Result<Option<usize>, String> {
+        self.state.request_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        match self.flush_path.take() {
+            None => Ok(None),
+            Some(path) => self
+                .state
+                .cache
+                .flush(&path)
+                .map(Some)
+                .map_err(|e| format!("flush {}: {e}", path.display())),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Best-effort cleanup for handles dropped without an explicit
+        // shutdown (e.g. a panicking test): threads must not leak.
+        let _ = self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn routing_is_pure_and_total() {
+        assert!(matches!(route(&req("GET", "/health", b"")), Routed::Health));
+        assert!(matches!(
+            route(&req("GET", "/metrics", b"")),
+            Routed::Metrics
+        ));
+        assert!(matches!(
+            route(&req("POST", "/shutdown", b"")),
+            Routed::Shutdown
+        ));
+        match route(&req("POST", "/grid", br#"{"preset":"smoke"}"#)) {
+            Routed::Grid(spec) => assert_eq!(spec.name, "smoke"),
+            other => panic!("expected grid route, got {other:?}"),
+        }
+        match route(&req("POST", "/grid", b"not json")) {
+            Routed::Error(e) => assert_eq!(e.status, 400),
+            other => panic!("expected 400, got {other:?}"),
+        }
+        match route(&req("DELETE", "/grid", b"")) {
+            Routed::Error(e) => assert_eq!(e.status, 405),
+            other => panic!("expected 405, got {other:?}"),
+        }
+        match route(&req("GET", "/nope", b"")) {
+            Routed::Error(e) => assert_eq!(e.status, 404),
+            other => panic!("expected 404, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Cache-consistency battery for the serve memo store:
+//!
+//! 1. **Exactly-once evaluation** — any number of concurrent submitters
+//!    of the same cell trigger one evaluation; everyone gets bit-exact
+//!    copies and the `/metrics` counters account for every request.
+//! 2. **Warm-start fidelity** — a cache warmed from each committed
+//!    `runs/*` artifact (CSV and JSON, every schema vintage present)
+//!    agrees with fresh evaluation within the `sweep diff` tolerances.
+//! 3. **Byte-stable flush** — a shutdown-flushed snapshot reloads into
+//!    an identical snapshot, byte for byte, through any number of
+//!    flush → warm-load cycles.
+
+use adagp_serve::{check_invariants, fetch_metrics, server, submit_grid, CellCache, ServerConfig};
+use adagp_sweep::diff::{diff_runs, DiffConfig};
+use adagp_sweep::store::{RunRecord, StoredCell, StoredRun};
+use adagp_sweep::{evaluate_cell, presets};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("adagp-serve-cache-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn concurrent_submitters_of_one_cell_observe_exactly_one_evaluation() {
+    let server = server::start(ServerConfig {
+        workers: 8,
+        queue_depth: 64,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    // A single-cell grid every client submits simultaneously.
+    let spec = r#"{
+        "name": "one-cell",
+        "models": ["VGG13"],
+        "datasets": ["Cifar10"],
+        "designs": ["ADA-GP-Efficient"],
+        "dataflows": ["WS"],
+        "schedules": ["paper"]
+    }"#;
+    const CLIENTS: usize = 8;
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| scope.spawn(move || submit_grid(addr, spec)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread").expect("grid accepted"))
+            .collect()
+    });
+
+    // Every client got the same single cell, bit-identical to a direct
+    // evaluation.
+    let direct = evaluate_cell(&presets::smoke().expand()[0].clone());
+    let direct_bits: Vec<u64> = adagp_sweep::metrics_to_array(&direct)
+        .iter()
+        .map(|m| m.to_bits())
+        .collect();
+    for (i, r) in responses.iter().enumerate() {
+        assert_eq!(r.cells.len(), 1, "client {i}");
+        assert!(r.cell_errors.is_empty(), "client {i}: {:?}", r.cell_errors);
+        let got: Vec<u64> = r.cells[0].metrics.iter().map(|m| m.to_bits()).collect();
+        assert_eq!(got, direct_bits, "client {i} metrics drifted");
+    }
+
+    // The counters prove single evaluation: of the CLIENTS served cells,
+    // exactly one was an evaluation; the rest joined its flight or hit
+    // the memoized entry, depending on arrival order.
+    let metrics = fetch_metrics(addr).expect("metrics scrape");
+    assert_eq!(check_invariants(&metrics), None);
+    assert_eq!(metrics["evaluations"], 1, "{metrics:?}");
+    assert_eq!(metrics["cells_served"], CLIENTS as u64, "{metrics:?}");
+    assert_eq!(
+        metrics["cell_hits"] + metrics["coalesced_waits"],
+        CLIENTS as u64 - 1,
+        "{metrics:?}"
+    );
+    server.shutdown().expect("clean shutdown");
+}
+
+/// The smoke grid — whose direct evaluation the test compares against —
+/// expands to exactly one cell; pin that here so the direct-comparison
+/// above cannot silently compare against the wrong cell.
+#[test]
+fn smoke_preset_first_cell_is_the_one_cell_grid() {
+    let cell = &presets::smoke().expand()[0];
+    assert_eq!(cell.key(), "WS/Cifar10/VGG13/ADA-GP-Efficient/paper");
+}
+
+#[test]
+fn warm_load_from_every_committed_artifact_matches_fresh_evaluation() {
+    let runs = repo_root().join("runs");
+    let files: Vec<PathBuf> = std::fs::read_dir(&runs)
+        .expect("runs/ directory")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| matches!(p.extension().and_then(|e| e.to_str()), Some("csv" | "json")))
+        .collect();
+    assert!(files.len() >= 8, "committed artifacts missing: {files:?}");
+
+    for file in files {
+        let stored = StoredRun::load(&file).unwrap_or_else(|e| panic!("{file:?}: {e}"));
+        let cache = CellCache::new();
+        let loaded = cache.warm_from_stored(&stored);
+        assert_eq!(loaded, stored.cells.len(), "{file:?} loaded partially");
+
+        // Reconstruct the specs from the grid preset that generated the
+        // file (runs/README.md maps file stem → preset name) and fresh-
+        // evaluate a deterministic sample of cells.
+        let stem = file.file_stem().and_then(|s| s.to_str()).unwrap();
+        let grid = presets::by_name(stem).unwrap_or_else(|| panic!("no preset `{stem}`"));
+        let by_id: HashMap<String, StoredCell> = stored
+            .cells
+            .iter()
+            .map(|c| (c.id.clone(), c.clone()))
+            .collect();
+        let cells = grid.expand();
+        let step = (cells.len() / 4).max(1);
+        let mut compared = 0;
+        for spec in cells.iter().step_by(step) {
+            let warmed = by_id
+                .get(&spec.id)
+                .unwrap_or_else(|| panic!("{file:?} is missing cell {}", spec.key()));
+            let mut fresh = StoredCell::from_evaluation(spec, &evaluate_cell(spec));
+            if file.extension().and_then(|e| e.to_str()) == Some("csv") {
+                // The CSV artifact is 6-decimal quantized; quantize the
+                // fresh values identically (as `sweep diff`'s CSV-vs-CSV
+                // CI comparison implicitly does) so tiny metrics like
+                // dram_stall_frac compare within the relative tolerance.
+                for m in &mut fresh.metrics {
+                    *m = format!("{m:.6}").parse().unwrap();
+                }
+            }
+            let before = StoredRun {
+                cells: vec![warmed.clone()],
+                metric_count: stored.metric_count,
+            };
+            let after = StoredRun {
+                cells: vec![fresh],
+                ..StoredRun::default()
+            };
+            let report = diff_runs(&before, &after, &DiffConfig::default());
+            assert_eq!(report.matched_cells, 1);
+            assert!(
+                report.regressions.is_empty() && report.improvements.is_empty(),
+                "{file:?} cell {} drifted from fresh evaluation:\n{}",
+                spec.key(),
+                report.render()
+            );
+            compared += 1;
+        }
+        assert!(compared >= 4, "{file:?} sampled too few cells");
+    }
+}
+
+#[test]
+fn shutdown_flush_reloads_byte_stable_through_repeated_cycles() {
+    let flush_a = tmp("flush-a.json");
+    let flush_b = tmp("flush-b.json");
+
+    // First server: evaluate a small grid cold, flush on shutdown.
+    let server = server::start(ServerConfig {
+        flush_path: Some(flush_a.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let response = submit_grid(server.addr(), r#"{"preset":"smoke"}"#).expect("grid accepted");
+    assert_eq!(response.done.cells, response.announced_cells);
+    let flushed = server.shutdown().expect("clean shutdown");
+    assert_eq!(flushed, Some(response.done.cells as usize));
+    let bytes_a = std::fs::read(&flush_a).expect("flushed snapshot");
+
+    // Second server: warm from the snapshot, serve the same grid (all
+    // hits, zero evaluations), flush again — bytes must be identical.
+    let server = server::start(ServerConfig {
+        warm: vec![flush_a.clone()],
+        flush_path: Some(flush_b.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("warm server starts");
+    let warmed = submit_grid(server.addr(), r#"{"preset":"smoke"}"#).expect("grid accepted");
+    assert_eq!(warmed.done.hits, warmed.done.cells, "warm serve must hit");
+    assert!(warmed.cells.iter().all(|c| c.cached));
+    let metrics = fetch_metrics(server.addr()).expect("metrics");
+    assert_eq!(metrics["evaluations"], 0, "{metrics:?}");
+    server.shutdown().expect("clean shutdown");
+    let bytes_b = std::fs::read(&flush_b).expect("second snapshot");
+    assert_eq!(
+        bytes_a, bytes_b,
+        "flush → warm-load → flush is not byte-stable"
+    );
+
+    // And the cell metrics travel bit-exactly through the cycle.
+    let (a, b) = (&response.cells, &warmed.cells);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id);
+        for (mx, my) in x.metrics.iter().zip(&y.metrics) {
+            assert_eq!(mx.to_bits(), my.to_bits(), "cell {}", x.id);
+        }
+    }
+
+    // A direct in-process reload round-trips too (no server needed).
+    let cache = CellCache::new();
+    cache.warm_load(&flush_b).expect("snapshot reloads");
+    assert_eq!(cache.snapshot_json().into_bytes(), bytes_a);
+
+    std::fs::remove_file(&flush_a).ok();
+    std::fs::remove_file(&flush_b).ok();
+}
+
+/// The snapshot's run-record form stays loadable by the standard store
+/// loaders (it *is* a schema-v3 record), so `sweep diff` can compare a
+/// server flush against any committed run.
+#[test]
+fn flushed_snapshot_is_a_standard_run_record() {
+    let cache = CellCache::new();
+    let spec = presets::smoke().expand()[0].clone();
+    cache.get_or_evaluate(&spec).expect("evaluation");
+    let snapshot = cache.snapshot_json();
+    let reloaded = StoredRun::from_json_str(&snapshot).expect("snapshot parses");
+    assert_eq!(reloaded.cells.len(), 1);
+    assert_eq!(reloaded.cells[0].id, spec.id);
+    let record: RunRecord = RunRecord::from_stored_cells("cache", &reloaded.cells);
+    assert_eq!(serde::json::to_string_pretty(&record) + "\n", snapshot);
+}

@@ -62,7 +62,9 @@ pub mod store;
 
 pub use diff::{diff_runs, DiffConfig, DiffReport};
 pub use grid::{CellSpec, DatasetScale, GridSpec, PhaseSchedule};
-pub use roofline::{cell_knee, cell_roofline, roofline_csv, run_roofline_grid, RooflinePoint};
-pub use runner::{run_grid, CellMetrics, CellResult, SweepRun};
+pub use roofline::{
+    cell_knee, cell_roofline, roofline_csv, run_roofline_grid, KneeMemoKey, RooflinePoint,
+};
+pub use runner::{evaluate_cell, run_grid, CellMetrics, CellResult, SweepRun};
 pub use simeval::{cell_sim_config, run_sim_grid, sim_detail_csv, simulate_cell, SimCellDetail};
-pub use store::StoredRun;
+pub use store::{metrics_from_array, metrics_to_array, RunRecord, StoredCell, StoredRun};

@@ -83,8 +83,9 @@ fn knee_search(
     hi
 }
 
-fn knee_cache() -> &'static Mutex<HashMap<String, u64>> {
-    static CACHE: std::sync::OnceLock<Mutex<HashMap<String, u64>>> = std::sync::OnceLock::new();
+fn knee_cache() -> &'static Mutex<HashMap<KneeMemoKey, u64>> {
+    static CACHE: std::sync::OnceLock<Mutex<HashMap<KneeMemoKey, u64>>> =
+        std::sync::OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -126,29 +127,64 @@ fn cell_curve(spec: &CellSpec, base: &SimConfig) -> CellCurve {
 }
 
 /// Memo key of one cell's knee. The cell's own bandwidth value is
-/// irrelevant — the knee *is* the bandwidth sweep — but its buffer
-/// override and the base config's batch/ports all shape the curve and
-/// key the memo. Derivable from the resolved config alone, so callers
-/// can check the cache before building a [`CellCurve`].
-fn memo_key(spec: &CellSpec, cfg: &SimConfig, tolerance: f64) -> String {
-    format!(
-        "{}/{}/{}/{}/{}/buf{:?}/batch{}/ports{},{},{}/tol{tolerance}",
-        spec.dataflow.name(),
-        spec.dataset.name(),
-        spec.model.name(),
-        spec.design.name(),
-        spec.schedule.name(),
-        cfg.buffer_words,
-        cfg.batch,
-        cfg.dram_ports,
-        cfg.pe_ports,
-        cfg.pred_ports,
-    )
+/// deliberately absent — the knee *is* the bandwidth sweep — but every
+/// other input that shapes the curve is a **named field**: a new
+/// curve-shaping knob must be added here explicitly (and shows up in
+/// `Debug`/`Eq`), so it cannot silently alias two distinct curves into
+/// one memo slot the way an ad-hoc format string could. Derivable from
+/// the resolved config alone, so callers can check the cache before
+/// building a [`CellCurve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KneeMemoKey {
+    /// Dataflow display name (all axis names are `&'static str`s from
+    /// the enums' `name()`, so keys are cheap to build and hash).
+    pub dataflow: &'static str,
+    /// Dataset display name.
+    pub dataset: &'static str,
+    /// Model display name.
+    pub model: &'static str,
+    /// Design display name.
+    pub design: &'static str,
+    /// Phase-schedule name.
+    pub schedule: &'static str,
+    /// Resolved buffer capacity override (words), `None` = unbounded.
+    pub buffer_words: Option<u64>,
+    /// Resolved simulation batch size.
+    pub batch: usize,
+    /// DRAM channel port multiplicity.
+    pub dram_ports: u32,
+    /// PE-array port multiplicity.
+    pub pe_ports: u32,
+    /// Predictor-unit port multiplicity.
+    pub pred_ports: u32,
+    /// Knee tolerance as raw bits (`f64::to_bits`), keeping the key `Eq`
+    /// + `Hash` without float-comparison pitfalls.
+    pub tolerance_bits: u64,
+}
+
+impl KneeMemoKey {
+    /// Builds the memo key of `spec`'s knee under the resolved simulator
+    /// config and search tolerance.
+    pub fn new(spec: &CellSpec, cfg: &SimConfig, tolerance: f64) -> KneeMemoKey {
+        KneeMemoKey {
+            dataflow: spec.dataflow.name(),
+            dataset: spec.dataset.name(),
+            model: spec.model.name(),
+            design: spec.design.name(),
+            schedule: spec.schedule.name(),
+            buffer_words: cfg.buffer_words,
+            batch: cfg.batch,
+            dram_ports: cfg.dram_ports,
+            pe_ports: cfg.pe_ports,
+            pred_ports: cfg.pred_ports,
+            tolerance_bits: tolerance.to_bits(),
+        }
+    }
 }
 
 /// Memoized knee of a built curve.
 fn knee_of_curve(spec: &CellSpec, curve: &CellCurve, tolerance: f64) -> u64 {
-    let key = memo_key(spec, &curve.cfg, tolerance);
+    let key = KneeMemoKey::new(spec, &curve.cfg, tolerance);
     if let Some(&knee) = knee_cache().lock().unwrap().get(&key) {
         return knee;
     }
@@ -172,7 +208,7 @@ pub fn cell_knee(spec: &CellSpec, base: &SimConfig, tolerance: f64) -> u64 {
     if let Some(&knee) = knee_cache()
         .lock()
         .unwrap()
-        .get(&memo_key(spec, &cfg, tolerance))
+        .get(&KneeMemoKey::new(spec, &cfg, tolerance))
     {
         return knee;
     }
@@ -348,6 +384,51 @@ mod tests {
         );
         assert_eq!(cell_knee(&spec, &base, KNEE_TOLERANCE), direct);
         assert_eq!(cell_knee(&spec, &base, KNEE_TOLERANCE), direct); // cached
+    }
+
+    #[test]
+    fn memo_key_ignores_bandwidth_but_separates_every_curve_knob() {
+        let base = SimConfig::default();
+        let key =
+            |spec: &CellSpec, tol: f64| KneeMemoKey::new(spec, &cell_sim_config(spec, &base), tol);
+        let with_bw = |bw: Option<u64>, buf: Option<u64>| {
+            CellSpec::with_contention(
+                Dataflow::WeightStationary,
+                DatasetScale::Cifar10,
+                CnnModel::Vgg13,
+                AdaGpDesign::Max,
+                PhaseSchedule::Paper,
+                bw,
+                buf,
+            )
+        };
+        // Bandwidth-axis siblings share one memo slot: the knee search is
+        // itself the bandwidth sweep.
+        assert_eq!(
+            key(&with_bw(None, Some(1 << 14)), KNEE_TOLERANCE),
+            key(&with_bw(Some(64), Some(1 << 14)), KNEE_TOLERANCE)
+        );
+        // Every other curve-shaping knob keys a distinct slot.
+        assert_ne!(
+            key(&with_bw(None, Some(1 << 14)), KNEE_TOLERANCE),
+            key(&with_bw(None, Some(1 << 15)), KNEE_TOLERANCE)
+        );
+        assert_ne!(
+            key(&cell(None), KNEE_TOLERANCE),
+            key(&cell(None), KNEE_TOLERANCE * 2.0)
+        );
+        let mut other_ports = cell_sim_config(&cell(None), &base);
+        other_ports.dram_ports += 1;
+        assert_ne!(
+            KneeMemoKey::new(&cell(None), &other_ports, KNEE_TOLERANCE),
+            key(&cell(None), KNEE_TOLERANCE)
+        );
+        let mut other_batch = cell_sim_config(&cell(None), &base);
+        other_batch.batch += 1;
+        assert_ne!(
+            KneeMemoKey::new(&cell(None), &other_batch, KNEE_TOLERANCE),
+            key(&cell(None), KNEE_TOLERANCE)
+        );
     }
 
     #[test]

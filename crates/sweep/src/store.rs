@@ -16,7 +16,8 @@
 //! engine consumes; it loads from either format (by extension) or
 //! directly from an in-memory [`SweepRun`].
 
-use crate::runner::SweepRun;
+use crate::grid::CellSpec;
+use crate::runner::{CellMetrics, SweepRun};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -272,6 +273,80 @@ impl RunRecord {
                 .collect(),
         }
     }
+
+    /// Builds a current-schema record from stored cells — the serve-side
+    /// cache flush format. Timing fields are zeroed: a cache snapshot has
+    /// no meaningful wall clock, and zeroing keeps repeated
+    /// flush → reload → flush cycles byte-identical. Metrics pass through
+    /// at full precision (the vendored JSON float writer is
+    /// shortest-round-trip, so reloading recovers the exact bits).
+    pub fn from_stored_cells(grid: &str, cells: &[StoredCell]) -> RunRecord {
+        RunRecord {
+            schema: RUN_SCHEMA_VERSION,
+            grid: grid.to_string(),
+            total_wall_micros: 0,
+            cells: cells
+                .iter()
+                .map(|c| CellRecord {
+                    id: c.id.clone(),
+                    dataflow: c.axes[0].clone(),
+                    dataset: c.axes[1].clone(),
+                    model: c.axes[2].clone(),
+                    design: c.axes[3].clone(),
+                    schedule: c.axes[4].clone(),
+                    dram_bw: c.axes[5].clone(),
+                    buffer_words: c.axes[6].clone(),
+                    speedup: c.metrics[0],
+                    baseline_cycles: c.metrics[1],
+                    adagp_cycles: c.metrics[2],
+                    baseline_energy_j: c.metrics[3],
+                    adagp_energy_j: c.metrics[4],
+                    sim_cycles: c.metrics[5],
+                    pe_utilization: c.metrics[6],
+                    overlap_efficiency: c.metrics[7],
+                    spill_cycles: c.metrics[8],
+                    dram_stall_frac: c.metrics[9],
+                    knee_words_per_cycle: c.metrics[10],
+                    wall_micros: 0,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Flattens typed cell metrics into [`METRICS`]-column order — the array
+/// view [`StoredCell`] and the serve-side cell cache share.
+pub fn metrics_to_array(m: &CellMetrics) -> [f64; METRICS.len()] {
+    [
+        m.speedup,
+        m.baseline_cycles,
+        m.adagp_cycles,
+        m.baseline_energy_j,
+        m.adagp_energy_j,
+        m.sim_cycles,
+        m.pe_utilization,
+        m.overlap_efficiency,
+        m.spill_cycles,
+        m.dram_stall_frac,
+        m.knee_words_per_cycle,
+    ]
+}
+
+/// Rebuilds typed cell metrics from a [`METRICS`]-ordered array.
+pub fn metrics_from_array(a: &[f64; METRICS.len()]) -> CellMetrics {
+    CellMetrics {
+        speedup: a[0],
+        baseline_cycles: a[1],
+        adagp_cycles: a[2],
+        baseline_energy_j: a[3],
+        adagp_energy_j: a[4],
+        sim_cycles: a[5],
+        pe_utilization: a[6],
+        overlap_efficiency: a[7],
+        spill_cycles: a[8],
+        dram_stall_frac: a[9],
+        knee_words_per_cycle: a[10],
+    }
 }
 
 /// Formats a metric float exactly as the CSV stores it.
@@ -352,6 +427,24 @@ pub struct StoredCell {
 }
 
 impl StoredCell {
+    /// Builds the stored view of one freshly evaluated cell — the shape
+    /// the serve-side cell cache keeps and flushes.
+    pub fn from_evaluation(spec: &CellSpec, metrics: &CellMetrics) -> StoredCell {
+        StoredCell {
+            id: spec.id.clone(),
+            axes: [
+                spec.dataflow.name().to_string(),
+                spec.dataset.name().to_string(),
+                spec.model.name().to_string(),
+                spec.design.name().to_string(),
+                spec.schedule.name().to_string(),
+                spec.dram_bw_name(),
+                spec.buffer_words_name(),
+            ],
+            metrics: metrics_to_array(metrics),
+        }
+    }
+
     /// The cell's readable key, matching
     /// [`CellSpec::key`](crate::grid::CellSpec::key):
     /// `dataflow/dataset/model/design/schedule[/bw<n>][/buf<n>]` — the
@@ -844,6 +937,50 @@ mod tests {
         )
         .unwrap_err()
         .contains("unsupported run schema 9"));
+    }
+
+    #[test]
+    fn metric_array_round_trips_and_matches_stored_layout() {
+        let run = small_run();
+        let cell = &run.cells[0];
+        let arr = metrics_to_array(&cell.metrics);
+        assert_eq!(metrics_from_array(&arr), cell.metrics);
+        // The array layout is exactly the stored/CSV column order.
+        let stored = StoredCell::from_evaluation(&cell.spec, &cell.metrics);
+        assert_eq!(stored.metrics, arr);
+        assert_eq!(stored.id, cell.spec.id);
+        assert_eq!(stored.key(), cell.spec.key());
+        // And exactly what RunRecord::from_run writes per cell.
+        let record = RunRecord::from_run(&run);
+        assert_eq!(record.cells[0].speedup.to_bits(), arr[0].to_bits());
+        assert_eq!(
+            record.cells[0].knee_words_per_cycle.to_bits(),
+            arr[10].to_bits()
+        );
+    }
+
+    #[test]
+    fn stored_cell_snapshot_round_trips_byte_stable() {
+        // The serve-cache flush path: evaluated cells → RunRecord JSON →
+        // StoredRun → RunRecord JSON must be byte-identical, including
+        // huge cycle counts whose CSV quantization would not be.
+        let run = small_run();
+        let stored: Vec<StoredCell> = run
+            .cells
+            .iter()
+            .map(|c| StoredCell::from_evaluation(&c.spec, &c.metrics))
+            .collect();
+        let record = RunRecord::from_stored_cells("cache", &stored);
+        let text = serde::json::to_string_pretty(&record);
+        let reloaded = StoredRun::from_json_str(&text).unwrap();
+        assert_eq!(reloaded.metric_count, METRICS.len());
+        let again = RunRecord::from_stored_cells("cache", &reloaded.cells);
+        assert_eq!(serde::json::to_string_pretty(&again), text);
+        for (a, b) in stored.iter().zip(&reloaded.cells) {
+            for (x, y) in a.metrics.iter().zip(&b.metrics) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]
