@@ -1,0 +1,137 @@
+//! Observability overhead snapshot: times the pool-parallel kernel chain
+//! and the smoke sweep with span recording disabled vs enabled and
+//! writes the comparison to `BENCH_obs.json` (or the path given as the
+//! first argument).
+//!
+//! Regenerate the committed snapshot from the repo root with:
+//!
+//! ```text
+//! cargo run --release -p adagp-bench --bin obs_overhead
+//! ```
+//!
+//! Methodology: one warm-up pass first (it also populates the sweep's
+//! process-global roofline-knee memo, so neither timed arm gets the
+//! cold-cache penalty), then `REPS` interleaved disabled/enabled reps of
+//! each workload with alternating order, reporting each arm's best
+//! observed time. Traced lanes are reset between reps so no rep pays
+//! drop-path effects another rep caused.
+
+use adagp_obs as obs;
+use adagp_sweep::{presets, runner};
+use adagp_tensor::{init, Prng};
+use serde::Value;
+use std::time::Instant;
+
+const REPS: usize = 15;
+const KERNEL_ITERS: usize = 20;
+const SWEEP_ITERS: usize = 5;
+
+/// The pool-parallel kernel chain (same shape family as the noperturb
+/// battery, iterated to a measurable duration).
+fn kernel_workload() -> f32 {
+    let mut rng = Prng::seed_from_u64(11);
+    let a = init::uniform(&[192, 128], -1.0, 1.0, &mut rng);
+    let b = init::uniform(&[128, 160], -1.0, 1.0, &mut rng);
+    let mut acc = 0.0f32;
+    for _ in 0..KERNEL_ITERS {
+        let c = a.matmul(&b);
+        let d = c.matmul_tn(&a);
+        acc += d.data()[0];
+    }
+    acc
+}
+
+fn sweep_workload() -> usize {
+    (0..SWEEP_ITERS)
+        .map(|_| runner::run_grid(&presets::smoke()).cells.len())
+        .sum()
+}
+
+/// One timed run of `f` with recording set to `on`.
+fn time_once(on: bool, f: impl Fn()) -> u64 {
+    obs::set_enabled(on);
+    let t = Instant::now();
+    f();
+    let us = t.elapsed().as_micros() as u64;
+    obs::set_enabled(false);
+    obs::reset();
+    us
+}
+
+/// Minimum over reps: the best-observed run is the standard estimator
+/// for intrinsic cost when the noise (scheduler, frequency scaling) is
+/// strictly additive.
+fn best(samples: &[u64]) -> u64 {
+    *samples.iter().min().expect("at least one rep")
+}
+
+fn arm(name: &str, f: impl Fn()) -> (String, Value) {
+    // Interleave the arms rep-by-rep and alternate which goes first, so
+    // slow warm-up drift (frequency scaling, cache residency) lands on
+    // both medians instead of biasing whichever arm ran second.
+    let mut off = Vec::with_capacity(REPS);
+    let mut on = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        if rep % 2 == 0 {
+            off.push(time_once(false, &f));
+            on.push(time_once(true, &f));
+        } else {
+            on.push(time_once(true, &f));
+            off.push(time_once(false, &f));
+        }
+    }
+    let disabled = best(&off);
+    let enabled = best(&on);
+    let overhead_pct = if disabled == 0 {
+        0.0
+    } else {
+        100.0 * (enabled as f64 - disabled as f64) / disabled as f64
+    };
+    println!("{name:<12} disabled {disabled:>8} us   enabled {enabled:>8} us   overhead {overhead_pct:+.2}%");
+    (
+        name.to_string(),
+        Value::object(vec![
+            ("disabled_us", Value::UInt(disabled)),
+            ("enabled_us", Value::UInt(enabled)),
+            ("overhead_pct", Value::Float(overhead_pct)),
+        ]),
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+
+    // Warm-up: knee memo, page cache, pool spin-up.
+    kernel_workload();
+    sweep_workload();
+
+    let kernel = arm("kernel", || {
+        std::hint::black_box(kernel_workload());
+    });
+    let sweep = arm("sweep_smoke", || {
+        std::hint::black_box(sweep_workload());
+    });
+
+    let root = Value::object(vec![
+        (
+            "_regenerate",
+            Value::String("cargo run --release -p adagp-bench --bin obs_overhead".to_string()),
+        ),
+        ("bench", Value::String("obs_overhead".to_string())),
+        ("reps_per_arm", Value::UInt(REPS as u64)),
+        ("threads", Value::UInt(adagp_runtime::pool().size() as u64)),
+        (
+            "workloads",
+            Value::object(vec![
+                (kernel.0.as_str(), kernel.1),
+                (sweep.0.as_str(), sweep.1),
+            ]),
+        ),
+    ]);
+    let mut text = serde::json::to_string_pretty(&root);
+    text.push('\n');
+    std::fs::write(&out_path, &text).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -28,6 +28,7 @@ fn model(rng: &mut Prng) -> Sequential {
 }
 
 fn main() {
+    let _trace = adagp_obs::trace_guard_from_env("pipeline_utilization");
     let options = FitOptions::default();
     let ds = VisionDataset::new(DatasetSpec::cifar10(), 7);
     let epochs = 2usize;

@@ -34,6 +34,7 @@ Exit codes:
 ";
 
 fn main() -> ExitCode {
+    let _trace = adagp_obs::trace_guard_from_env("serve");
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
         Ok(code) => code,
         Err(msg) => {

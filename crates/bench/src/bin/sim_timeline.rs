@@ -154,6 +154,7 @@ Usage: sim_timeline [--model VGG13] [--dataset cifar10|cifar100|imagenet]
 ";
 
 fn main() -> ExitCode {
+    let _trace = adagp_obs::trace_guard_from_env("sim_timeline");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opt = match parse_args(&args) {
         Ok(o) => o,

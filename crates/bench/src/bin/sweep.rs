@@ -38,6 +38,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let _trace = adagp_obs::trace_guard_from_env("sweep");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(&args[1..]),

@@ -1,0 +1,81 @@
+//! The no-perturbation contract of `adagp-obs`: turning span recording
+//! on must not change a single output bit.
+//!
+//! Two representative workloads are checked, each at `ADAGP_THREADS ∈
+//! {1, 4}` (via the `with_threads` override, so the environment stays
+//! untouched):
+//!
+//! * a pool-parallel tensor kernel chain (the instrumented
+//!   `scope_run` hot path), compared bit-for-bit;
+//! * the smoke sweep grid's CSV (per-cell spans plus histograms on the
+//!   instrumented runner), compared byte-for-byte.
+//!
+//! The recorder is process-global, so the tests serialize on one lock
+//! and always leave recording disabled.
+
+use adagp_obs as obs;
+use adagp_runtime::with_threads;
+use adagp_sweep::{presets, runner, store};
+use adagp_tensor::{init, Prng};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with span recording forced on or off, restoring "off" after.
+fn with_tracing<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    obs::set_enabled(on);
+    let r = f();
+    obs::set_enabled(false);
+    r
+}
+
+/// A deterministic pool-parallel kernel chain, reduced to raw bits.
+fn kernel_bits() -> Vec<u32> {
+    let mut rng = Prng::seed_from_u64(11);
+    let a = init::uniform(&[96, 64], -1.0, 1.0, &mut rng);
+    let b = init::uniform(&[64, 80], -1.0, 1.0, &mut rng);
+    let c = a.matmul(&b); // [96, 80]
+    let d = c.matmul_tn(&a); // c^T a: [80, 64]
+    let e = d.matmul_nt(&a); // d a^T: [80, 96]
+    e.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn kernels_are_bit_identical_with_tracing_on() {
+    let _g = LOCK.lock().unwrap();
+    for threads in [1usize, 4] {
+        let plain = with_threads(threads, || with_tracing(false, kernel_bits));
+        let traced = with_threads(threads, || with_tracing(true, kernel_bits));
+        assert_eq!(
+            plain, traced,
+            "tracing perturbed kernels at {threads} threads"
+        );
+    }
+    obs::reset();
+}
+
+#[test]
+fn sweep_csv_is_byte_identical_with_tracing_on() {
+    let _g = LOCK.lock().unwrap();
+    let csv = |on: bool| {
+        with_tracing(on, || {
+            store::to_csv_string(&runner::run_grid(&presets::smoke()))
+        })
+    };
+    for threads in [1usize, 4] {
+        let plain = with_threads(threads, || csv(false));
+        let traced = with_threads(threads, || csv(true));
+        assert_eq!(
+            plain, traced,
+            "tracing perturbed the sweep at {threads} threads"
+        );
+        assert!(!plain.is_empty());
+    }
+    // The traced arms actually recorded something — the comparison above
+    // must not pass vacuously because instrumentation was compiled out.
+    assert!(
+        obs::snapshot().span_count() > 0,
+        "traced runs recorded no spans: the no-perturb check is vacuous"
+    );
+    obs::reset();
+}

@@ -20,6 +20,7 @@ use crate::predictor::{Predictor, PredictorConfig};
 use adagp_nn::module::{site_metas, ForwardCtx, Module};
 use adagp_nn::optim::Optimizer;
 use adagp_nn::SiteMeta;
+use adagp_obs as obs;
 use adagp_runtime::{BoundedQueue, PipelineStats, StageReport, WaitGroup};
 use adagp_tensor::softmax::cross_entropy;
 use adagp_tensor::{Prng, Tensor};
@@ -158,37 +159,61 @@ impl AdaGp {
         targets: &[usize],
     ) -> BatchStats {
         let phase = self.controller.next_phase();
-        match phase {
-            Phase::WarmUp | Phase::BP => {
-                let logits = model.forward(x, &mut ForwardCtx::train_recording());
-                let (loss, dlogits) = cross_entropy(&logits, targets);
-                model.backward(&dlogits);
-                let (pred_loss, mape) = self.train_predictor_from_sites(model);
-                opt.step(model);
-                if let Some(m) = mape {
-                    self.controller.report_mape(m);
+        obs::span(
+            "train",
+            || format!("batch ({phase:?})"),
+            || match phase {
+                Phase::WarmUp | Phase::BP => {
+                    let logits = obs::span(
+                        "train",
+                        || "forward".to_string(),
+                        || model.forward(x, &mut ForwardCtx::train_recording()),
+                    );
+                    let (loss, dlogits) = cross_entropy(&logits, targets);
+                    obs::span(
+                        "train",
+                        || "backward".to_string(),
+                        || model.backward(&dlogits),
+                    );
+                    let (pred_loss, mape) = obs::span(
+                        "train",
+                        || "train predictor".to_string(),
+                        || self.train_predictor_from_sites(model),
+                    );
+                    opt.step(model);
+                    if let Some(m) = mape {
+                        self.controller.report_mape(m);
+                    }
+                    BatchStats {
+                        phase,
+                        loss,
+                        predictor_loss: Some(pred_loss),
+                        mape,
+                    }
                 }
-                BatchStats {
-                    phase,
-                    loss,
-                    predictor_loss: Some(pred_loss),
-                    mape,
+                Phase::GP => {
+                    let logits = obs::span(
+                        "train",
+                        || "forward".to_string(),
+                        || model.forward(x, &mut ForwardCtx::train_recording()),
+                    );
+                    // Loss is computed for reporting only — no backward pass.
+                    let (loss, _) = cross_entropy(&logits, targets);
+                    obs::span(
+                        "train",
+                        || "apply predicted gradients".to_string(),
+                        || self.apply_predicted_gradients(model),
+                    );
+                    opt.step(model);
+                    BatchStats {
+                        phase,
+                        loss,
+                        predictor_loss: None,
+                        mape: None,
+                    }
                 }
-            }
-            Phase::GP => {
-                let logits = model.forward(x, &mut ForwardCtx::train_recording());
-                // Loss is computed for reporting only — no backward pass.
-                let (loss, _) = cross_entropy(&logits, targets);
-                self.apply_predicted_gradients(model);
-                opt.step(model);
-                BatchStats {
-                    phase,
-                    loss,
-                    predictor_loss: None,
-                    mape: None,
-                }
-            }
-        }
+            },
+        )
     }
 
     /// Phase BP hook: trains the predictor on every site's recorded
@@ -420,59 +445,66 @@ impl AdaGp {
         let mut out: Vec<(usize, BatchStats)> = Vec::with_capacity(batches);
 
         std::thread::scope(|s| {
-            // Stage 0: batch generation.
-            s.spawn(|| {
-                for b in 0..batches {
-                    let (x, y) = stats.stage(0).busy(|| gen(b));
-                    if stats.stage(0).idle(|| batch_queue.push((b, x, y))).is_err() {
-                        break;
+            // Stage 0: batch generation. The stage threads are named so
+            // their trace lanes are recognizable in a Perfetto dump.
+            std::thread::Builder::new()
+                .name("adagp-datagen".into())
+                .spawn_scoped(s, || {
+                    for b in 0..batches {
+                        let (x, y) = stats.stage(0).busy(|| gen(b));
+                        if stats.stage(0).idle(|| batch_queue.push((b, x, y))).is_err() {
+                            break;
+                        }
                     }
-                }
-                batch_queue.close();
-            });
+                    batch_queue.close();
+                })
+                .expect("spawn datagen stage");
 
             // Stage 2: predictor training (single worker => batch order).
-            s.spawn(|| {
-                while let Some(job) = stats.stage(2).idle(|| pred_queue.pop()) {
-                    stats.stage(2).busy(|| {
-                        let mut predictor = predictor_cell.lock().unwrap();
-                        let mut metrics = metrics_cell.lock().unwrap();
-                        let mut losses = Vec::with_capacity(job.examples.len());
-                        let mut mapes = Vec::new();
-                        for ex in &job.examples {
-                            let (loss, mape) = train_predictor_on_example(
-                                &mut predictor,
-                                &mut metrics,
-                                track,
-                                eps,
-                                ex.site_idx,
-                                &ex.meta,
-                                &ex.act,
-                                &ex.true_grad,
-                            );
-                            if let Some(m) = mape {
-                                mapes.push(m);
+            std::thread::Builder::new()
+                .name("adagp-predictor".into())
+                .spawn_scoped(s, || {
+                    while let Some(job) = stats.stage(2).idle(|| pred_queue.pop()) {
+                        stats.stage(2).busy(|| {
+                            let mut predictor = predictor_cell.lock().unwrap();
+                            let mut metrics = metrics_cell.lock().unwrap();
+                            let mut losses = Vec::with_capacity(job.examples.len());
+                            let mut mapes = Vec::new();
+                            for ex in &job.examples {
+                                let (loss, mape) = train_predictor_on_example(
+                                    &mut predictor,
+                                    &mut metrics,
+                                    track,
+                                    eps,
+                                    ex.site_idx,
+                                    &ex.meta,
+                                    &ex.act,
+                                    &ex.true_grad,
+                                );
+                                if let Some(m) = mape {
+                                    mapes.push(m);
+                                }
+                                losses.push(loss);
                             }
-                            losses.push(loss);
-                        }
-                        let mean_loss = if losses.is_empty() {
-                            0.0
-                        } else {
-                            losses.iter().sum::<f32>() / losses.len() as f32
-                        };
-                        let mean_mape = if mapes.is_empty() {
-                            None
-                        } else {
-                            Some(mapes.iter().sum::<f32>() / mapes.len() as f32)
-                        };
-                        bp_outcomes
-                            .lock()
-                            .unwrap()
-                            .push((job.batch, mean_loss, mean_mape));
-                    });
-                    pending.done();
-                }
-            });
+                            let mean_loss = if losses.is_empty() {
+                                0.0
+                            } else {
+                                losses.iter().sum::<f32>() / losses.len() as f32
+                            };
+                            let mean_mape = if mapes.is_empty() {
+                                None
+                            } else {
+                                Some(mapes.iter().sum::<f32>() / mapes.len() as f32)
+                            };
+                            bp_outcomes
+                                .lock()
+                                .unwrap()
+                                .push((job.batch, mean_loss, mean_mape));
+                        });
+                        pending.done();
+                    }
+                })
+                .expect("spawn predictor stage");
 
             // Stage 1: the training loop (this thread).
             for _ in 0..batches {
@@ -485,48 +517,56 @@ impl AdaGp {
                 }
                 let phase = controller.next_phase();
                 let batch_stats = match phase {
-                    Phase::WarmUp | Phase::BP => stats.stage(1).busy(|| {
-                        let logits = model.forward(&x, &mut ForwardCtx::train_recording());
-                        let (loss, dlogits) = cross_entropy(&logits, &y);
-                        model.backward(&dlogits);
-                        // Harvest (activation, true gradient) pairs and EMAs
-                        // on this thread (batch order), then hand the
-                        // predictor work to stage 2.
-                        let mut examples = Vec::new();
-                        let mut site_idx = 0usize;
-                        model.visit_sites(&mut |site| {
-                            let meta = site.meta();
-                            if let Some(act) = site.take_activation() {
-                                let true_grad = site.weight_param().grad.clone();
-                                update_norm_ema(
-                                    &mut grad_norm_ema[site_idx],
-                                    decay,
-                                    true_grad.norm(),
-                                );
-                                examples.push(PredictorExample {
-                                    site_idx,
-                                    meta,
-                                    act,
-                                    true_grad,
-                                });
-                            }
-                            site_idx += 1;
+                    Phase::WarmUp | Phase::BP => {
+                        let (batch_stats, examples) = stats.stage(1).busy(|| {
+                            let logits = model.forward(&x, &mut ForwardCtx::train_recording());
+                            let (loss, dlogits) = cross_entropy(&logits, &y);
+                            model.backward(&dlogits);
+                            // Harvest (activation, true gradient) pairs and
+                            // EMAs on this thread (batch order); the job is
+                            // handed to stage 2 below.
+                            let mut examples = Vec::new();
+                            let mut site_idx = 0usize;
+                            model.visit_sites(&mut |site| {
+                                let meta = site.meta();
+                                if let Some(act) = site.take_activation() {
+                                    let true_grad = site.weight_param().grad.clone();
+                                    update_norm_ema(
+                                        &mut grad_norm_ema[site_idx],
+                                        decay,
+                                        true_grad.norm(),
+                                    );
+                                    examples.push(PredictorExample {
+                                        site_idx,
+                                        meta,
+                                        act,
+                                        true_grad,
+                                    });
+                                }
+                                site_idx += 1;
+                            });
+                            let batch_stats = BatchStats {
+                                phase,
+                                loss,
+                                predictor_loss: None, // merged from stage 2 below
+                                mape: None,
+                            };
+                            (batch_stats, examples)
                         });
                         pending.add(1);
-                        if pred_queue
-                            .push(PredictorJob { batch: b, examples })
-                            .is_err()
-                        {
+                        // Blocking on a full predictor queue is waiting on
+                        // stage 2, so it books as idle time — the measured
+                        // stage occupancies must stay comparable to the
+                        // sim's predicted utilizations.
+                        let pushed = stats
+                            .stage(1)
+                            .idle(|| pred_queue.push(PredictorJob { batch: b, examples }));
+                        if pushed.is_err() {
                             pending.done();
                         }
-                        opt.step(model);
-                        BatchStats {
-                            phase,
-                            loss,
-                            predictor_loss: None, // merged from stage 2 below
-                            mape: None,
-                        }
-                    }),
+                        stats.stage(1).busy_more(|| opt.step(model));
+                        batch_stats
+                    }
                     Phase::GP => {
                         let loss = stats.stage(1).busy(|| {
                             let logits = model.forward(&x, &mut ForwardCtx::train_recording());

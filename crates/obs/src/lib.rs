@@ -1,0 +1,41 @@
+//! # adagp-obs
+//!
+//! Workspace-wide observability for the ADA-GP reproduction: one crate
+//! that spans the stack the way nothing did before it — the runtime
+//! pool's task execution, `core`'s pipelined trainer stages, the sweep
+//! runner's per-cell evaluations and `adagp-serve`'s request lifecycle
+//! all record into the same primitives, and two renderers get the data
+//! out:
+//!
+//! * the flat `name value` text form the serve crate's `/metrics`
+//!   endpoint has always spoken, extended with `_bucket`/`_sum`/`_count`
+//!   histogram lines ([`metric`], [`registry`]);
+//! * a wall-clock Chrome-trace JSON writer ([`trace`]) shape-compatible
+//!   with `adagp-sim`'s cycle-domain exporter, so a **measured** training
+//!   run and its **simulated** timeline load side-by-side in Perfetto.
+//!
+//! ## Cost model
+//!
+//! Disabled (the default), every instrumented site pays one relaxed
+//! atomic load and a branch. Enabled (`ADAGP_TRACE=<path>`, or
+//! [`set_enabled`] in tests), spans go to per-thread bounded lock-free
+//! buffers that **drop and count** on overflow ([`recorder`]); metrics
+//! are always plain atomics. Observability never perturbs results —
+//! `adagp-bench`'s `obs_noperturb` battery proves kernel and sweep
+//! outputs bit-identical with tracing on vs off across thread counts.
+
+pub mod metric;
+pub mod recorder;
+pub mod registry;
+pub mod trace;
+
+pub use metric::{bucket_index, bucket_upper, Counter, Gauge, Histogram};
+pub use recorder::{
+    enabled, now_ns, record_span, reset, set_enabled, snapshot, span, LaneSnapshot, SpanRecord,
+    TraceSnapshot,
+};
+pub use registry::{registry, Registry};
+pub use trace::{
+    chrome_trace, trace_guard_from_env, validate_chrome_trace, write_trace, TraceGuard, TraceStats,
+    TRACE_ENV,
+};

@@ -1,0 +1,250 @@
+//! Atomic metric primitives: monotone counters, gauges, and log2-bucket
+//! latency histograms.
+//!
+//! Everything here is a plain atomic — recording never locks, never
+//! allocates and never blocks, so the primitives are safe to touch from
+//! kernel hot paths and server request loops alike.
+//!
+//! ## Text rendering
+//!
+//! Counters and gauges render as the flat `name value` lines the serve
+//! crate's `/metrics` endpoint has always spoken. Histograms extend that
+//! form with three line shapes:
+//!
+//! ```text
+//! <name>_bucket{le="<upper>"} <n>   one line per non-empty bucket
+//! <name>_sum <total>
+//! <name>_count <observations>
+//! ```
+//!
+//! Buckets are **disjoint** log2 ranges, not cumulative: bucket `i ≥ 1`
+//! holds observations in `[2^(i-1), 2^i)` and is labelled with its
+//! inclusive upper bound `2^i - 1`; bucket 0 holds exact zeros. The
+//! machine-checkable invariant every scraper can assert is therefore
+//! `sum of all _bucket lines == _count` (on a quiescent snapshot).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zero counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (goes up and down).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds `n` (negative to decrease).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for exact zeros plus one per power
+/// of two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index an observation lands in: 0 for `v == 0`, otherwise
+/// `i` such that `v ∈ [2^(i-1), 2^i)`.
+///
+/// ```
+/// use adagp_obs::metric::bucket_index;
+/// assert_eq!(bucket_index(0), 0);
+/// assert_eq!(bucket_index(1), 1);
+/// assert_eq!(bucket_index(2), 2);
+/// assert_eq!(bucket_index(3), 2);
+/// assert_eq!(bucket_index(1024), 11);
+/// ```
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the `le` label).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A log2-bucket histogram of `u64` observations (typically latencies in
+/// micro- or nanoseconds). Recording is three relaxed atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(upper bound, count)` of every non-empty bucket, in bound order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let n = self.buckets[i].load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_upper(i), n))
+            })
+            .collect()
+    }
+
+    /// Renders the `_bucket`/`_sum`/`_count` lines for a histogram named
+    /// `prefix + name` into `out`.
+    ///
+    /// The snapshot is not atomic across the three line shapes: scrape a
+    /// quiescent process (or accept a transiently skewed `_count`) — the
+    /// `sum of _bucket == _count` invariant holds whenever no recording
+    /// races the render.
+    pub fn render_into(&self, out: &mut String, prefix: &str, name: &str) {
+        for (upper, n) in self.nonzero_buckets() {
+            out.push_str(&format!("{prefix}{name}_bucket{{le=\"{upper}\"}} {n}\n"));
+        }
+        out.push_str(&format!("{prefix}{name}_sum {}\n", self.sum()));
+        out.push_str(&format!("{prefix}{name}_count {}\n", self.count()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.add(3);
+        g.add(-5);
+        assert_eq!(g.get(), -2);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_disjoint_log2_ranges() {
+        // Every observation lands in exactly one bucket, and the bucket's
+        // label is its inclusive upper bound.
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i), "{v} above its bucket bound");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "{v} fits the previous bucket");
+            }
+        }
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_count() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 900, 1024, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1 + 1 + 3 + 900 + 1024 + 1_000_000);
+        let buckets = h.nonzero_buckets();
+        let total: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, h.count());
+        // 1 and 1 share a bucket; everything else is alone.
+        assert!(buckets.iter().any(|&(upper, n)| upper == 1 && n == 2));
+    }
+
+    #[test]
+    fn render_produces_the_documented_line_shapes() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        h.record(100);
+        let mut out = String::new();
+        h.render_into(&mut out, "adagp_test_", "lat_us");
+        assert!(
+            out.contains("adagp_test_lat_us_bucket{le=\"7\"} 2\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("adagp_test_lat_us_bucket{le=\"127\"} 1\n"),
+            "{out}"
+        );
+        assert!(out.contains("adagp_test_lat_us_sum 111\n"), "{out}");
+        assert!(out.contains("adagp_test_lat_us_count 3\n"), "{out}");
+        // No empty-bucket lines.
+        assert_eq!(out.matches("_bucket{").count(), 2);
+    }
+}

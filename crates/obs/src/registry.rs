@@ -1,0 +1,161 @@
+//! The process-global metric registry: named counters, gauges and
+//! histograms any crate can register once and hammer lock-free forever.
+//!
+//! Registration takes the registry lock (once per metric, at first use —
+//! callers cache the returned `Arc`, typically in a `OnceLock`);
+//! recording afterwards is pure atomics. Rendering walks the registry in
+//! registration order and emits the flat `name value` text form plus the
+//! `_bucket`/`_sum`/`_count` histogram lines documented in
+//! [`crate::metric`].
+
+use crate::metric::{Counter, Gauge, Histogram};
+use std::sync::{Arc, Mutex, OnceLock};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics with a stable render order.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<(String, Metric)>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Registry({} metrics)",
+            self.entries.lock().unwrap().len()
+        )
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some((_, m)) = entries.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Counter(c) => return Arc::clone(c),
+                _ => panic!("metric `{name}` is not a counter"),
+            }
+        }
+        let c = Arc::new(Counter::new());
+        entries.push((name.to_string(), Metric::Counter(Arc::clone(&c))));
+        c
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some((_, m)) = entries.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Gauge(g) => return Arc::clone(g),
+                _ => panic!("metric `{name}` is not a gauge"),
+            }
+        }
+        let g = Arc::new(Gauge::new());
+        entries.push((name.to_string(), Metric::Gauge(Arc::clone(&g))));
+        g
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some((_, m)) = entries.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Histogram(h) => return Arc::clone(h),
+                _ => panic!("metric `{name}` is not a histogram"),
+            }
+        }
+        let h = Arc::new(Histogram::new());
+        entries.push((name.to_string(), Metric::Histogram(Arc::clone(&h))));
+        h
+    }
+
+    /// Renders every metric as `prefix + name [+ histogram suffix]`
+    /// lines, in registration order.
+    pub fn render(&self, prefix: &str) -> String {
+        let entries = self.entries.lock().unwrap();
+        let mut out = String::new();
+        for (name, metric) in entries.iter() {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{prefix}{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{prefix}{name} {}\n", g.get())),
+                Metric::Histogram(h) => h.render_into(&mut out, prefix, name),
+            }
+        }
+        out
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry (the one the runtime pool and the sweep
+/// runner record into, and `adagp-serve` folds into `/metrics`).
+pub fn registry() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_the_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("hits");
+        let b = r.counter("hits");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_is_loud() {
+        let r = Registry::new();
+        let _ = r.histogram("lat");
+        let _ = r.counter("lat");
+    }
+
+    #[test]
+    fn render_is_registration_ordered_and_parseable_shaped() {
+        let r = Registry::new();
+        r.counter("first").add(1);
+        r.histogram("lat_us").record(10);
+        r.gauge("depth").set(-2);
+        let text = r.render("adagp_obs_");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "adagp_obs_first 1");
+        assert!(lines[1].starts_with("adagp_obs_lat_us_bucket{le=\"15\"} 1"));
+        assert!(text.contains("adagp_obs_lat_us_sum 10"));
+        assert!(text.contains("adagp_obs_lat_us_count 1"));
+        assert!(text.contains("adagp_obs_depth -2"));
+        // Every line is the flat `name value` form (one space).
+        for line in text.lines() {
+            assert_eq!(line.split(' ').count(), 2, "{line}");
+        }
+    }
+}

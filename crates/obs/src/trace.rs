@@ -1,0 +1,304 @@
+//! Wall-clock Chrome-trace export: the *measured* counterpart of
+//! `adagp-sim`'s cycle-domain exporter.
+//!
+//! The emitted JSON uses the same Trace Event Format object form the sim
+//! writes — a `traceEvents` array of complete (`"ph": "X"`) events plus
+//! `thread_name` metadata, one lane per recording thread — so a measured
+//! training run and its simulated timeline load side-by-side in
+//! <https://ui.perfetto.dev> (open both files, or `cat` their
+//! `traceEvents` together). Timestamps are microseconds of wall clock
+//! (fractional, nanosecond-derived); the sim's are microseconds reading
+//! as cycles. Lane 0 of pid 2 carries the measured run; the sim uses
+//! pid 1, so the two never collide in a merged view.
+//!
+//! ## Env gating
+//!
+//! `ADAGP_TRACE=<path>` is the one switch users touch: call
+//! [`trace_guard_from_env`] early in `main` and the returned guard
+//! enables recording, then dumps the trace to `<path>` when dropped
+//! (i.e. at exit). Unset, recording stays disabled and costs a branch
+//! per instrumented site.
+
+use crate::recorder::{self, TraceSnapshot};
+use serde::Value;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the Chrome-trace dump path.
+pub const TRACE_ENV: &str = "ADAGP_TRACE";
+
+/// Process id used for measured (wall-clock) lanes — distinct from the
+/// sim exporter's pid 1 so merged traces keep separate process groups.
+const PID: u64 = 2;
+
+fn event(fields: Vec<(&str, Value)>) -> Value {
+    Value::object(fields)
+}
+
+/// Microseconds (fractional) from a nanosecond timestamp.
+fn us(ns: u64) -> Value {
+    Value::Float(ns as f64 / 1000.0)
+}
+
+/// Renders a recorder snapshot as a Chrome-trace JSON string.
+pub fn chrome_trace(snap: &TraceSnapshot, title: &str) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    events.push(event(vec![
+        ("name", Value::String("process_name".into())),
+        ("ph", Value::String("M".into())),
+        ("pid", Value::UInt(PID)),
+        (
+            "args",
+            Value::object(vec![("name", Value::String(title.to_string()))]),
+        ),
+    ]));
+    for (tid, lane) in snap.lanes.iter().enumerate() {
+        events.push(event(vec![
+            ("name", Value::String("thread_name".into())),
+            ("ph", Value::String("M".into())),
+            ("pid", Value::UInt(PID)),
+            ("tid", Value::UInt(tid as u64)),
+            (
+                "args",
+                Value::object(vec![("name", Value::String(lane.name.clone()))]),
+            ),
+        ]));
+        for span in &lane.spans {
+            events.push(event(vec![
+                ("name", Value::String(span.name.clone())),
+                ("cat", Value::String(span.cat.into())),
+                ("ph", Value::String("X".into())),
+                ("ts", us(span.start_ns)),
+                ("dur", us(span.end_ns.saturating_sub(span.start_ns))),
+                ("pid", Value::UInt(PID)),
+                ("tid", Value::UInt(tid as u64)),
+            ]));
+        }
+    }
+    let root = Value::object(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::String("ms".into())),
+        ("droppedSpans", Value::UInt(snap.dropped())),
+    ]);
+    let mut out = serde::json::to_string_pretty(&root);
+    out.push('\n');
+    out
+}
+
+/// Snapshots the recorder and writes the Chrome trace to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_trace(path: &Path, title: &str) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace(&recorder::snapshot(), title))
+}
+
+/// Enables recording and dumps the trace on drop — the `ADAGP_TRACE`
+/// contract. Returned by [`trace_guard_from_env`]; hold it for the
+/// lifetime of `main`.
+#[derive(Debug)]
+pub struct TraceGuard {
+    path: PathBuf,
+    title: String,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        match write_trace(&self.path, &self.title) {
+            Ok(()) => eprintln!("trace written to {}", self.path.display()),
+            Err(e) => eprintln!("trace dump to {} failed: {e}", self.path.display()),
+        }
+    }
+}
+
+/// If `ADAGP_TRACE=<path>` is set, enables span recording and returns a
+/// guard that dumps the Chrome trace to `<path>` when dropped. `title`
+/// labels the process lane group in the viewer.
+pub fn trace_guard_from_env(title: &str) -> Option<TraceGuard> {
+    let path = std::env::var_os(TRACE_ENV)?;
+    if path.is_empty() {
+        return None;
+    }
+    recorder::set_enabled(true);
+    Some(TraceGuard {
+        path: PathBuf::from(path),
+        title: title.to_string(),
+    })
+}
+
+/// Shape statistics [`validate_chrome_trace`] extracts from a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Complete (`"ph": "X"`) span events.
+    pub spans: usize,
+    /// Metadata (`"ph": "M"`) events.
+    pub metadata: usize,
+    /// Distinct `(pid, tid)` lanes carrying spans.
+    pub lanes: usize,
+}
+
+/// Parses `text` as Chrome-trace JSON (with the workspace's own
+/// `serde::json` reader — the same one the sim trace tests use) and
+/// checks the structural contract: a `traceEvents` array whose `X`
+/// events carry numeric `ts`/`dur` and whose siblings on one lane never
+/// partially overlap (each pair is either disjoint or nested).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or overlapping event.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let root = serde::json::parse_value(text).map_err(|e| format!("not JSON: {e}"))?;
+    let events = root
+        .field("traceEvents")
+        .map_err(|e| format!("no traceEvents: {e}"))?;
+    let Value::Array(events) = events else {
+        return Err(format!("traceEvents is {}, not array", events.kind()));
+    };
+    let mut spans = 0usize;
+    let mut metadata = 0usize;
+    // (pid, tid) -> [(start, end)]
+    let mut lanes: Vec<((u64, u64), Vec<(f64, f64)>)> = Vec::new();
+    for ev in events {
+        let ph = ev
+            .field("ph")
+            .ok()
+            .and_then(Value::as_str)
+            .ok_or("event without ph")?;
+        match ph {
+            "M" => metadata += 1,
+            "X" => {
+                spans += 1;
+                let num = |k: &str| {
+                    ev.field(k)
+                        .ok()
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("X event without numeric {k}"))
+                };
+                let (ts, dur) = (num("ts")?, num("dur")?);
+                if !(ts.is_finite() && dur.is_finite() && ts >= 0.0 && dur >= 0.0) {
+                    return Err(format!("bad span times ts={ts} dur={dur}"));
+                }
+                let pid = ev.field("pid").ok().and_then(Value::as_u64).unwrap_or(0);
+                let tid = ev.field("tid").ok().and_then(Value::as_u64).unwrap_or(0);
+                let lane = match lanes.iter_mut().find(|(k, _)| *k == (pid, tid)) {
+                    Some((_, v)) => v,
+                    None => {
+                        lanes.push(((pid, tid), Vec::new()));
+                        &mut lanes.last_mut().unwrap().1
+                    }
+                };
+                lane.push((ts, ts + dur));
+            }
+            // Counter events etc. are fine; they have no lane extent.
+            _ => {}
+        }
+    }
+    for ((pid, tid), mut intervals) in lanes.clone() {
+        // Start ascending, end descending: a parent sharing its child's
+        // start time is processed first, so the child nests.
+        intervals.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then(b.1.partial_cmp(&a.1).unwrap())
+        });
+        // Well-formed nesting: sweeping in start order, every span must
+        // either start after all open spans closed (disjoint sibling) or
+        // close within the innermost still-open span (nested child).
+        let mut open: Vec<f64> = Vec::new(); // stack of end times
+        for (start, end) in intervals {
+            while let Some(&top) = open.last() {
+                if top <= start {
+                    open.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&top) = open.last() {
+                if end > top {
+                    return Err(format!(
+                        "lane pid={pid} tid={tid}: span [{start}, {end}] partially overlaps \
+                         an open span ending at {top}"
+                    ));
+                }
+            }
+            open.push(end);
+        }
+    }
+    Ok(TraceStats {
+        spans,
+        metadata,
+        lanes: lanes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{LaneSnapshot, SpanRecord};
+
+    fn snap_of(spans: Vec<SpanRecord>) -> TraceSnapshot {
+        TraceSnapshot {
+            lanes: vec![LaneSnapshot {
+                name: "main".into(),
+                spans,
+                dropped: 0,
+            }],
+        }
+    }
+
+    fn rec(name: &str, start_ns: u64, end_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            cat: "test",
+            start_ns,
+            end_ns,
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_validator() {
+        let snap = snap_of(vec![
+            rec("outer", 0, 10_000),
+            rec("inner", 2_000, 5_000),
+            rec("later", 12_000, 15_000),
+        ]);
+        let text = chrome_trace(&snap, "unit");
+        let stats = validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.metadata, 2); // process_name + one thread_name
+        assert_eq!(stats.lanes, 1);
+        assert!(text.contains("\"ph\": \"X\""));
+        assert!(text.contains("thread_name"));
+    }
+
+    #[test]
+    fn partial_overlap_on_one_lane_is_rejected() {
+        let snap = snap_of(vec![rec("a", 0, 10_000), rec("b", 5_000, 15_000)]);
+        let text = chrome_trace(&snap, "unit");
+        let err = validate_chrome_trace(&text).expect_err("overlap must fail");
+        assert!(err.contains("partially overlaps"), "{err}");
+    }
+
+    #[test]
+    fn sim_traces_validate_too() {
+        // The validator accepts the sim exporter's shape (UInt ts/dur,
+        // counter events) — the two trace families share one checker.
+        let text = r#"{
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 1},
+                {"name": "fwd l0", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 0},
+                {"name": "buffer", "ph": "C", "ts": 3, "pid": 1}
+            ]
+        }"#;
+        let stats = validate_chrome_trace(text).expect("sim shape validates");
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.lanes, 1);
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_a_reason() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents": 3}"#).is_err());
+    }
+}

@@ -15,9 +15,25 @@
 //! * **Offline-friendly** — `std` only: a `Mutex<VecDeque>` job queue and a
 //!   `Condvar`, no external dependencies.
 
+use adagp_obs as obs;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Tasks executed through [`ThreadPool::scope_run`] (global metric,
+/// always on — one atomic add per task, never per element).
+fn tasks_counter() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::registry().counter("runtime_pool_tasks_total"))
+}
+
+/// Microseconds a queued task waited before a worker picked it up.
+/// Recorded only while tracing is enabled (the wait requires an extra
+/// clock read at enqueue time).
+fn queue_wait_us() -> &'static Arc<obs::Histogram> {
+    static H: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| obs::registry().histogram("runtime_pool_queue_wait_us"))
+}
 
 /// Environment variable controlling the size of the global pool (total
 /// threads, including the caller). Unset, unparsable or `0` falls back to
@@ -200,18 +216,33 @@ impl ThreadPool {
     /// all remaining tasks have completed (no task is abandoned mid-borrow).
     pub fn scope_run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
         if tasks.len() <= 1 || self.size == 1 {
-            for t in tasks {
-                t();
+            for (i, t) in tasks.into_iter().enumerate() {
+                tasks_counter().inc();
+                obs::span("pool", || format!("task {i} (inline)"), t);
             }
             return;
         }
         let latch = Arc::new(Latch::new(tasks.len()));
         {
             let mut q = self.shared.queue.lock().unwrap();
-            for task in tasks {
+            for (i, task) in tasks.into_iter().enumerate() {
                 let latch = Arc::clone(&latch);
+                // Only pay the enqueue clock read while tracing.
+                let enqueue_ns = if obs::enabled() { obs::now_ns() } else { 0 };
                 let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    tasks_counter().inc();
+                    let traced = obs::enabled();
+                    let start_ns = if traced {
+                        let start_ns = obs::now_ns();
+                        queue_wait_us().record(start_ns.saturating_sub(enqueue_ns) / 1_000);
+                        start_ns
+                    } else {
+                        0
+                    };
                     let result = catch_unwind(AssertUnwindSafe(task));
+                    if traced {
+                        obs::record_span("pool", format!("task {i}"), start_ns, obs::now_ns());
+                    }
                     latch.complete(result.err());
                 });
                 // SAFETY: `scope_run` does not return before the latch has

@@ -1,44 +1,56 @@
 //! Lightweight pipeline instrumentation: per-stage busy/idle wall-clock
 //! accounting so harnesses can report stage utilization.
 //!
-//! Each stage accumulates three counters behind a mutex — time spent doing
+//! Each stage accumulates three lock-free counters — time spent doing
 //! useful work (`busy`), time spent blocked on a queue (`idle`), and items
-//! processed. The counters live *off* the kernel hot path: they are touched
-//! once per pipeline item (a training batch), not per tensor element.
+//! processed. The counters are `adagp-obs` atomics, so a stage can be
+//! hammered from any thread with no mutex on the item path; they are
+//! touched once per pipeline item (a training batch), not per tensor
+//! element. When span recording is enabled (`ADAGP_TRACE`), every
+//! [`Stage::busy`] / [`Stage::busy_more`] interval is additionally
+//! recorded as a wall-clock trace span (category `stage`), so the
+//! measured pipeline timeline loads in Perfetto next to `adagp-sim`'s
+//! predicted one.
 
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
-
-#[derive(Debug, Default, Clone, Copy)]
-struct Acc {
-    busy: Duration,
-    idle: Duration,
-    items: u64,
-}
+use adagp_obs as obs;
+use std::time::Duration;
 
 /// One instrumented pipeline stage.
 #[derive(Debug)]
 pub struct Stage {
     name: String,
-    acc: Mutex<Acc>,
+    busy_ns: obs::Counter,
+    idle_ns: obs::Counter,
+    items: obs::Counter,
 }
 
 impl Stage {
     fn new(name: &str) -> Self {
         Stage {
             name: name.to_string(),
-            acc: Mutex::new(Acc::default()),
+            busy_ns: obs::Counter::new(),
+            idle_ns: obs::Counter::new(),
+            items: obs::Counter::new(),
         }
+    }
+
+    /// Times `f`, accumulates into `acc`, and (when tracing is on)
+    /// records the interval as a `stage` span named after the stage.
+    fn timed<R>(&self, acc: &obs::Counter, as_span: bool, f: impl FnOnce() -> R) -> R {
+        let start = obs::now_ns();
+        let r = f();
+        let end = obs::now_ns();
+        acc.add(end.saturating_sub(start));
+        if as_span && obs::enabled() {
+            obs::record_span("stage", self.name.clone(), start, end);
+        }
+        r
     }
 
     /// Times `f` as useful work and counts one processed item.
     pub fn busy<R>(&self, f: impl FnOnce() -> R) -> R {
-        let t = Instant::now();
-        let r = f();
-        let d = t.elapsed();
-        let mut a = self.acc.lock().unwrap();
-        a.busy += d;
-        a.items += 1;
+        let r = self.timed(&self.busy_ns, true, f);
+        self.items.inc();
         r
     }
 
@@ -46,30 +58,22 @@ impl Stage {
     /// additional item is tallied). Use when one item's work is split
     /// around a wait that must be timed as [`Stage::idle`].
     pub fn busy_more<R>(&self, f: impl FnOnce() -> R) -> R {
-        let t = Instant::now();
-        let r = f();
-        let d = t.elapsed();
-        self.acc.lock().unwrap().busy += d;
-        r
+        self.timed(&self.busy_ns, true, f)
     }
 
-    /// Times `f` as blocking/waiting time (no item is counted).
+    /// Times `f` as blocking/waiting time (no item is counted, no span is
+    /// recorded — idle gaps show up in a trace as exactly that: gaps).
     pub fn idle<R>(&self, f: impl FnOnce() -> R) -> R {
-        let t = Instant::now();
-        let r = f();
-        let d = t.elapsed();
-        self.acc.lock().unwrap().idle += d;
-        r
+        self.timed(&self.idle_ns, false, f)
     }
 
     /// Snapshot of the stage's counters.
     pub fn report(&self) -> StageReport {
-        let a = *self.acc.lock().unwrap();
         StageReport {
             name: self.name.clone(),
-            busy: a.busy,
-            idle: a.idle,
-            items: a.items,
+            busy: Duration::from_nanos(self.busy_ns.get()),
+            idle: Duration::from_nanos(self.idle_ns.get()),
+            items: self.items.get(),
         }
     }
 }
@@ -194,5 +198,20 @@ mod tests {
         let stats = PipelineStats::new(&["datagen", "train", "predictor"]);
         let s = stats.summary();
         assert!(s.contains("datagen") && s.contains("train") && s.contains("predictor"));
+    }
+
+    #[test]
+    fn stages_are_shareable_across_threads_without_locks() {
+        let stats = PipelineStats::new(&["shared"]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        stats.stage(0).busy(|| std::hint::black_box(1 + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.reports()[0].items, 400);
     }
 }

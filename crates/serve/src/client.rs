@@ -11,13 +11,53 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A raw HTTP exchange: status code and body text.
+/// A raw HTTP exchange: status code, body text, and the `Retry-After`
+/// hint when the server sent one (overload responses do).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpReply {
     /// Response status code.
     pub status: u16,
     /// Response body (header section stripped).
     pub body: String,
+    /// Parsed `Retry-After` header, in seconds, if present.
+    pub retry_after: Option<u64>,
+}
+
+/// Bounded-retry policy for overloaded (`503`) replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before a retry when the server sent no `Retry-After`
+    /// hint; doubles per attempt.
+    pub base_backoff_ms: u64,
+    /// Cap on any single sleep, hinted or not. Keeps a hostile or
+    /// misconfigured `Retry-After: 3600` from wedging a client.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Milliseconds to sleep before retry number `attempt` (1-based),
+    /// honoring the server's `Retry-After` hint when present.
+    fn backoff_ms(&self, attempt: u32, retry_after: Option<u64>) -> u64 {
+        let ms = match retry_after {
+            Some(secs) => secs.saturating_mul(1_000),
+            None => self
+                .base_backoff_ms
+                .saturating_mul(1u64 << (attempt - 1).min(16)),
+        };
+        ms.min(self.max_backoff_ms)
+    }
 }
 
 /// Performs one request against `addr` and reads the reply to EOF.
@@ -52,7 +92,7 @@ pub fn http_request(
     parse_reply(&raw)
 }
 
-/// Splits a raw reply into status and body.
+/// Splits a raw reply into status, `Retry-After` hint, and body.
 fn parse_reply(raw: &[u8]) -> Result<HttpReply, String> {
     let text = String::from_utf8(raw.to_vec()).map_err(|_| "reply is not UTF-8".to_string())?;
     let (head, body) = text
@@ -64,10 +104,48 @@ fn parse_reply(raw: &[u8]) -> Result<HttpReply, String> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    let retry_after = head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.eq_ignore_ascii_case("retry-after")
+            .then(|| value.trim().parse::<u64>().ok())
+            .flatten()
+    });
     Ok(HttpReply {
         status,
         body: body.to_string(),
+        retry_after,
     })
+}
+
+/// Like [`http_request`], but retries `503 Service Unavailable` replies
+/// per `policy`, honoring the server's `Retry-After` hint (seconds,
+/// capped by the policy). Transport errors are **not** retried — a dead
+/// server is a different failure than a busy one. After the retry budget
+/// is spent, the final `503` reply is returned for the caller to report.
+///
+/// # Errors
+///
+/// Returns a description of a connect/write/read failure or an
+/// unparseable reply.
+pub fn http_request_retrying(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: RetryPolicy,
+) -> Result<HttpReply, String> {
+    let mut attempt = 0u32;
+    loop {
+        let reply = http_request(addr, method, path, body)?;
+        if reply.status != 503 || attempt >= policy.max_retries {
+            return Ok(reply);
+        }
+        attempt += 1;
+        let ms = policy.backoff_ms(attempt, reply.retry_after);
+        if ms > 0 {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
 }
 
 /// A fully read `/grid` response.
@@ -85,14 +163,22 @@ pub struct GridResponse {
     pub done: DoneLine,
 }
 
-/// Submits a grid (JSON text) and parses the NDJSON stream.
+/// Submits a grid (JSON text) and parses the NDJSON stream. Overload
+/// (`503`) replies are retried under the default [`RetryPolicy`] before
+/// giving up.
 ///
 /// # Errors
 ///
 /// Returns a description of a transport failure, a non-200 status (with
 /// the server's error body), or a malformed stream.
 pub fn submit_grid(addr: SocketAddr, spec_json: &str) -> Result<GridResponse, String> {
-    let reply = http_request(addr, "POST", "/grid", Some(spec_json))?;
+    let reply = http_request_retrying(
+        addr,
+        "POST",
+        "/grid",
+        Some(spec_json),
+        RetryPolicy::default(),
+    )?;
     if reply.status != 200 {
         return Err(format!(
             "/grid answered {}: {}",
@@ -160,4 +246,119 @@ pub fn request_shutdown(addr: SocketAddr) -> Result<(), String> {
         return Err(format!("/shutdown answered {}", reply.status));
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A scripted stub server: answers each accepted connection with the
+    /// next raw response, counting requests served. Closes each
+    /// connection after answering (the client's framing).
+    fn stub(responses: Vec<String>) -> (SocketAddr, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = Arc::new(AtomicUsize::new(0));
+        let served_in_thread = Arc::clone(&served);
+        std::thread::spawn(move || {
+            for resp in responses {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                // Drain the request head before answering.
+                let mut buf = [0u8; 4096];
+                let mut head: Vec<u8> = Vec::new();
+                loop {
+                    match stream.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            head.extend_from_slice(&buf[..n]);
+                            if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                served_in_thread.fetch_add(1, Ordering::SeqCst);
+                let _ = stream.write_all(resp.as_bytes());
+            }
+        });
+        (addr, served)
+    }
+
+    fn overloaded(retry_after: &str) -> String {
+        format!(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 4\r\nRetry-After: {retry_after}\r\n\r\nbusy"
+        )
+    }
+
+    fn ok() -> String {
+        "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok".to_string()
+    }
+
+    fn fast_policy(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_backoff_ms: 1,
+            max_backoff_ms: 5,
+        }
+    }
+
+    #[test]
+    fn retry_after_header_is_parsed_case_insensitively() {
+        let reply = parse_reply(
+            b"HTTP/1.1 503 Service Unavailable\r\nretry-after: 7\r\nContent-Length: 1\r\n\r\nx",
+        )
+        .unwrap();
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.retry_after, Some(7));
+        let reply = parse_reply(b"HTTP/1.1 200 OK\r\n\r\nok").unwrap();
+        assert_eq!(reply.retry_after, None);
+    }
+
+    #[test]
+    fn overload_is_retried_until_success() {
+        let (addr, served) = stub(vec![overloaded("0"), overloaded("0"), ok()]);
+        let reply =
+            http_request_retrying(addr, "GET", "/health", None, fast_policy(3)).expect("reply");
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body, "ok");
+        assert_eq!(served.load(Ordering::SeqCst), 3, "two retries then success");
+    }
+
+    #[test]
+    fn retry_budget_is_bounded_and_the_final_503_is_returned() {
+        let (addr, served) = stub(vec![overloaded("0"), overloaded("0"), overloaded("0")]);
+        let reply =
+            http_request_retrying(addr, "GET", "/health", None, fast_policy(2)).expect("reply");
+        assert_eq!(reply.status, 503, "gives up with the last overload reply");
+        assert_eq!(served.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+    }
+
+    #[test]
+    fn zero_retries_means_one_attempt() {
+        let (addr, served) = stub(vec![overloaded("0")]);
+        let reply =
+            http_request_retrying(addr, "GET", "/health", None, fast_policy(0)).expect("reply");
+        assert_eq!(reply.status, 503);
+        assert_eq!(served.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn backoff_honors_hints_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+        };
+        assert_eq!(p.backoff_ms(1, Some(1)), 1_000, "hinted seconds");
+        assert_eq!(p.backoff_ms(1, Some(3_600)), 2_000, "hint is capped");
+        assert_eq!(p.backoff_ms(1, None), 50, "unhinted: base");
+        assert_eq!(p.backoff_ms(2, None), 100, "unhinted: doubles");
+        assert_eq!(p.backoff_ms(10, None), 2_000, "unhinted: capped");
+    }
 }

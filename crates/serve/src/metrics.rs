@@ -13,7 +13,17 @@
 //! [`ServerMetrics::consistent`] checks both, and [`parse_metrics`]
 //! reads a scraped `/metrics` body back into a map so tests can assert
 //! them from outside the process.
+//!
+//! Since the `adagp-obs` integration, `/metrics` additionally carries
+//! per-endpoint request-latency **histograms** in the three-line-shape
+//! form documented in `adagp_obs::metric` (`_bucket{le="…"}` lines with
+//! disjoint log2 buckets, `_sum`, `_count`), plus the process-global
+//! `adagp_obs` registry (runtime pool and sweep metrics) rendered under
+//! the plain `adagp_` prefix. Histograms add a third machine-checkable
+//! invariant: on a quiescent scrape, the `_bucket` lines of each family
+//! sum to its `_count`.
 
+use adagp_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -48,6 +58,16 @@ pub struct ServerMetrics {
     pub request_micros_total: AtomicU64,
     /// Largest single-request wall-clock microseconds.
     pub request_micros_max: AtomicU64,
+    /// `/health` request latency (microseconds).
+    pub health_micros: obs::Histogram,
+    /// `/metrics` request latency (microseconds).
+    pub metrics_micros: obs::Histogram,
+    /// `/grid` request latency (microseconds).
+    pub grid_micros: obs::Histogram,
+    /// `/shutdown` request latency (microseconds).
+    pub shutdown_micros: obs::Histogram,
+    /// Latency of requests that routed to an error (microseconds).
+    pub other_micros: obs::Histogram,
 }
 
 impl ServerMetrics {
@@ -61,6 +81,30 @@ impl ServerMetrics {
         self.request_micros_total
             .fetch_add(micros, Ordering::Relaxed);
         self.request_micros_max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// The per-endpoint latency histograms, with their wire names.
+    fn endpoint_histograms(&self) -> [(&'static str, &obs::Histogram); 5] {
+        [
+            ("health_micros", &self.health_micros),
+            ("metrics_micros", &self.metrics_micros),
+            ("grid_micros", &self.grid_micros),
+            ("shutdown_micros", &self.shutdown_micros),
+            ("other_micros", &self.other_micros),
+        ]
+    }
+
+    /// Records one request to `path` into that endpoint's latency
+    /// histogram (unknown paths land in `other_micros`).
+    pub fn record_endpoint_micros(&self, path: &str, micros: u64) {
+        let h = match path {
+            "/health" => &self.health_micros,
+            "/metrics" => &self.metrics_micros,
+            "/grid" => &self.grid_micros,
+            "/shutdown" => &self.shutdown_micros,
+            _ => &self.other_micros,
+        };
+        h.record(micros);
     }
 
     /// Name/value pairs in stable render order.
@@ -83,7 +127,8 @@ impl ServerMetrics {
     }
 
     /// Renders the `/metrics` body: one `adagp_serve_<name> <value>`
-    /// line per counter, in stable order.
+    /// line per counter (stable order), then the per-endpoint latency
+    /// histograms in the `_bucket`/`_sum`/`_count` form.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, value) in self.snapshot() {
@@ -92,6 +137,9 @@ impl ServerMetrics {
             out.push(' ');
             out.push_str(&value.to_string());
             out.push('\n');
+        }
+        for (name, h) in self.endpoint_histograms() {
+            h.render_into(&mut out, PREFIX, name);
         }
         out
     }
@@ -104,8 +152,14 @@ impl ServerMetrics {
     }
 }
 
-/// Parses a scraped `/metrics` body back into a name → value map (names
-/// without the `adagp_serve_` prefix).
+/// Parses a scraped `/metrics` body back into a name → value map.
+///
+/// The server's own lines have their `adagp_serve_` prefix stripped
+/// (preserving the historical keys); lines from the process-global
+/// `adagp_obs` registry — which render under the shorter `adagp_`
+/// prefix — keep their full name. Histogram `_bucket{le="…"}` lines are
+/// stored under their full labelled name, so
+/// [`check_invariants`] can sum each family against its `_count`.
 ///
 /// # Errors
 ///
@@ -119,9 +173,11 @@ pub fn parse_metrics(text: &str) -> Result<HashMap<String, u64>, String> {
         let (name, value) = line
             .split_once(' ')
             .ok_or_else(|| format!("malformed metrics line `{line}`"))?;
-        let name = name
-            .strip_prefix(PREFIX)
-            .ok_or_else(|| format!("metrics line without `{PREFIX}` prefix: `{line}`"))?;
+        let name = match name.strip_prefix(PREFIX) {
+            Some(stripped) => stripped,
+            None if name.starts_with("adagp_") => name,
+            None => return Err(format!("metrics line without `adagp_` prefix: `{line}`")),
+        };
         let value: u64 = value
             .parse()
             .map_err(|_| format!("non-integer metrics value in `{line}`"))?;
@@ -132,6 +188,10 @@ pub fn parse_metrics(text: &str) -> Result<HashMap<String, u64>, String> {
 
 /// The invariant checker both [`ServerMetrics::consistent`] and external
 /// scrapers use. `None` means consistent.
+///
+/// Checks the two cross-counter identities from the module docs plus,
+/// for every histogram family present (any `<family>_count` key), that
+/// the family's disjoint `_bucket` lines sum to its `_count`.
 pub fn check_invariants(m: &HashMap<String, u64>) -> Option<String> {
     let get = |name: &str| m.get(name).copied().unwrap_or(0);
     let (hits, misses, served) = (get("cell_hits"), get("cell_misses"), get("cells_served"));
@@ -145,6 +205,26 @@ pub fn check_invariants(m: &HashMap<String, u64>) -> Option<String> {
         return Some(format!(
             "evaluations ({evals}) + coalesced_waits ({joined}) != cell_misses ({misses})"
         ));
+    }
+    for (key, &count) in m {
+        let Some(family) = key.strip_suffix("_count") else {
+            continue;
+        };
+        if !m.contains_key(&format!("{family}_sum")) {
+            // Not a histogram family (no `_sum` companion line).
+            continue;
+        }
+        let bucket_prefix = format!("{family}_bucket{{");
+        let bucket_total: u64 = m
+            .iter()
+            .filter(|(k, _)| k.starts_with(&bucket_prefix))
+            .map(|(_, v)| *v)
+            .sum();
+        if bucket_total != count {
+            return Some(format!(
+                "histogram `{family}`: _bucket lines sum to {bucket_total}, _count is {count}"
+            ));
+        }
     }
     None
 }
@@ -164,14 +244,49 @@ mod tests {
         m.coalesced_waits.store(1, Ordering::Relaxed);
         m.record_request_micros(120);
         m.record_request_micros(80);
+        m.record_endpoint_micros("/grid", 120);
+        m.record_endpoint_micros("/health", 80);
+        m.record_endpoint_micros("/health", 81);
+        m.record_endpoint_micros("/bogus", 5);
         let text = m.render();
         let parsed = parse_metrics(&text).unwrap();
         assert_eq!(parsed["requests_total"], 7);
         assert_eq!(parsed["request_micros_total"], 200);
         assert_eq!(parsed["request_micros_max"], 120);
-        assert_eq!(parsed.len(), m.snapshot().len());
+        // Histogram line shapes survive the round trip.
+        assert_eq!(parsed["grid_micros_count"], 1);
+        assert_eq!(parsed["grid_micros_sum"], 120);
+        assert_eq!(parsed["health_micros_bucket{le=\"127\"}"], 2);
+        assert_eq!(parsed["other_micros_count"], 1);
         assert_eq!(m.consistent(), None);
         assert_eq!(check_invariants(&parsed), None);
+    }
+
+    #[test]
+    fn histogram_bucket_sums_are_checked() {
+        let mut m: HashMap<String, u64> = HashMap::new();
+        m.insert("lat_us_bucket{le=\"7\"}".into(), 2);
+        m.insert("lat_us_bucket{le=\"63\"}".into(), 1);
+        m.insert("lat_us_sum 0".into(), 0); // red herring: malformed key, ignored
+        m.insert("lat_us_sum".into(), 30);
+        m.insert("lat_us_count".into(), 3);
+        assert_eq!(check_invariants(&m), None);
+        m.insert("lat_us_count".into(), 4);
+        let why = check_invariants(&m).expect("bucket/count mismatch");
+        assert!(why.contains("lat_us"), "{why}");
+        // A `_count`-suffixed plain counter without a `_sum` companion is
+        // not treated as a histogram family.
+        let mut plain: HashMap<String, u64> = HashMap::new();
+        plain.insert("widget_count".into(), 9);
+        assert_eq!(check_invariants(&plain), None);
+    }
+
+    #[test]
+    fn obs_registry_lines_parse_with_their_full_names() {
+        let text = "adagp_serve_requests_total 1\nadagp_runtime_pool_tasks_total 5\n";
+        let parsed = parse_metrics(text).unwrap();
+        assert_eq!(parsed["requests_total"], 1);
+        assert_eq!(parsed["adagp_runtime_pool_tasks_total"], 5);
     }
 
     #[test]

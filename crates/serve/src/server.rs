@@ -20,6 +20,7 @@ use crate::cache::{CellCache, Served};
 use crate::http::{error_response, response, streaming_head, HttpError, Request, RequestParser};
 use crate::metrics::ServerMetrics;
 use crate::wire::{cell_line, done_line, error_line, header_line, parse_grid_request, DoneLine};
+use adagp_obs as obs;
 use adagp_runtime::{BoundedQueue, TryPushError};
 use adagp_sweep::grid::GridSpec;
 use std::io::{Read, Write};
@@ -271,10 +272,21 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
         .requests_in_flight
         .fetch_add(1, Ordering::Relaxed);
     let started = Instant::now();
+    // Request-lifecycle span (wall clock, `ADAGP_TRACE`-gated): covers
+    // routing, evaluation and the streamed write-out.
+    let span_start = if obs::enabled() { obs::now_ns() } else { 0 };
     let _ = respond(state, &req, &mut stream, started);
-    state
-        .metrics
-        .record_request_micros(started.elapsed().as_micros() as u64);
+    if obs::enabled() {
+        obs::record_span(
+            "serve",
+            format!("{} {}", req.method, req.path),
+            span_start,
+            obs::now_ns(),
+        );
+    }
+    let micros = started.elapsed().as_micros() as u64;
+    state.metrics.record_request_micros(micros);
+    state.metrics.record_endpoint_micros(&req.path, micros);
     state
         .metrics
         .requests_in_flight
@@ -293,11 +305,14 @@ fn respond(
             "application/json",
             &format!(r#"{{"ok":true,"cells_cached":{}}}"#, state.cache.len()),
         )),
-        Routed::Metrics => stream.write_all(&response(
-            200,
-            "text/plain; charset=utf-8",
-            &state.metrics.render(),
-        )),
+        Routed::Metrics => {
+            // Server counters and endpoint histograms, then the
+            // process-global obs registry (runtime pool, sweep) — one
+            // scrape covers the whole process.
+            let mut body = state.metrics.render();
+            body.push_str(&obs::registry().render("adagp_"));
+            stream.write_all(&response(200, "text/plain; charset=utf-8", &body))
+        }
         Routed::Shutdown => {
             stream.write_all(&response(
                 200,

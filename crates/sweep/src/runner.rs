@@ -14,8 +14,28 @@ use crate::simeval::simulate_cell;
 use adagp_accel::energy::{adagp_energy_joules, baseline_energy_joules, EnergyConfig};
 use adagp_accel::speedup::{adagp_training_cycles, baseline_training_cycles};
 use adagp_accel::AcceleratorConfig;
+use adagp_obs as obs;
 use adagp_sim::SimConfig;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Cells evaluated through [`run_grid`] (process-global metric).
+fn cells_counter() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::registry().counter("sweep_cells_total"))
+}
+
+/// Wall-clock microseconds per cell evaluation.
+fn cell_micros_hist() -> &'static Arc<obs::Histogram> {
+    static H: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| obs::registry().histogram("sweep_cell_micros"))
+}
+
+/// Per-cell throughput (cells/second, as observed one cell at a time).
+fn cells_per_sec_hist() -> &'static Arc<obs::Histogram> {
+    static H: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| obs::registry().histogram("sweep_cells_per_sec"))
+}
 
 /// The metric values one cell produces. All eleven are deterministic
 /// functions of the cell's axis values: five from the closed-form
@@ -117,11 +137,19 @@ pub fn run_grid(grid: &GridSpec) -> SweepRun {
     let t0 = Instant::now();
     let cells = adagp_runtime::pool().parallel_map(grid.expand(), |spec| {
         let t = Instant::now();
-        let metrics = evaluate_cell(&spec);
+        let metrics = obs::span(
+            "sweep",
+            || format!("cell {}", spec.id),
+            || evaluate_cell(&spec),
+        );
+        let wall_micros = t.elapsed().as_micros() as u64;
+        cells_counter().inc();
+        cell_micros_hist().record(wall_micros);
+        cells_per_sec_hist().record(1_000_000 / wall_micros.max(1));
         CellResult {
             spec,
             metrics,
-            wall_micros: t.elapsed().as_micros() as u64,
+            wall_micros,
         }
     });
     SweepRun {

@@ -4,6 +4,9 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `ADAGP_TRACE=/tmp/quickstart.trace.json` to dump a Chrome-trace
+//! timeline of the run (open in Perfetto or `chrome://tracing`).
 
 use ada_gp::adagp::{AdaGp, AdaGpConfig, ScheduleConfig};
 use ada_gp::nn::containers::Sequential;
@@ -12,6 +15,7 @@ use ada_gp::nn::optim::Sgd;
 use ada_gp::tensor::{init, Prng};
 
 fn main() {
+    let _trace = ada_gp::obs::trace_guard_from_env("quickstart");
     let mut rng = Prng::seed_from_u64(7);
 
     // A 3-layer CNN for 10-class classification of 3x16x16 images.

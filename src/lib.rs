@@ -11,6 +11,7 @@
 //! * [`accel`] — accelerator cycle/energy/area models.
 //! * [`sim`] — discrete-event, layer-granular accelerator simulator.
 //! * [`pipeline`] — GPipe/DAPPLE/Chimera schedule models.
+//! * [`obs`] — spans, counters/histograms, Chrome-trace export.
 //!
 //! ```
 //! use ada_gp::adagp::{AdaGp, AdaGpConfig};
@@ -29,6 +30,7 @@
 pub use adagp_accel as accel;
 pub use adagp_core as adagp;
 pub use adagp_nn as nn;
+pub use adagp_obs as obs;
 pub use adagp_pipeline as pipeline;
 pub use adagp_runtime as runtime;
 pub use adagp_sim as sim;
