@@ -1,0 +1,107 @@
+//! Kernel-speed point for the perf trajectory: times the `*_large`
+//! acceptance shapes (the same ones the criterion bench uses) and writes
+//! `BENCH_kernels.json` in the `adagp-bench-snapshot-v1` schema.
+//!
+//! Regenerate the committed snapshot from the repo root with:
+//!
+//! ```text
+//! cargo run --release -p adagp-bench --bin bench_kernels
+//! ```
+//!
+//! Usage: `bench_kernels [--out <path>] [--reps <n>]`.
+//!
+//! Each workload runs once unrecorded as warm-up (pool spin-up, page
+//! cache), then `reps` timed reps; the snapshot stores `{median_us,
+//! mad_us, min_us}` per workload, which is exactly what `perf_gate`
+//! compares across revisions. Spans stay disabled — this point measures
+//! kernel speed, not observability overhead (that is `BENCH_obs.json`).
+
+use adagp_obs::bench::{EnvBlock, Snapshot, WorkloadStats};
+use adagp_tensor::conv::{conv2d, conv2d_backward_data, conv2d_backward_weight, Conv2dParams};
+use adagp_tensor::{init, Prng};
+use std::hint::black_box;
+use std::time::Instant;
+
+const REGENERATE: &str = "cargo run --release -p adagp-bench --bin bench_kernels";
+const DEFAULT_REPS: usize = 7;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_kernels [--out <path>] [--reps <n>]");
+    std::process::exit(2);
+}
+
+fn measure(snap: &mut Snapshot, reps: usize, name: &str, f: impl Fn()) {
+    f(); // warm-up rep, untimed
+    let samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_micros() as u64
+        })
+        .collect();
+    let stats = WorkloadStats::from_samples(&samples);
+    println!(
+        "{name:<22} median {:>8} us   mad {:>6} us   min {:>8} us",
+        stats.median_us, stats.mad_us, stats.min_us
+    );
+    snap.push_workload(name, stats);
+}
+
+fn main() {
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut reps = DEFAULT_REPS;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut rng = Prng::seed_from_u64(0);
+    let p = Conv2dParams::new(1, 1);
+    let xl = init::gaussian(&[8, 32, 32, 32], 0.0, 1.0, &mut rng);
+    let wl = init::gaussian(&[64, 32, 3, 3], 0.0, 0.1, &mut rng);
+    let yl = conv2d(&xl, &wl, None, &p);
+    let al = init::gaussian(&[256, 256], 0.0, 1.0, &mut rng);
+    let bl = init::gaussian(&[256, 256], 0.0, 1.0, &mut rng);
+
+    let env = EnvBlock::current(adagp_runtime::pool().size());
+    let mut snap = Snapshot::new("kernels", REGENERATE, reps as u64, env);
+    measure(&mut snap, reps, "conv2d_fw_large", || {
+        black_box(conv2d(black_box(&xl), black_box(&wl), None, &p));
+    });
+    measure(&mut snap, reps, "conv2d_bw_data_large", || {
+        black_box(conv2d_backward_data(
+            black_box(&yl),
+            black_box(&wl),
+            32,
+            32,
+            &p,
+        ));
+    });
+    measure(&mut snap, reps, "conv2d_bw_weight_large", || {
+        black_box(conv2d_backward_weight(
+            black_box(&xl),
+            black_box(&yl),
+            3,
+            3,
+            &p,
+        ));
+    });
+    measure(&mut snap, reps, "matmul_large_256", || {
+        black_box(black_box(&al).matmul(black_box(&bl)));
+    });
+
+    snap.sanity().expect("freshly measured snapshot is sane");
+    snap.write(out_path.as_ref())
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path} (label {})", snap.label);
+}

@@ -1,0 +1,79 @@
+//! Sweep-throughput point for the perf trajectory: times full grid
+//! evaluations of the `smoke` and `bandwidth_smoke` presets and writes
+//! `BENCH_sweep.json` in the `adagp-bench-snapshot-v1` schema.
+//!
+//! Regenerate the committed snapshot from the repo root with:
+//!
+//! ```text
+//! cargo run --release -p adagp-bench --bin bench_sweep
+//! ```
+//!
+//! Usage: `bench_sweep [--out <path>] [--reps <n>]`.
+//!
+//! One warm-up grid per preset runs first — it also populates the
+//! process-global roofline-knee memo, so no timed rep pays the
+//! cold-cache penalty. Workload times are whole-grid wall micros (the
+//! unit `perf_gate` compares); the printed cells/sec figure is the
+//! human-facing throughput derived from the median.
+
+use adagp_obs::bench::{EnvBlock, Snapshot, WorkloadStats};
+use adagp_sweep::{presets, runner, GridSpec};
+use std::time::Instant;
+
+const REGENERATE: &str = "cargo run --release -p adagp-bench --bin bench_sweep";
+const DEFAULT_REPS: usize = 7;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_sweep [--out <path>] [--reps <n>]");
+    std::process::exit(2);
+}
+
+fn measure(snap: &mut Snapshot, reps: usize, spec: &GridSpec) {
+    let warm = runner::run_grid(spec);
+    let cells = warm.cells.len().max(1);
+    let samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let grid = runner::run_grid(spec);
+            let us = t.elapsed().as_micros() as u64;
+            assert_eq!(grid.cells.len(), cells, "grid size changed between reps");
+            us
+        })
+        .collect();
+    let stats = WorkloadStats::from_samples(&samples);
+    let cells_per_sec = cells as f64 / (stats.median_us.max(1) as f64 / 1e6);
+    println!(
+        "{:<16} median {:>8} us   mad {:>6} us   min {:>8} us   {:>8.1} cells/s",
+        spec.name, stats.median_us, stats.mad_us, stats.min_us, cells_per_sec
+    );
+    snap.push_workload(&spec.name, stats);
+}
+
+fn main() {
+    let mut out_path = "BENCH_sweep.json".to_string();
+    let mut reps = DEFAULT_REPS;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+
+    let env = EnvBlock::current(adagp_runtime::pool().size());
+    let mut snap = Snapshot::new("sweep", REGENERATE, reps as u64, env);
+    measure(&mut snap, reps, &presets::smoke());
+    measure(&mut snap, reps, &presets::bandwidth_smoke());
+
+    snap.sanity().expect("freshly measured snapshot is sane");
+    snap.write(out_path.as_ref())
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path} (label {})", snap.label);
+}

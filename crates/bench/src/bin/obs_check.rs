@@ -1,18 +1,27 @@
-//! CI helper: validate a Chrome-trace dump or a `/metrics` scrape from
-//! the command line, with the exact same checkers the test suites use
-//! (`adagp_obs::validate_chrome_trace`, `adagp_serve::parse_metrics` +
+//! CI helper: validate a Chrome-trace dump, a `/metrics` scrape, a
+//! span-tree profile dump, or a `BENCH_*.json` snapshot from the command
+//! line, with the exact same checkers the test suites use
+//! (`adagp_obs::validate_chrome_trace`, `adagp_obs::validate_profile`,
+//! `adagp_obs::bench::Snapshot`, `adagp_serve::parse_metrics` +
 //! `check_invariants`) — no python in the loop.
 //!
 //! ```text
 //! obs_check trace <path>
 //! obs_check metrics <path> [--histogram <family>]...
+//! obs_check profile <path>
+//! obs_check bench <path>...
 //! ```
 //!
 //! `trace` fails on unparseable JSON, a missing `traceEvents` array,
 //! malformed span events, partially overlapping siblings on one lane, or
 //! an empty trace. `metrics` fails on malformed lines or violated
 //! counter/histogram invariants; each `--histogram <family>` additionally
-//! requires that family to be present with a nonzero `_count`.
+//! requires that family to be present with a nonzero `_count`. `profile`
+//! accepts either the `adagp-profile-v1` JSON tree or a collapsed-stack
+//! dump, enforces the tree invariants (calls ≥ 1, self ≤ total, children
+//! sum ≤ parent), and fails on an empty profile. `bench` parses each
+//! path as an `adagp-bench-snapshot-v1` file and runs its sanity check
+//! (non-empty workloads, `min ≤ median`, `mad ≤ median`).
 
 use std::process::ExitCode;
 
@@ -44,6 +53,32 @@ fn run(args: &[String]) -> Result<String, String> {
                 stats.spans, stats.metadata, stats.lanes
             ))
         }
+        [cmd, path] if cmd == "profile" => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let stats = adagp_obs::validate_profile(&text).map_err(|e| format!("{path}: {e}"))?;
+            if stats.nodes == 0 {
+                return Err(format!("{path}: profile contains no spans"));
+            }
+            Ok(format!(
+                "{path}: {} nodes, {} lanes, {} us total — ok",
+                stats.nodes, stats.lanes, stats.total_us
+            ))
+        }
+        [cmd, paths @ ..] if cmd == "bench" && !paths.is_empty() => {
+            let mut out = Vec::with_capacity(paths.len());
+            for path in paths {
+                let snap = adagp_obs::bench::Snapshot::load(path.as_ref())?;
+                snap.sanity().map_err(|e| format!("{path}: {e}"))?;
+                out.push(format!(
+                    "{path}: `{}` ({}), {} workloads × {} reps — ok",
+                    snap.name,
+                    snap.label,
+                    snap.workloads.len(),
+                    snap.reps
+                ));
+            }
+            Ok(out.join("\n"))
+        }
         [cmd, path, rest @ ..] if cmd == "metrics" => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
             let m = adagp_serve::parse_metrics(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -68,9 +103,9 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             Ok(out)
         }
-        _ => Err(
-            "usage: obs_check trace <path> | obs_check metrics <path> [--histogram <family>]..."
-                .to_string(),
-        ),
+        _ => Err("usage: obs_check trace <path> | obs_check metrics <path> \
+                  [--histogram <family>]... | obs_check profile <path> | \
+                  obs_check bench <path>..."
+            .to_string()),
     }
 }

@@ -1,7 +1,7 @@
 //! Observability overhead snapshot: times the pool-parallel kernel chain
 //! and the smoke sweep with span recording disabled vs enabled and
 //! writes the comparison to `BENCH_obs.json` (or the path given as the
-//! first argument).
+//! first argument) in the `adagp-bench-snapshot-v1` schema.
 //!
 //! Regenerate the committed snapshot from the repo root with:
 //!
@@ -12,19 +12,25 @@
 //! Methodology: one warm-up pass first (it also populates the sweep's
 //! process-global roofline-knee memo, so neither timed arm gets the
 //! cold-cache penalty), then `REPS` interleaved disabled/enabled reps of
-//! each workload with alternating order, reporting each arm's best
-//! observed time. Traced lanes are reset between reps so no rep pays
-//! drop-path effects another rep caused.
+//! each workload with alternating order, so slow drift (frequency
+//! scaling, cache residency) lands on both arms instead of biasing
+//! whichever ran second. Traced lanes are reset between reps so no rep
+//! pays drop-path effects another rep caused. Each arm becomes one
+//! snapshot workload (`kernel_disabled`, `kernel_enabled`, …) carrying
+//! `{median_us, mad_us, min_us}` — `perf_gate` compares any of them
+//! across revisions, and the disabled/enabled pairing inside one file
+//! is the overhead claim itself.
 
 use adagp_obs as obs;
+use adagp_obs::bench::{EnvBlock, Snapshot, WorkloadStats};
 use adagp_sweep::{presets, runner};
 use adagp_tensor::{init, Prng};
-use serde::Value;
 use std::time::Instant;
 
 const REPS: usize = 15;
 const KERNEL_ITERS: usize = 20;
 const SWEEP_ITERS: usize = 5;
+const REGENERATE: &str = "cargo run --release -p adagp-bench --bin obs_overhead";
 
 /// The pool-parallel kernel chain (same shape family as the noperturb
 /// battery, iterated to a measurable duration).
@@ -58,17 +64,9 @@ fn time_once(on: bool, f: impl Fn()) -> u64 {
     us
 }
 
-/// Minimum over reps: the best-observed run is the standard estimator
-/// for intrinsic cost when the noise (scheduler, frequency scaling) is
-/// strictly additive.
-fn best(samples: &[u64]) -> u64 {
-    *samples.iter().min().expect("at least one rep")
-}
-
-fn arm(name: &str, f: impl Fn()) -> (String, Value) {
-    // Interleave the arms rep-by-rep and alternate which goes first, so
-    // slow warm-up drift (frequency scaling, cache residency) lands on
-    // both medians instead of biasing whichever arm ran second.
+/// Times both arms of one workload, interleaved, and appends them to the
+/// snapshot as `<name>_disabled` / `<name>_enabled`.
+fn arm(snap: &mut Snapshot, name: &str, f: impl Fn()) {
     let mut off = Vec::with_capacity(REPS);
     let mut on = Vec::with_capacity(REPS);
     for rep in 0..REPS {
@@ -80,22 +78,19 @@ fn arm(name: &str, f: impl Fn()) -> (String, Value) {
             off.push(time_once(false, &f));
         }
     }
-    let disabled = best(&off);
-    let enabled = best(&on);
-    let overhead_pct = if disabled == 0 {
+    let disabled = WorkloadStats::from_samples(&off);
+    let enabled = WorkloadStats::from_samples(&on);
+    let overhead_pct = if disabled.median_us == 0 {
         0.0
     } else {
-        100.0 * (enabled as f64 - disabled as f64) / disabled as f64
+        100.0 * (enabled.median_us as f64 - disabled.median_us as f64) / disabled.median_us as f64
     };
-    println!("{name:<12} disabled {disabled:>8} us   enabled {enabled:>8} us   overhead {overhead_pct:+.2}%");
-    (
-        name.to_string(),
-        Value::object(vec![
-            ("disabled_us", Value::UInt(disabled)),
-            ("enabled_us", Value::UInt(enabled)),
-            ("overhead_pct", Value::Float(overhead_pct)),
-        ]),
-    )
+    println!(
+        "{name:<12} disabled {:>8} us (mad {:>5})   enabled {:>8} us (mad {:>5})   overhead {overhead_pct:+.2}%",
+        disabled.median_us, disabled.mad_us, enabled.median_us, enabled.mad_us,
+    );
+    snap.push_workload(&format!("{name}_disabled"), disabled);
+    snap.push_workload(&format!("{name}_enabled"), enabled);
 }
 
 fn main() {
@@ -107,31 +102,17 @@ fn main() {
     kernel_workload();
     sweep_workload();
 
-    let kernel = arm("kernel", || {
+    let env = EnvBlock::current(adagp_runtime::pool().size());
+    let mut snap = Snapshot::new("obs_overhead", REGENERATE, REPS as u64, env);
+    arm(&mut snap, "kernel", || {
         std::hint::black_box(kernel_workload());
     });
-    let sweep = arm("sweep_smoke", || {
+    arm(&mut snap, "sweep_smoke", || {
         std::hint::black_box(sweep_workload());
     });
 
-    let root = Value::object(vec![
-        (
-            "_regenerate",
-            Value::String("cargo run --release -p adagp-bench --bin obs_overhead".to_string()),
-        ),
-        ("bench", Value::String("obs_overhead".to_string())),
-        ("reps_per_arm", Value::UInt(REPS as u64)),
-        ("threads", Value::UInt(adagp_runtime::pool().size() as u64)),
-        (
-            "workloads",
-            Value::object(vec![
-                (kernel.0.as_str(), kernel.1),
-                (sweep.0.as_str(), sweep.1),
-            ]),
-        ),
-    ]);
-    let mut text = serde::json::to_string_pretty(&root);
-    text.push('\n');
-    std::fs::write(&out_path, &text).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
-    println!("wrote {out_path}");
+    snap.sanity().expect("freshly measured snapshot is sane");
+    snap.write(out_path.as_ref())
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path} (label {})", snap.label);
 }

@@ -1,0 +1,171 @@
+//! The perf-regression gate over the `BENCH_*` trajectory: compares two
+//! bench snapshots (or two directories of them) workload-by-workload and
+//! fails when a median slowed down beyond the noise band.
+//!
+//! ```text
+//! perf_gate <before> <after> [--floor <pct>] [--report-only]
+//! ```
+//!
+//! `<before>` and `<after>` are `adagp-bench-snapshot-v1` files, or
+//! directories whose `*.json` snapshots are paired by snapshot `name`.
+//! Exit codes follow `sweep diff`: **0** clean, **1** regression, **2**
+//! usage or unreadable/insane input. `--report-only` downgrades exit 1
+//! to 0 (for noisy runners where the comparison is informational) but
+//! never masks exit 2 — a snapshot that fails the MAD-band sanity check
+//! is broken data, not noise.
+//!
+//! ## The threshold
+//!
+//! A workload regresses when its median grew by more than
+//!
+//! ```text
+//! allowed = floor + 3 * (mad_before + mad_after) / median_before
+//! ```
+//!
+//! i.e. a configurable relative floor (default 5%, `--floor`) plus three
+//! combined MADs of measured noise. Robust statistics keep one slow rep
+//! from faking a regression in `<after>`, and keep one fast rep from
+//! hiding one in `<before>`. A median *shrinking* past the same band is
+//! reported as an improvement (informational — improvements never fail
+//! the gate, they just mean the committed snapshot understates the
+//! current speed and is worth regenerating). A workload or snapshot
+//! present before but missing after fails the gate: silently dropping a
+//! trajectory point is how regressions hide. On failure the gate prints
+//! the `regenerate` command stored in the before-snapshot verbatim.
+
+use adagp_obs::bench::Snapshot;
+use std::path::Path;
+use std::process::ExitCode;
+
+const DEFAULT_FLOOR_PCT: f64 = 5.0;
+
+const USAGE: &str = "usage: perf_gate <before> <after> [--floor <pct>] [--report-only]
+  <before>/<after>  snapshot file, or directory of *.json snapshots (paired by name)
+  --floor <pct>     minimum relative change considered real (default 5)
+  --report-only     print the comparison but exit 0 on regressions (never on bad input)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Loads one snapshot per `*.json` under `path` (or just `path` itself).
+fn load(path: &str) -> Result<Vec<Snapshot>, String> {
+    let p = Path::new(path);
+    if p.is_dir() {
+        let mut files: Vec<_> = std::fs::read_dir(p)
+            .map_err(|e| format!("{path}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|f| f.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("{path}: directory holds no *.json snapshots"));
+        }
+        files.iter().map(|f| Snapshot::load(f)).collect()
+    } else {
+        Ok(vec![Snapshot::load(p)?])
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut paths = Vec::new();
+    let mut floor_pct = DEFAULT_FLOOR_PCT;
+    let mut report_only = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--floor" => {
+                floor_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .ok_or(USAGE)?
+            }
+            "--report-only" => report_only = true,
+            _ if arg.starts_with('-') => return Err(format!("unknown flag `{arg}`\n{USAGE}")),
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [before_path, after_path] = paths.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+
+    let before = load(before_path)?;
+    let after = load(after_path)?;
+    for snap in before.iter().chain(&after) {
+        snap.sanity().map_err(|e| format!("insane snapshot: {e}"))?;
+    }
+
+    let floor = floor_pct / 100.0;
+    let mut regressions = 0u32;
+    let mut improvements = 0u32;
+    let mut compared = 0u32;
+    for b in &before {
+        let Some(a) = after.iter().find(|a| a.name == b.name) else {
+            println!(
+                "MISSING  snapshot `{}` present in {before_path}, absent in {after_path}",
+                b.name
+            );
+            regressions += 1;
+            continue;
+        };
+        if b.env != a.env {
+            println!(
+                "WARN     `{}`: env differs (before {}t/{}p, after {}t/{}p) — times are not like-for-like",
+                b.name, b.env.adagp_threads, b.env.nproc, a.env.adagp_threads, a.env.nproc
+            );
+        }
+        for (wname, wb) in &b.workloads {
+            let Some(wa) = a.workload(wname) else {
+                println!("MISSING  `{}/{wname}` absent in {after_path}", b.name);
+                regressions += 1;
+                continue;
+            };
+            compared += 1;
+            let base = wb.median_us.max(1) as f64;
+            let rel = (wa.median_us as f64 - wb.median_us as f64) / base;
+            let allowed = floor + 3.0 * (wb.mad_us + wa.mad_us) as f64 / base;
+            let verdict = if rel > allowed {
+                regressions += 1;
+                "REGRESS "
+            } else if rel < -allowed {
+                improvements += 1;
+                "IMPROVE "
+            } else {
+                "ok      "
+            };
+            println!(
+                "{verdict} `{}/{wname}`: {} -> {} us ({:+.1}% vs band ±{:.1}%)",
+                b.name,
+                wb.median_us,
+                wa.median_us,
+                rel * 100.0,
+                allowed * 100.0
+            );
+        }
+    }
+    println!(
+        "perf_gate: {compared} workloads compared, {regressions} regressions, {improvements} improvements (floor {floor_pct}%, labels {} -> {})",
+        before.iter().map(|s| s.label.as_str()).collect::<Vec<_>>().join(","),
+        after.iter().map(|s| s.label.as_str()).collect::<Vec<_>>().join(","),
+    );
+    if regressions > 0 {
+        for b in &before {
+            println!("regenerate `{}` with: {}", b.name, b.regenerate);
+        }
+        if report_only {
+            println!("perf_gate: report-only — not failing the build");
+            return Ok(true);
+        }
+        return Ok(false);
+    }
+    Ok(true)
+}

@@ -26,7 +26,9 @@ Usage:
         [--warm path]...     warm the cache from stored runs (repeatable)
         [--flush path]       write the cache snapshot on shutdown
 
-Endpoints: GET /health, GET /metrics, POST /grid, POST /shutdown.
+Endpoints: GET /health, GET /metrics, GET /profile, POST /grid,
+POST /shutdown. /profile serves the live span-tree profile (non-empty
+when running under ADAGP_TRACE or ADAGP_PROFILE).
 
 Exit codes:
   0  clean shutdown (drained and, if configured, flushed)
@@ -35,6 +37,7 @@ Exit codes:
 
 fn main() -> ExitCode {
     let _trace = adagp_obs::trace_guard_from_env("serve");
+    let _profile = adagp_obs::profile_guard_from_env();
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
         Ok(code) => code,
         Err(msg) => {

@@ -29,8 +29,11 @@
 
 use adagp_accel::{AdaGpDesign, Dataflow};
 use adagp_nn::models::CnnModel;
+use adagp_obs as obs;
 use adagp_serve::wire::grid_to_value;
-use adagp_serve::{check_invariants, fetch_metrics, server, submit_grid, CellCache, ServerConfig};
+use adagp_serve::{
+    check_invariants, fetch_metrics, http_request, server, submit_grid, CellCache, ServerConfig,
+};
 use adagp_sweep::grid::{DatasetScale, GridSpec, PhaseSchedule};
 use adagp_sweep::{evaluate_cell, metrics_to_array};
 use adagp_tensor::Prng;
@@ -228,6 +231,11 @@ fn run(opts: &Options) -> Result<(), String> {
     );
 
     // 2. The server under test: in-process unless --addr points away.
+    // Span recording on, so the in-process server's `GET /profile` has a
+    // real request tree to serve (step 4.5).
+    if opts.addr.is_none() {
+        obs::set_enabled(true);
+    }
     let flush =
         std::env::temp_dir().join(format!("adagp-serve-loadtest-{}.json", std::process::id()));
     let local = match opts.addr {
@@ -296,14 +304,14 @@ fn run(opts: &Options) -> Result<(), String> {
         return Err(format!("metrics inconsistent: {why}"));
     }
     if local.is_some() {
-        let distinct = merged.requested_ids.len() as u64;
+        let distinct = merged.requested_ids.len() as i128;
         if metrics["evaluations"] != distinct {
             return Err(format!(
                 "coalescing failed: {} evaluations for {distinct} distinct cells",
                 metrics["evaluations"]
             ));
         }
-        if metrics["cells_served"] != merged.cells {
+        if metrics["cells_served"] != merged.cells as i128 {
             return Err(format!(
                 "served {} cells, clients saw {}",
                 metrics["cells_served"], merged.cells
@@ -313,6 +321,23 @@ fn run(opts: &Options) -> Result<(), String> {
             "loadtest: metrics consistent; {} distinct cells evaluated exactly once \
              ({} overload rejections)",
             distinct, metrics["overload_rejections"]
+        );
+
+        // 4.5. The live span-tree profile: non-empty under load, and
+        // internally consistent (calls ≥ 1, self ≤ total, children sum ≤
+        // parent) — the same validator `obs_check profile` runs.
+        let reply = http_request(addr, "GET", "/profile", None)?;
+        if reply.status != 200 {
+            return Err(format!("/profile answered {}", reply.status));
+        }
+        let stats = obs::validate_profile(&reply.body)
+            .map_err(|e| format!("/profile body invalid: {e}"))?;
+        if stats.nodes == 0 {
+            return Err("/profile returned an empty span tree under load".to_string());
+        }
+        println!(
+            "loadtest: /profile consistent; {} nodes across {} lanes, {} us total",
+            stats.nodes, stats.lanes, stats.total_us
         );
     }
 

@@ -10,16 +10,14 @@
 //! * the smoke sweep grid's CSV (per-cell spans plus histograms on the
 //!   instrumented runner), compared byte-for-byte.
 //!
-//! The recorder is process-global, so the tests serialize on one lock
-//! and always leave recording disabled.
+//! The recorder is process-global, so the tests serialize on
+//! `obs::test_guard()`, which also leaves recording disabled and the
+//! lanes clear for whoever runs next.
 
 use adagp_obs as obs;
 use adagp_runtime::with_threads;
 use adagp_sweep::{presets, runner, store};
 use adagp_tensor::{init, Prng};
-use std::sync::Mutex;
-
-static LOCK: Mutex<()> = Mutex::new(());
 
 /// Runs `f` with span recording forced on or off, restoring "off" after.
 fn with_tracing<R>(on: bool, f: impl FnOnce() -> R) -> R {
@@ -42,7 +40,7 @@ fn kernel_bits() -> Vec<u32> {
 
 #[test]
 fn kernels_are_bit_identical_with_tracing_on() {
-    let _g = LOCK.lock().unwrap();
+    let _g = obs::test_guard();
     for threads in [1usize, 4] {
         let plain = with_threads(threads, || with_tracing(false, kernel_bits));
         let traced = with_threads(threads, || with_tracing(true, kernel_bits));
@@ -51,12 +49,11 @@ fn kernels_are_bit_identical_with_tracing_on() {
             "tracing perturbed kernels at {threads} threads"
         );
     }
-    obs::reset();
 }
 
 #[test]
 fn sweep_csv_is_byte_identical_with_tracing_on() {
-    let _g = LOCK.lock().unwrap();
+    let _g = obs::test_guard();
     let csv = |on: bool| {
         with_tracing(on, || {
             store::to_csv_string(&runner::run_grid(&presets::smoke()))
@@ -77,5 +74,4 @@ fn sweep_csv_is_byte_identical_with_tracing_on() {
         obs::snapshot().span_count() > 0,
         "traced runs recorded no spans: the no-perturb check is vacuous"
     );
-    obs::reset();
 }

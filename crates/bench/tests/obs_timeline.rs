@@ -23,9 +23,6 @@ use adagp_obs as obs;
 use adagp_runtime::StageReport;
 use adagp_sim::{SimBuilder, TaskKind, TaskSpec};
 use adagp_tensor::{init, Prng};
-use std::sync::Mutex;
-
-static LOCK: Mutex<()> = Mutex::new(());
 
 const BATCHES: usize = 12;
 
@@ -61,9 +58,8 @@ fn pipelined_epoch() -> Vec<StageReport> {
 
 #[test]
 fn measured_trace_is_parseable_and_well_nested() {
-    let _g = LOCK.lock().unwrap();
+    let _g = obs::test_guard();
     obs::set_enabled(true);
-    obs::reset();
     let stages = pipelined_epoch();
     obs::set_enabled(false);
     assert_eq!(stages.len(), 3);
@@ -90,12 +86,11 @@ fn measured_trace_is_parseable_and_well_nested() {
             "no `{stage}` stage span recorded"
         );
     }
-    obs::reset();
 }
 
 #[test]
 fn measured_bottleneck_occupancy_matches_sim_prediction() {
-    let _g = LOCK.lock().unwrap();
+    let _g = obs::test_guard();
     let stages = pipelined_epoch();
 
     // Model the 3-stage pipeline in adagp-sim with the measured mean

@@ -1,0 +1,194 @@
+//! End-to-end checks of the `perf_gate` binary: the acceptance contract
+//! is exit 0 on an unchanged workload, exit 1 on an injected 2×
+//! slowdown, exit 2 on garbage input — driven through the real CLI, not
+//! library calls.
+
+use adagp_obs::bench::{EnvBlock, Snapshot, WorkloadStats};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn perf_gate() -> Command {
+    // Integration tests sit next to the binaries under target/<profile>.
+    let mut bin = std::env::current_exe().expect("test exe");
+    bin.pop();
+    if bin.ends_with("deps") {
+        bin.pop();
+    }
+    Command::new(bin.join("perf_gate"))
+}
+
+fn run_gate(args: &[&str]) -> (i32, String) {
+    let out = perf_gate().args(args).output().expect("run perf_gate");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().expect("exit code"), text)
+}
+
+fn snapshot(name: &str, workloads: &[(&str, u64, u64)]) -> Snapshot {
+    let mut snap = Snapshot {
+        name: name.to_string(),
+        label: "test-fixture".to_string(),
+        regenerate: format!("cargo run --release -p adagp-bench --bin {name}"),
+        reps: 5,
+        env: EnvBlock {
+            adagp_threads: 1,
+            nproc: 1,
+        },
+        workloads: Vec::new(),
+    };
+    for &(wname, median, mad) in workloads {
+        snap.push_workload(
+            wname,
+            WorkloadStats {
+                median_us: median,
+                mad_us: mad,
+                min_us: median.saturating_sub(mad),
+            },
+        );
+    }
+    snap
+}
+
+fn write(dir: &Path, file: &str, snap: &Snapshot) -> String {
+    let path = dir.join(file);
+    snap.write(&path).expect("write snapshot fixture");
+    path.to_string_lossy().into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adagp-perf-gate-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn unchanged_workload_passes_and_double_slowdown_fails() {
+    let dir = temp_dir("basic");
+    let before = snapshot("kernels", &[("conv", 10_000, 100), ("matmul", 2_000, 50)]);
+    let same = write(&dir, "same.json", &before);
+    let base = write(&dir, "before.json", &before);
+
+    // Re-run of an unchanged workload: identical medians, exit 0.
+    let (code, out) = run_gate(&[&base, &same]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("0 regressions"), "{out}");
+
+    // Injected 2x slowdown on one workload: exit 1, regenerate hint.
+    let slow = snapshot("kernels", &[("conv", 20_000, 100), ("matmul", 2_000, 50)]);
+    let slow = write(&dir, "slow.json", &slow);
+    let (code, out) = run_gate(&[&base, &slow]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("REGRESS"), "{out}");
+    assert!(out.contains("conv"), "{out}");
+    assert!(
+        out.contains("cargo run --release -p adagp-bench --bin kernels"),
+        "regenerate hint missing: {out}"
+    );
+
+    // --report-only downgrades the regression to exit 0.
+    let (code, out) = run_gate(&[&base, &slow, "--report-only"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("REGRESS"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn noise_band_absorbs_mad_sized_wobble() {
+    let dir = temp_dir("band");
+    // 3 MADs each way + 5% floor: a 10% wobble on a high-MAD workload
+    // stays inside the band...
+    let before = snapshot("sweep", &[("smoke", 10_000, 400)]);
+    let after = snapshot("sweep", &[("smoke", 11_000, 400)]);
+    let b = write(&dir, "b.json", &before);
+    let a = write(&dir, "a.json", &after);
+    let (code, out) = run_gate(&[&b, &a]);
+    assert_eq!(code, 0, "{out}");
+    // ...but a tight --floor with tight MADs flags the same delta.
+    let before = snapshot("sweep", &[("smoke", 10_000, 10)]);
+    let after = snapshot("sweep", &[("smoke", 11_000, 10)]);
+    let b = write(&dir, "tight-b.json", &before);
+    let a = write(&dir, "tight-a.json", &after);
+    let (code, out) = run_gate(&[&b, &a, "--floor", "2"]);
+    assert_eq!(code, 1, "{out}");
+    // Improvements never fail the gate.
+    let (code, out) = run_gate(&[&a, &b, "--floor", "2"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("IMPROVE"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn directories_pair_by_name_and_missing_workloads_fail() {
+    let dir = temp_dir("dirs");
+    let before_dir = dir.join("before");
+    let after_dir = dir.join("after");
+    std::fs::create_dir_all(&before_dir).unwrap();
+    std::fs::create_dir_all(&after_dir).unwrap();
+    write(
+        &before_dir,
+        "BENCH_kernels.json",
+        &snapshot("kernels", &[("conv", 10_000, 100)]),
+    );
+    write(
+        &before_dir,
+        "BENCH_sweep.json",
+        &snapshot("sweep", &[("smoke", 3_000, 30)]),
+    );
+    write(
+        &after_dir,
+        "BENCH_kernels.json",
+        &snapshot("kernels", &[("conv", 10_100, 100)]),
+    );
+    write(
+        &after_dir,
+        "BENCH_sweep.json",
+        &snapshot("sweep", &[("smoke", 3_010, 30)]),
+    );
+    let (code, out) = run_gate(&[before_dir.to_str().unwrap(), after_dir.to_str().unwrap()]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("2 workloads compared"), "{out}");
+
+    // Dropping a workload from the after-side is a failure, not a skip.
+    write(
+        &after_dir,
+        "BENCH_kernels.json",
+        &snapshot("kernels", &[("other", 1, 0)]),
+    );
+    let (code, out) = run_gate(&[before_dir.to_str().unwrap(), after_dir.to_str().unwrap()]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("MISSING"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_input_is_exit_2_even_in_report_only() {
+    let dir = temp_dir("bad");
+    let good = write(&dir, "good.json", &snapshot("kernels", &[("conv", 10, 1)]));
+
+    // Usage errors.
+    let (code, _) = run_gate(&[]);
+    assert_eq!(code, 2);
+    let (code, _) = run_gate(&[&good, &good, "--bogus"]);
+    assert_eq!(code, 2);
+
+    // Unreadable / non-snapshot input.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "not json").unwrap();
+    let (code, out) = run_gate(&[&good, garbage.to_str().unwrap()]);
+    assert_eq!(code, 2, "{out}");
+
+    // MAD-band sanity violations are bad data, not noise: exit 2 even
+    // under --report-only.
+    let insane = dir.join("insane.json");
+    let mut snap = snapshot("kernels", &[("conv", 10, 1)]);
+    snap.workloads[0].1.mad_us = 1_000; // MAD > median: impossible
+    std::fs::write(&insane, snap.to_json()).unwrap();
+    let (code, out) = run_gate(&[&good, insane.to_str().unwrap(), "--report-only"]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("mad_us"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -12,7 +12,14 @@
 //!   histogram lines ([`metric`], [`registry`]);
 //! * a wall-clock Chrome-trace JSON writer ([`trace`]) shape-compatible
 //!   with `adagp-sim`'s cycle-domain exporter, so a **measured** training
-//!   run and its **simulated** timeline load side-by-side in Perfetto.
+//!   run and its **simulated** timeline load side-by-side in Perfetto;
+//! * a span-tree profiler ([`profile`]) folding the same buffers into
+//!   caller→callee trees with self/total micros — rendered as a flat
+//!   profile, collapsed stacks (flamegraph-compatible, `ADAGP_PROFILE`)
+//!   and the JSON tree `adagp-serve`'s `GET /profile` serves;
+//! * the bench-snapshot registry ([`bench`]) — the one schema every
+//!   committed `BENCH_*.json` perf-trajectory point uses, consumed by
+//!   the `perf_gate` regression CLI in `adagp-bench`.
 //!
 //! ## Cost model
 //!
@@ -24,15 +31,21 @@
 //! `adagp-bench`'s `obs_noperturb` battery proves kernel and sweep
 //! outputs bit-identical with tracing on vs off across thread counts.
 
+pub mod bench;
 pub mod metric;
+pub mod profile;
 pub mod recorder;
 pub mod registry;
 pub mod trace;
 
 pub use metric::{bucket_index, bucket_upper, Counter, Gauge, Histogram};
+pub use profile::{
+    build_profile, profile_guard_from_env, validate_profile, FlatLine, LaneProfile, Profile,
+    ProfileGuard, ProfileNode, ProfileStats, PROFILE_ENV, PROFILE_SCHEMA,
+};
 pub use recorder::{
-    enabled, now_ns, record_span, reset, set_enabled, snapshot, span, LaneSnapshot, SpanRecord,
-    TraceSnapshot,
+    enabled, now_ns, record_span, reset, set_enabled, snapshot, span, test_guard, LaneSnapshot,
+    SpanRecord, TestGuard, TraceSnapshot,
 };
 pub use registry::{registry, Registry};
 pub use trace::{

@@ -19,7 +19,9 @@
 //!
 //! Buckets are **disjoint** log2 ranges, not cumulative: bucket `i ≥ 1`
 //! holds observations in `[2^(i-1), 2^i)` and is labelled with its
-//! inclusive upper bound `2^i - 1`; bucket 0 holds exact zeros. The
+//! inclusive upper bound `2^i - 1`; bucket 0 holds exact zeros, and the
+//! top bucket (index 64, observations `≥ 2^63`) renders with the
+//! conventional `le="+Inf"` label rather than a 20-digit bound. The
 //! machine-checkable invariant every scraper can assert is therefore
 //! `sum of all _bucket lines == _count` (on a quiescent snapshot).
 
@@ -172,7 +174,11 @@ impl Histogram {
     /// races the render.
     pub fn render_into(&self, out: &mut String, prefix: &str, name: &str) {
         for (upper, n) in self.nonzero_buckets() {
-            out.push_str(&format!("{prefix}{name}_bucket{{le=\"{upper}\"}} {n}\n"));
+            if upper == u64::MAX {
+                out.push_str(&format!("{prefix}{name}_bucket{{le=\"+Inf\"}} {n}\n"));
+            } else {
+                out.push_str(&format!("{prefix}{name}_bucket{{le=\"{upper}\"}} {n}\n"));
+            }
         }
         out.push_str(&format!("{prefix}{name}_sum {}\n", self.sum()));
         out.push_str(&format!("{prefix}{name}_count {}\n", self.count()));
@@ -246,5 +252,59 @@ mod tests {
         assert!(out.contains("adagp_test_lat_us_count 3\n"), "{out}");
         // No empty-bucket lines.
         assert_eq!(out.matches("_bucket{").count(), 2);
+    }
+
+    #[test]
+    fn zero_lands_in_the_dedicated_zero_bucket() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!((h.count(), h.sum()), (2, 0));
+        assert_eq!(h.nonzero_buckets(), vec![(0, 2)]);
+        let mut out = String::new();
+        h.render_into(&mut out, "p_", "z");
+        assert!(out.contains("p_z_bucket{le=\"0\"} 2\n"), "{out}");
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_top_bucket_rendered_as_inf() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(h.nonzero_buckets(), vec![(u64::MAX, 1)]);
+        assert_eq!(h.sum(), u64::MAX);
+        let mut out = String::new();
+        h.render_into(&mut out, "p_", "top");
+        // An inf-bucket-only histogram: exactly one bucket line, labelled
+        // `+Inf`, reconciling with `_count`.
+        assert!(out.contains("p_top_bucket{le=\"+Inf\"} 1\n"), "{out}");
+        assert!(
+            !out.contains(&format!("le=\"{}\"", u64::MAX)),
+            "numeric label leaked for the top bucket: {out}"
+        );
+        assert!(out.contains("p_top_count 1\n"), "{out}");
+        assert_eq!(out.matches("_bucket{").count(), 1);
+    }
+
+    #[test]
+    fn bucket_boundary_values_land_in_the_right_buckets() {
+        // 2^k is the first value of bucket k+1; 2^k - 1 is the last of
+        // bucket k: the boundary pair always straddles two buckets.
+        for k in 1..=63usize {
+            let lo = 1u64 << (k - 1).min(62); // representative interior value
+            let first = 1u64 << k;
+            let last = first - 1;
+            assert_eq!(bucket_index(last), k, "2^{k}-1 closes bucket {k}");
+            assert_eq!(bucket_index(first), k + 1, "2^{k} opens bucket {}", k + 1);
+            assert!(bucket_index(lo) <= k);
+        }
+        // Record one boundary pair and check the counts reconcile.
+        let h = Histogram::new();
+        for v in [1u64, 1 << 10, (1 << 10) - 1, 1 << 62, u64::MAX, 0] {
+            h.record(v);
+        }
+        let total: u64 = h.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, h.count(), "sum(_bucket) == _count");
+        assert_eq!(h.count(), 6);
     }
 }

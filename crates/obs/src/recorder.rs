@@ -248,13 +248,20 @@ pub fn snapshot() -> TraceSnapshot {
 
 /// Clears every lane (lengths and drop counts back to zero).
 ///
-/// Only call while no thread is recording — the test batteries disable
-/// recording first and run their phases sequentially. A concurrent
-/// recorder would restart its lane from slot zero, which is memory-safe
-/// (slots are overwritten before being re-published) but scrambles the
-/// trace. Labels already in the cleared slots are leaked rather than
-/// dropped (dropping them from a foreign thread could race a misbehaving
-/// recorder); `reset` is a test/bench helper, not a hot-path API.
+/// ## Quiescence contract
+///
+/// `reset` is only safe to call while the recorder is **quiescent**: no
+/// thread is inside [`record_span`]/[`span`]. The supported way to get
+/// there is to disable recording with [`set_enabled`]`(false)` and join
+/// (or otherwise quiesce) every thread that was recording — which is
+/// exactly what [`test_guard`] does; obs-touching tests should hold one
+/// instead of rolling their own mutex. A call during concurrent
+/// recording is memory-safe (slots are overwritten before being
+/// re-published) but scrambles the trace: the recorder restarts its lane
+/// from slot zero mid-run. Labels already in the cleared slots are
+/// leaked rather than dropped (dropping them from a foreign thread could
+/// race a misbehaving recorder); `reset` is a test/bench helper, not a
+/// hot-path API.
 pub fn reset() {
     let lanes = LANES.lock().unwrap();
     for lane in lanes.iter() {
@@ -263,18 +270,56 @@ pub fn reset() {
     }
 }
 
+/// Serializes tests (and benches) that touch the process-global
+/// recorder. Held by [`test_guard`].
+static TEST_MUTEX: Mutex<()> = Mutex::new(());
+
+/// Exclusive, clean-slate access to the global recorder for a test.
+///
+/// Dropped guards re-disable and re-clear, so the next holder always
+/// starts from zero. Returned by [`test_guard`].
+#[derive(Debug)]
+pub struct TestGuard {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Drop for TestGuard {
+    fn drop(&mut self) {
+        // Runs before `_lock` releases: leave the recorder disabled and
+        // empty for whoever serializes in next.
+        set_enabled(false);
+        reset();
+    }
+}
+
+/// Takes the process-wide recorder lock and resets to a quiescent,
+/// disabled state — the one sanctioned way for tests to share the global
+/// recorder.
+///
+/// The guard satisfies [`reset`]'s quiescence contract on both edges:
+/// entry happens-after the previous holder's drop (which disabled
+/// recording and cleared the lanes), and the guard's own drop disables
+/// and clears again before releasing the lock. Tests that want recording
+/// call [`set_enabled`]`(true)` themselves after taking the guard, and
+/// must join any recording threads before dropping it. A panicked holder
+/// poisons nothing: the poison is shrugged off, and the drop-side reset
+/// restores the clean slate.
+pub fn test_guard() -> TestGuard {
+    let lock = TEST_MUTEX
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    set_enabled(false);
+    reset();
+    TestGuard { _lock: lock }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // The recorder is process-global; every test serializes on this.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
-
     #[test]
     fn disabled_recording_is_a_no_op() {
-        let _g = TEST_LOCK.lock().unwrap();
-        set_enabled(false);
-        reset();
+        let _g = test_guard();
         span("test", || "never".to_string(), || ());
         record_span("test", "never".to_string(), 0, 1);
         assert_eq!(snapshot().span_count(), 0);
@@ -282,9 +327,8 @@ mod tests {
 
     #[test]
     fn spans_are_recorded_in_order_with_monotone_times() {
-        let _g = TEST_LOCK.lock().unwrap();
+        let _g = test_guard();
         set_enabled(true);
-        reset();
         for i in 0..5 {
             span("test", || format!("s{i}"), || std::hint::black_box(i));
         }
@@ -309,9 +353,8 @@ mod tests {
 
     #[test]
     fn full_lanes_drop_and_count() {
-        let _g = TEST_LOCK.lock().unwrap();
+        let _g = test_guard();
         set_enabled(true);
-        reset();
         let over = 100u64;
         std::thread::Builder::new()
             .name("obs-drop-test".into())
@@ -332,14 +375,12 @@ mod tests {
             .expect("drop-test lane");
         assert_eq!(lane.spans.len(), LANE_CAPACITY);
         assert_eq!(lane.dropped, over);
-        reset();
     }
 
     #[test]
     fn concurrent_recording_lands_on_separate_lanes() {
-        let _g = TEST_LOCK.lock().unwrap();
+        let _g = test_guard();
         set_enabled(true);
-        reset();
         std::thread::scope(|s| {
             for t in 0..3 {
                 s.spawn(move || {
@@ -358,6 +399,18 @@ mod tests {
             .sum();
         assert_eq!(conc, 150);
         assert_eq!(snap.dropped(), 0);
-        reset();
+    }
+
+    #[test]
+    fn test_guard_leaves_a_clean_disabled_recorder() {
+        {
+            let _g = test_guard();
+            set_enabled(true);
+            record_span("test", "leftover".to_string(), 0, 1);
+            assert!(snapshot().span_count() > 0);
+        }
+        let _g = test_guard();
+        assert!(!enabled(), "previous guard left recording on");
+        assert_eq!(snapshot().span_count(), 0, "previous guard left spans");
     }
 }

@@ -221,13 +221,14 @@ pub fn submit_grid(addr: SocketAddr, spec_json: &str) -> Result<GridResponse, St
     })
 }
 
-/// Scrapes `/metrics` into a name → value map.
+/// Scrapes `/metrics` into a name → value map (`i128` values: gauges
+/// may be negative, histogram `_sum`s may exceed `i64`).
 ///
 /// # Errors
 ///
 /// Returns a description of a transport failure, a non-200 status, or a
 /// malformed metrics body.
-pub fn fetch_metrics(addr: SocketAddr) -> Result<HashMap<String, u64>, String> {
+pub fn fetch_metrics(addr: SocketAddr) -> Result<HashMap<String, i128>, String> {
     let reply = http_request(addr, "GET", "/metrics", None)?;
     if reply.status != 200 {
         return Err(format!("/metrics answered {}", reply.status));

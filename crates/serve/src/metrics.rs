@@ -147,8 +147,13 @@ impl ServerMetrics {
     /// Checks the cross-counter invariants (see module docs). `None`
     /// means consistent; `Some(why)` describes the first violation.
     pub fn consistent(&self) -> Option<String> {
-        let m: HashMap<&str, u64> = self.snapshot().into_iter().collect();
-        check_invariants(&m.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        check_invariants(
+            &self
+                .snapshot()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v as i128))
+                .collect(),
+        )
     }
 }
 
@@ -161,26 +166,37 @@ impl ServerMetrics {
 /// stored under their full labelled name, so
 /// [`check_invariants`] can sum each family against its `_count`.
 ///
+/// Values are `i128`: wide enough for the full `u64` range a histogram
+/// `_sum` can reach **and** for the negative values a gauge (e.g. an
+/// `adagp_obs` registry `Gauge`, which is `i64` underneath) legally
+/// renders.
+///
 /// # Errors
 ///
-/// Returns a description of the first malformed line.
-pub fn parse_metrics(text: &str) -> Result<HashMap<String, u64>, String> {
+/// Returns a description of the first malformed line, naming its
+/// 1-indexed line number.
+pub fn parse_metrics(text: &str) -> Result<HashMap<String, i128>, String> {
     let mut out = HashMap::new();
-    for line in text.lines() {
+    for (i, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
         }
+        let lineno = i + 1;
         let (name, value) = line
             .split_once(' ')
-            .ok_or_else(|| format!("malformed metrics line `{line}`"))?;
+            .ok_or_else(|| format!("line {lineno}: malformed metrics line `{line}`"))?;
         let name = match name.strip_prefix(PREFIX) {
             Some(stripped) => stripped,
             None if name.starts_with("adagp_") => name,
-            None => return Err(format!("metrics line without `adagp_` prefix: `{line}`")),
+            None => {
+                return Err(format!(
+                    "line {lineno}: metrics line without `adagp_` prefix: `{line}`"
+                ))
+            }
         };
-        let value: u64 = value
+        let value: i128 = value
             .parse()
-            .map_err(|_| format!("non-integer metrics value in `{line}`"))?;
+            .map_err(|_| format!("line {lineno}: non-integer metrics value in `{line}`"))?;
         out.insert(name.to_string(), value);
     }
     Ok(out)
@@ -191,8 +207,10 @@ pub fn parse_metrics(text: &str) -> Result<HashMap<String, u64>, String> {
 ///
 /// Checks the two cross-counter identities from the module docs plus,
 /// for every histogram family present (any `<family>_count` key), that
-/// the family's disjoint `_bucket` lines sum to its `_count`.
-pub fn check_invariants(m: &HashMap<String, u64>) -> Option<String> {
+/// the family's disjoint `_bucket` lines sum to its `_count`. A family
+/// whose only bucket line is the `+Inf` one is fine — every recorded
+/// value landing in the top bucket still has to reconcile with `_count`.
+pub fn check_invariants(m: &HashMap<String, i128>) -> Option<String> {
     let get = |name: &str| m.get(name).copied().unwrap_or(0);
     let (hits, misses, served) = (get("cell_hits"), get("cell_misses"), get("cells_served"));
     if hits + misses != served {
@@ -215,7 +233,7 @@ pub fn check_invariants(m: &HashMap<String, u64>) -> Option<String> {
             continue;
         }
         let bucket_prefix = format!("{family}_bucket{{");
-        let bucket_total: u64 = m
+        let bucket_total: i128 = m
             .iter()
             .filter(|(k, _)| k.starts_with(&bucket_prefix))
             .map(|(_, v)| *v)
@@ -264,7 +282,7 @@ mod tests {
 
     #[test]
     fn histogram_bucket_sums_are_checked() {
-        let mut m: HashMap<String, u64> = HashMap::new();
+        let mut m: HashMap<String, i128> = HashMap::new();
         m.insert("lat_us_bucket{le=\"7\"}".into(), 2);
         m.insert("lat_us_bucket{le=\"63\"}".into(), 1);
         m.insert("lat_us_sum 0".into(), 0); // red herring: malformed key, ignored
@@ -276,9 +294,38 @@ mod tests {
         assert!(why.contains("lat_us"), "{why}");
         // A `_count`-suffixed plain counter without a `_sum` companion is
         // not treated as a histogram family.
-        let mut plain: HashMap<String, u64> = HashMap::new();
+        let mut plain: HashMap<String, i128> = HashMap::new();
         plain.insert("widget_count".into(), 9);
         assert_eq!(check_invariants(&plain), None);
+    }
+
+    #[test]
+    fn inf_bucket_only_histograms_are_consistent() {
+        // Every recorded value in the top bucket: one `+Inf` line must
+        // reconcile with `_count` like any other family.
+        let text =
+            "adagp_big_us_bucket{le=\"+Inf\"} 3\nadagp_big_us_sum 300\nadagp_big_us_count 3\n";
+        let m = parse_metrics(text).expect("inf-bucket-only family parses");
+        assert_eq!(m["adagp_big_us_bucket{le=\"+Inf\"}"], 3);
+        assert_eq!(check_invariants(&m), None);
+        // ... and a reconciliation failure is still caught.
+        let bad =
+            "adagp_big_us_bucket{le=\"+Inf\"} 2\nadagp_big_us_sum 300\nadagp_big_us_count 3\n";
+        let m = parse_metrics(bad).unwrap();
+        assert!(check_invariants(&m).expect("mismatch").contains("big_us"));
+    }
+
+    #[test]
+    fn negative_gauges_and_full_u64_range_parse() {
+        let text = format!(
+            "adagp_serve_requests_in_flight -2\nadagp_pool_queue_depth -7\nadagp_serve_big_sum {}\n",
+            u64::MAX
+        );
+        let m = parse_metrics(&text).expect("negative gauges are legal");
+        assert_eq!(m["requests_in_flight"], -2);
+        assert_eq!(m["adagp_pool_queue_depth"], -7);
+        assert_eq!(m["big_sum"], u64::MAX as i128);
+        assert_eq!(check_invariants(&m), None);
     }
 
     #[test]
@@ -305,10 +352,13 @@ mod tests {
     }
 
     #[test]
-    fn malformed_scrapes_are_rejected() {
+    fn malformed_scrapes_are_rejected_with_line_numbers() {
         assert!(parse_metrics("adagp_serve_x 1\n\nadagp_serve_y 2\n").is_ok());
-        assert!(parse_metrics("no_prefix 1\n").is_err());
-        assert!(parse_metrics("adagp_serve_x one\n").is_err());
-        assert!(parse_metrics("adagp_serve_x\n").is_err());
+        let e = parse_metrics("adagp_serve_ok 1\nno_prefix 1\n").unwrap_err();
+        assert!(e.starts_with("line 2:"), "{e}");
+        let e = parse_metrics("adagp_serve_x one\n").unwrap_err();
+        assert!(e.starts_with("line 1:"), "{e}");
+        let e = parse_metrics("adagp_serve_a 1\n\nadagp_serve_x\n").unwrap_err();
+        assert!(e.starts_with("line 3:"), "{e}");
     }
 }

@@ -102,6 +102,8 @@ pub enum Routed {
     Health,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /profile`.
+    Profile,
     /// `POST /shutdown`.
     Shutdown,
     /// `POST /grid` with a decoded submission.
@@ -115,15 +117,18 @@ pub fn route(req: &Request) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => Routed::Health,
         ("GET", "/metrics") => Routed::Metrics,
+        ("GET", "/profile") => Routed::Profile,
         ("POST", "/shutdown") => Routed::Shutdown,
         ("POST", "/grid") => match parse_grid_request(&req.body) {
             Ok(spec) => Routed::Grid(spec),
             Err(msg) => Routed::Error(HttpError::new(400, msg)),
         },
-        (_, "/health" | "/metrics" | "/shutdown" | "/grid") => Routed::Error(HttpError::new(
-            405,
-            format!("method {} not allowed on {}", req.method, req.path),
-        )),
+        (_, "/health" | "/metrics" | "/profile" | "/shutdown" | "/grid") => {
+            Routed::Error(HttpError::new(
+                405,
+                format!("method {} not allowed on {}", req.method, req.path),
+            ))
+        }
         (_, path) => Routed::Error(HttpError::new(404, format!("no such endpoint `{path}`"))),
     }
 }
@@ -313,6 +318,16 @@ fn respond(
             body.push_str(&obs::registry().render("adagp_"));
             stream.write_all(&response(200, "text/plain; charset=utf-8", &body))
         }
+        Routed::Profile => {
+            // The live span-tree profile of this process, aggregated from
+            // the recorder's lanes on the spot (empty unless recording is
+            // on — run the server under `ADAGP_TRACE`/`ADAGP_PROFILE` or
+            // flip `obs::set_enabled`). Request spans are recorded *after*
+            // `respond` returns, so a scrape never contains its own
+            // in-flight request as a half-open span.
+            let body = obs::build_profile(&obs::snapshot()).to_json("adagp-serve live profile");
+            stream.write_all(&response(200, "application/json", &body))
+        }
         Routed::Shutdown => {
             stream.write_all(&response(
                 200,
@@ -490,6 +505,14 @@ mod tests {
             route(&req("GET", "/metrics", b"")),
             Routed::Metrics
         ));
+        assert!(matches!(
+            route(&req("GET", "/profile", b"")),
+            Routed::Profile
+        ));
+        match route(&req("POST", "/profile", b"")) {
+            Routed::Error(e) => assert_eq!(e.status, 405),
+            other => panic!("expected 405, got {other:?}"),
+        }
         assert!(matches!(
             route(&req("POST", "/shutdown", b"")),
             Routed::Shutdown

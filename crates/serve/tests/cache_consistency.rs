@@ -78,10 +78,10 @@ fn concurrent_submitters_of_one_cell_observe_exactly_one_evaluation() {
     let metrics = fetch_metrics(addr).expect("metrics scrape");
     assert_eq!(check_invariants(&metrics), None);
     assert_eq!(metrics["evaluations"], 1, "{metrics:?}");
-    assert_eq!(metrics["cells_served"], CLIENTS as u64, "{metrics:?}");
+    assert_eq!(metrics["cells_served"], CLIENTS as i128, "{metrics:?}");
     assert_eq!(
         metrics["cell_hits"] + metrics["coalesced_waits"],
-        CLIENTS as u64 - 1,
+        CLIENTS as i128 - 1,
         "{metrics:?}"
     );
     server.shutdown().expect("clean shutdown");

@@ -6,7 +6,9 @@
 //! ```
 //!
 //! Set `ADAGP_TRACE=/tmp/quickstart.trace.json` to dump a Chrome-trace
-//! timeline of the run (open in Perfetto or `chrome://tracing`).
+//! timeline of the run (open in Perfetto or `chrome://tracing`), and/or
+//! `ADAGP_PROFILE=/tmp/quickstart.collapsed` to dump a collapsed-stack
+//! span-tree profile (feed to any flamegraph tool).
 
 use ada_gp::adagp::{AdaGp, AdaGpConfig, ScheduleConfig};
 use ada_gp::nn::containers::Sequential;
@@ -16,6 +18,7 @@ use ada_gp::tensor::{init, Prng};
 
 fn main() {
     let _trace = ada_gp::obs::trace_guard_from_env("quickstart");
+    let _profile = ada_gp::obs::profile_guard_from_env();
     let mut rng = Prng::seed_from_u64(7);
 
     // A 3-layer CNN for 10-class classification of 3x16x16 images.
