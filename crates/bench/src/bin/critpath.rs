@@ -1,0 +1,616 @@
+//! `critpath` — critical-path and stall attribution over simulated and
+//! measured timelines (`obs::crit`, the `adagp-critpath-v1` schema).
+//!
+//! ```text
+//! critpath sim      [--preset NAME | sim_timeline-style flags] [--json PATH] [--top N]
+//! critpath measured [--threshold-us N] [--batches N] [--json PATH] [--top N]
+//! critpath diff     [--tolerance F] [--report-only] [--batches N]
+//!                   [--json PATH] [--sim-json PATH]
+//! ```
+//!
+//! * `sim` simulates a schedule (one cell via the `sim_timeline` flags,
+//!   or every cell × phase of a sweep preset via `--preset`) and walks
+//!   the zero-slack chain; every walk asserts the chain length equals
+//!   the simulated makespan **bit-exactly** and exits 1 otherwise. With
+//!   `--json`, the (last) report is written as `adagp-critpath-v1`.
+//! * `measured` runs the pipelined training epoch in-process with span
+//!   recording on, folds the recorded lanes into busy/queue-wait/idle
+//!   segments (threshold: `--threshold-us`, defaulting to the pool's
+//!   queue-wait histogram p95) and prints the same report shape.
+//! * `diff` runs both: the measured epoch, then a 3-stage pipeline sim
+//!   parameterized by the measured mean stage durations, and pairs each
+//!   stage's sim-predicted blame fraction with its measured busy
+//!   fraction. The bottleneck stage must agree in name and within
+//!   `--tolerance` (default 0.35, the `obs_timeline.rs` band) — exit 1
+//!   on disagreement unless `--report-only`.
+
+use adagp_accel::layer_cost::PredictorCostModel;
+use adagp_accel::{AcceleratorConfig, AdaGpDesign, Dataflow};
+use adagp_core::{AdaGp, AdaGpConfig};
+use adagp_nn::containers::Sequential;
+use adagp_nn::layers::{Conv2d, Flatten, Linear, Relu};
+use adagp_nn::models::CnnModel;
+use adagp_nn::optim::Sgd;
+use adagp_obs as obs;
+use adagp_obs::crit::CritReport;
+use adagp_runtime::StageReport;
+use adagp_sim::{
+    critical_path, model_sim_layers, simulate_batch, Phase, SimBuilder, SimConfig, TaskKind,
+    TaskSpec,
+};
+use adagp_sweep::shapes::cached_shapes;
+use adagp_sweep::{presets, DatasetScale};
+use adagp_tensor::{init, Prng};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: critpath sim      [--preset NAME] [--model VGG13] [--dataset cifar10|cifar100|imagenet]
+                         [--design low|efficient|max] [--dataflow ws|os|is|rs]
+                         [--phase baseline|bp|gp] [--no-contention] [--bandwidth N]
+                         [--buffer-words N] [--dram-ports N] [--json PATH] [--top N]
+       critpath measured [--threshold-us N] [--batches N] [--json PATH] [--top N]
+       critpath diff     [--tolerance F] [--report-only] [--batches N]
+                         [--json PATH] [--sim-json PATH]
+";
+
+struct SimOptions {
+    preset: Option<String>,
+    model: CnnModel,
+    dataset: DatasetScale,
+    design: AdaGpDesign,
+    dataflow: Dataflow,
+    phase: Phase,
+    cfg: SimConfig,
+    json: Option<PathBuf>,
+    top: usize,
+}
+
+struct MeasuredOptions {
+    threshold_us: Option<u64>,
+    batches: usize,
+    json: Option<PathBuf>,
+    top: usize,
+}
+
+struct DiffOptions {
+    tolerance: f64,
+    report_only: bool,
+    batches: usize,
+    json: Option<PathBuf>,
+    sim_json: Option<PathBuf>,
+}
+
+fn parse_model(raw: &str) -> Result<CnnModel, String> {
+    CnnModel::all()
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(raw))
+        .ok_or_else(|| {
+            let known: Vec<&str> = CnnModel::all().into_iter().map(|m| m.name()).collect();
+            format!("unknown model `{raw}` (known: {})", known.join(", "))
+        })
+}
+
+fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
+    let mut opt = SimOptions {
+        preset: None,
+        model: CnnModel::Vgg13,
+        dataset: DatasetScale::Cifar10,
+        design: AdaGpDesign::Max,
+        dataflow: Dataflow::WeightStationary,
+        phase: Phase::Gp,
+        cfg: SimConfig::default(),
+        json: None,
+        top: 10,
+    };
+    let mut no_contention = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--preset" => opt.preset = Some(value("--preset")?),
+            "--model" => opt.model = parse_model(&value("--model")?)?,
+            "--dataset" => {
+                opt.dataset = match value("--dataset")?.to_ascii_lowercase().as_str() {
+                    "cifar10" => DatasetScale::Cifar10,
+                    "cifar100" => DatasetScale::Cifar100,
+                    "imagenet" => DatasetScale::ImageNet,
+                    other => return Err(format!("unknown dataset `{other}`")),
+                }
+            }
+            "--design" => {
+                opt.design = match value("--design")?.to_ascii_lowercase().as_str() {
+                    "low" => AdaGpDesign::Low,
+                    "efficient" => AdaGpDesign::Efficient,
+                    "max" => AdaGpDesign::Max,
+                    other => return Err(format!("unknown design `{other}`")),
+                }
+            }
+            "--dataflow" => {
+                opt.dataflow = match value("--dataflow")?.to_ascii_lowercase().as_str() {
+                    "ws" => Dataflow::WeightStationary,
+                    "os" => Dataflow::OutputStationary,
+                    "is" => Dataflow::InputStationary,
+                    "rs" => Dataflow::RowStationary,
+                    other => return Err(format!("unknown dataflow `{other}`")),
+                }
+            }
+            "--phase" => {
+                opt.phase = match value("--phase")?.to_ascii_lowercase().as_str() {
+                    "baseline" => Phase::Baseline,
+                    "bp" => Phase::Bp,
+                    "gp" => Phase::Gp,
+                    other => return Err(format!("unknown phase `{other}`")),
+                }
+            }
+            "--no-contention" => no_contention = true,
+            "--bandwidth" => {
+                let raw = value("--bandwidth")?;
+                opt.cfg.dram_words_per_cycle = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--bandwidth: bad value `{raw}`"))?,
+                );
+            }
+            "--buffer-words" => {
+                let raw = value("--buffer-words")?;
+                opt.cfg.buffer_words = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--buffer-words: bad value `{raw}`"))?,
+                );
+            }
+            "--dram-ports" => {
+                let raw = value("--dram-ports")?;
+                opt.cfg.dram_ports = raw
+                    .parse()
+                    .map_err(|_| format!("--dram-ports: bad value `{raw}`"))?;
+            }
+            "--json" => opt.json = Some(PathBuf::from(value("--json")?)),
+            "--top" => {
+                let raw = value("--top")?;
+                opt.top = raw
+                    .parse()
+                    .map_err(|_| format!("--top: bad value `{raw}`"))?;
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if no_contention {
+        opt.cfg.dram_words_per_cycle = None;
+        opt.cfg.buffer_words = None;
+    }
+    Ok(opt)
+}
+
+fn parse_measured_args(args: &[String]) -> Result<MeasuredOptions, String> {
+    let mut opt = MeasuredOptions {
+        threshold_us: None,
+        batches: 12,
+        json: None,
+        top: 10,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--threshold-us" => {
+                let raw = value("--threshold-us")?;
+                opt.threshold_us = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--threshold-us: bad value `{raw}`"))?,
+                );
+            }
+            "--batches" => {
+                let raw = value("--batches")?;
+                opt.batches = raw
+                    .parse()
+                    .map_err(|_| format!("--batches: bad value `{raw}`"))?;
+            }
+            "--json" => opt.json = Some(PathBuf::from(value("--json")?)),
+            "--top" => {
+                let raw = value("--top")?;
+                opt.top = raw
+                    .parse()
+                    .map_err(|_| format!("--top: bad value `{raw}`"))?;
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if opt.batches == 0 {
+        return Err("--batches must be positive".into());
+    }
+    Ok(opt)
+}
+
+fn parse_diff_args(args: &[String]) -> Result<DiffOptions, String> {
+    let mut opt = DiffOptions {
+        tolerance: 0.35,
+        report_only: false,
+        batches: 12,
+        json: None,
+        sim_json: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--tolerance" => {
+                let raw = value("--tolerance")?;
+                opt.tolerance = raw
+                    .parse()
+                    .map_err(|_| format!("--tolerance: bad value `{raw}`"))?;
+            }
+            "--report-only" => opt.report_only = true,
+            "--batches" => {
+                let raw = value("--batches")?;
+                opt.batches = raw
+                    .parse()
+                    .map_err(|_| format!("--batches: bad value `{raw}`"))?;
+            }
+            "--json" => opt.json = Some(PathBuf::from(value("--json")?)),
+            "--sim-json" => opt.sim_json = Some(PathBuf::from(value("--sim-json")?)),
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if opt.batches == 0 {
+        return Err("--batches must be positive".into());
+    }
+    Ok(opt)
+}
+
+/// Writes a report as `adagp-critpath-v1`, re-validating it on the way
+/// out so a file this binary produced always machine-checks.
+fn write_report(path: &PathBuf, report: &CritReport) -> Result<(), String> {
+    let json = report.to_json();
+    obs::validate_critpath(&json).map_err(|e| format!("self-check failed: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {} report to {}", report.mode, path.display());
+    Ok(())
+}
+
+/// Critical-path of one simulated batch, with the bit-exact chain
+/// invariant enforced.
+fn sim_report(sim: &adagp_sim::BatchSim, title: &str) -> Result<CritReport, String> {
+    let report = critical_path(&sim.result, title);
+    let chain_sum: u64 = report.chain.iter().map(|c| c.end - c.start).sum();
+    if chain_sum != sim.result.makespan {
+        return Err(format!(
+            "{title}: chain sums to {chain_sum} cycles, makespan is {} — zero-slack walk broken",
+            sim.result.makespan
+        ));
+    }
+    obs::validate_critpath(&report.to_json()).map_err(|e| format!("{title}: {e}"))?;
+    Ok(report)
+}
+
+fn run_sim(opt: &SimOptions) -> Result<(), String> {
+    if let Some(name) = &opt.preset {
+        let grid = presets::by_name(name).ok_or_else(|| format!("unknown preset `{name}`"))?;
+        let cells = grid.expand();
+        let mut last: Option<CritReport> = None;
+        for spec in &cells {
+            let cfg = adagp_sweep::cell_sim_config(spec, &opt.cfg);
+            let shapes = cached_shapes(spec.model, spec.dataset.input_scale());
+            let layers = model_sim_layers(
+                &AcceleratorConfig::default(),
+                spec.dataflow,
+                &PredictorCostModel::default(),
+                &shapes,
+                &cfg,
+            );
+            for (phase, design) in [
+                (Phase::Baseline, None),
+                (Phase::Bp, Some(spec.design)),
+                (Phase::Gp, Some(spec.design)),
+            ] {
+                let sim = simulate_batch(phase, design, &layers, &cfg);
+                let title = format!("{} {}", spec.key(), phase.name());
+                let report = sim_report(&sim, &title)?;
+                let top = report.blame.first();
+                println!(
+                    "{} {:<8} makespan {:>12}  chain {:>4} segments  top blame {}",
+                    spec.id,
+                    phase.name(),
+                    report.makespan,
+                    report.chain.len(),
+                    top.map_or_else(
+                        || "-".to_string(),
+                        |b| format!("{}/{} {:.1}%", b.lane, b.kind, b.fraction * 100.0)
+                    ),
+                );
+                last = Some(report);
+            }
+        }
+        println!(
+            "critpath sim: {} cells x 3 phases, every chain bit-exact against its makespan",
+            cells.len()
+        );
+        if let Some(path) = &opt.json {
+            write_report(path, &last.ok_or("preset expanded to no cells")?)?;
+        }
+    } else {
+        let shapes = cached_shapes(opt.model, opt.dataset.input_scale());
+        let layers = model_sim_layers(
+            &AcceleratorConfig::default(),
+            opt.dataflow,
+            &PredictorCostModel::default(),
+            &shapes,
+            &opt.cfg,
+        );
+        let design = match opt.phase {
+            Phase::Baseline => None,
+            _ => Some(opt.design),
+        };
+        let sim = simulate_batch(opt.phase, design, &layers, &opt.cfg);
+        let title = format!(
+            "{} {} {} {}",
+            opt.model.name(),
+            opt.dataset.name(),
+            design.map_or("baseline", |d| d.name()),
+            opt.phase.name()
+        );
+        let report = sim_report(&sim, &title)?;
+        print!("{}", report.render(opt.top));
+        if let Some(path) = &opt.json {
+            write_report(path, &report)?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs one pipelined training epoch with span recording enabled and
+/// returns the stage reports plus the recorder snapshot (the same
+/// workload `obs_timeline.rs` locks the measured-vs-sim tolerance on).
+fn recorded_epoch(batches: usize) -> (Vec<StageReport>, obs::TraceSnapshot) {
+    obs::set_enabled(true);
+    let mut rng = Prng::seed_from_u64(5);
+    let mut m = Sequential::new();
+    m.push(Conv2d::new(3, 8, 3, 1, 1, true, &mut rng));
+    m.push(Relu::new());
+    m.push(Flatten::new());
+    m.push(Linear::new(8 * 16 * 16, 10, true, &mut rng));
+    let mut adagp = AdaGp::new(AdaGpConfig::default(), &mut m, &mut rng);
+    let mut opt = Sgd::new(0.02, 0.9);
+    let mut data_rng = Prng::seed_from_u64(17);
+    let data: Vec<(adagp_tensor::Tensor, Vec<usize>)> = (0..batches)
+        .map(|b| {
+            (
+                init::uniform(&[4, 3, 16, 16], -1.0, 1.0, &mut data_rng),
+                vec![b % 10; 4],
+            )
+        })
+        .collect();
+    let report = adagp.train_epoch_pipelined(&mut m, &mut opt, batches, 3, |b| data[b].clone());
+    obs::set_enabled(false);
+    (report.stages, obs::snapshot())
+}
+
+/// Folds the recorded epoch into the measured report: lanes renamed to
+/// their dominant pipeline stage, gaps classified by the explicit
+/// threshold or the pool's queue-wait p95.
+fn measured_report(
+    snap: &obs::TraceSnapshot,
+    threshold_us: Option<u64>,
+    title: &str,
+) -> (CritReport, Option<u64>) {
+    let threshold_ns = threshold_us
+        .map(|us| us * 1000)
+        .or_else(obs::measured_gap_threshold_ns);
+    let staged = obs::relabel_lanes_by_cat(snap, "stage");
+    (
+        obs::analyze_snapshot(&staged, threshold_ns, title),
+        threshold_ns,
+    )
+}
+
+fn run_measured(opt: &MeasuredOptions) -> Result<(), String> {
+    let (_stages, snap) = recorded_epoch(opt.batches);
+    let (report, threshold_ns) = measured_report(
+        &snap,
+        opt.threshold_us,
+        &format!("pipelined epoch ({} batches, measured)", opt.batches),
+    );
+    match threshold_ns {
+        Some(t) => println!("gap classifier threshold: {t} ns"),
+        None => println!("gap classifier threshold: none (all gaps idle)"),
+    }
+    print!("{}", report.render(opt.top));
+    if report.lanes.is_empty() {
+        return Err("no measured lanes recorded".into());
+    }
+    if let Some(path) = &opt.json {
+        write_report(path, &report)?;
+    }
+    Ok(())
+}
+
+fn run_diff(opt: &DiffOptions) -> Result<bool, String> {
+    let (stages, snap) = recorded_epoch(opt.batches);
+    let (measured, _) = measured_report(
+        &snap,
+        None,
+        &format!("pipelined epoch ({} batches, measured)", opt.batches),
+    );
+
+    // The sim side: the same idealized 3-stage pipeline obs_timeline.rs
+    // checks occupancies against, parameterized by the measured mean
+    // stage durations (nanoseconds as cycles).
+    let mean_ns = |r: &StageReport| (r.busy.as_nanos() as u64 / r.items.max(1)).max(1);
+    let durations: Vec<u64> = stages.iter().map(mean_ns).collect();
+    let mut b = SimBuilder::new();
+    let resources: Vec<_> = stages
+        .iter()
+        .map(|r| b.add_resource(r.name.clone(), 1))
+        .collect();
+    let mut prev: Vec<Option<usize>> = vec![None; stages.len()];
+    for batch in 0..opt.batches {
+        for (stage, (&resource, &duration)) in resources.iter().zip(&durations).enumerate() {
+            let mut deps = Vec::new();
+            if stage > 0 {
+                deps.push(prev[stage - 1].expect("upstream task"));
+            }
+            prev[stage] = Some(b.add_task(TaskSpec {
+                label: format!("{} b{batch}", stages[stage].name),
+                kind: TaskKind::Forward,
+                layer: None,
+                resource: Some(resource),
+                duration,
+                deps,
+                buffer_delta: 0,
+            }));
+        }
+    }
+    let result = b.simulate();
+    let sim = critical_path(
+        &result,
+        &format!("pipelined epoch ({} batches, sim)", opt.batches),
+    );
+    let chain_sum: u64 = sim.chain.iter().map(|c| c.end - c.start).sum();
+    if chain_sum != result.makespan {
+        return Err(format!(
+            "sim chain sums to {chain_sum}, makespan is {} — zero-slack walk broken",
+            result.makespan
+        ));
+    }
+
+    // Pair per stage: the sim column is the stage's share of the
+    // simulated critical path; the measured column is the stage lane's
+    // busy share of its extent. For the bottleneck stage both approach
+    // its occupancy, which is where the verdict anchors.
+    println!(
+        "critpath diff: {} batches; stage blame fractions (sim chain share vs measured busy share)",
+        opt.batches
+    );
+    println!(
+        "  {:<14} {:>10} {:>10} {:>8}",
+        "stage", "sim", "measured", "delta"
+    );
+    for stage in &stages {
+        let s = sim.lane_fraction(&stage.name);
+        let m = measured
+            .lanes
+            .iter()
+            .find(|l| l.name == stage.name)
+            .map_or(0.0, |l| {
+                if l.extent == 0 {
+                    0.0
+                } else {
+                    l.busy as f64 / l.extent as f64
+                }
+            });
+        println!(
+            "  {:<14} {:>9.1}% {:>9.1}% {:>+7.1}%",
+            stage.name,
+            s * 100.0,
+            m * 100.0,
+            (s - m) * 100.0
+        );
+    }
+
+    let sim_bottleneck = stages
+        .iter()
+        .max_by(|a, b| {
+            sim.lane_fraction(&a.name)
+                .partial_cmp(&sim.lane_fraction(&b.name))
+                .unwrap()
+        })
+        .expect("stages");
+    let measured_bottleneck = measured
+        .lanes
+        .iter()
+        .filter(|l| stages.iter().any(|s| s.name == l.name))
+        .max_by(|a, b| {
+            let occ = |l: &&obs::MeasuredLane| {
+                if l.extent == 0 {
+                    0.0
+                } else {
+                    l.busy as f64 / l.extent as f64
+                }
+            };
+            occ(a).partial_cmp(&occ(b)).unwrap()
+        })
+        .ok_or("no measured lane carries a stage name")?;
+    let s_frac = sim.lane_fraction(&sim_bottleneck.name);
+    let m_frac = if measured_bottleneck.extent == 0 {
+        0.0
+    } else {
+        measured_bottleneck.busy as f64 / measured_bottleneck.extent as f64
+    };
+    let agree =
+        sim_bottleneck.name == measured_bottleneck.name && (s_frac - m_frac).abs() <= opt.tolerance;
+    println!(
+        "bottleneck: sim says {} ({:.1}%), measured says {} ({:.1}%) -> {}",
+        sim_bottleneck.name,
+        s_frac * 100.0,
+        measured_bottleneck.name,
+        m_frac * 100.0,
+        if agree { "agree" } else { "DISAGREE" }
+    );
+
+    if let Some(path) = &opt.json {
+        write_report(path, &measured)?;
+    }
+    if let Some(path) = &opt.sim_json {
+        write_report(path, &sim)?;
+    }
+    Ok(agree)
+}
+
+fn main() -> ExitCode {
+    let _trace = obs::trace_guard_from_env("critpath");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match cmd {
+        "sim" => parse_sim_args(rest).and_then(|opt| run_sim(&opt).map(|()| true)),
+        "measured" => parse_measured_args(rest).and_then(|opt| run_measured(&opt).map(|()| true)),
+        "diff" => parse_diff_args(rest).and_then(|opt| {
+            let report_only = opt.report_only;
+            run_diff(&opt).map(|agree| {
+                if !agree && report_only {
+                    println!("report-only: disagreement not enforced");
+                }
+                agree || report_only
+            })
+        }),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("critpath: unknown subcommand `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) if msg == "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("critpath: {msg}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! obs_check metrics <path> [--histogram <family>]...
 //! obs_check profile <path>
 //! obs_check bench <path>...
+//! obs_check critpath <path>
 //! ```
 //!
 //! `trace` fails on unparseable JSON, a missing `traceEvents` array,
@@ -21,7 +22,11 @@
 //! dump, enforces the tree invariants (calls ≥ 1, self ≤ total, children
 //! sum ≤ parent), and fails on an empty profile. `bench` parses each
 //! path as an `adagp-bench-snapshot-v1` file and runs its sanity check
-//! (non-empty workloads, `min ≤ median`, `mad ≤ median`).
+//! (non-empty workloads, `min ≤ median`, `mad ≤ median`). `critpath`
+//! validates an `adagp-critpath-v1` report (`adagp_obs::validate_critpath`:
+//! chain contiguity, `Σ blame == makespan` in sim mode, exact per-lane
+//! busy/queue/idle accounting in measured mode) and additionally rejects
+//! degenerate reports with neither chain segments nor measured lanes.
 
 use std::process::ExitCode;
 
@@ -79,6 +84,17 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             Ok(out.join("\n"))
         }
+        [cmd, path] if cmd == "critpath" => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let stats = adagp_obs::validate_critpath(&text).map_err(|e| format!("{path}: {e}"))?;
+            if stats.chain == 0 && stats.lanes == 0 {
+                return Err(format!("{path}: report has no chain segments and no lanes"));
+            }
+            Ok(format!(
+                "{path}: {} report, makespan {}, {} chain segments, {} blame rows, {} lanes — ok",
+                stats.mode, stats.makespan, stats.chain, stats.blame, stats.lanes
+            ))
+        }
         [cmd, path, rest @ ..] if cmd == "metrics" => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
             let m = adagp_serve::parse_metrics(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -105,7 +121,7 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         _ => Err("usage: obs_check trace <path> | obs_check metrics <path> \
                   [--histogram <family>]... | obs_check profile <path> | \
-                  obs_check bench <path>..."
+                  obs_check bench <path>... | obs_check critpath <path>"
             .to_string()),
     }
 }

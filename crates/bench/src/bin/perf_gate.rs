@@ -3,7 +3,7 @@
 //! fails when a median slowed down beyond the noise band.
 //!
 //! ```text
-//! perf_gate <before> <after> [--floor <pct>] [--report-only]
+//! perf_gate <before> <after> [--floor <pct>] [--report-only] [--json <path>]
 //! ```
 //!
 //! `<before>` and `<after>` are `adagp-bench-snapshot-v1` files, or
@@ -32,17 +32,29 @@
 //! present before but missing after fails the gate: silently dropping a
 //! trajectory point is how regressions hide. On failure the gate prints
 //! the `regenerate` command stored in the before-snapshot verbatim.
+//!
+//! `--json <path>` additionally writes the full comparison as an
+//! `adagp-perfgate-v1` report: one row per compared workload (medians,
+//! relative delta, allowed band, verdict), the missing entries, and a
+//! summary block with the final gate outcome — the machine-readable
+//! form of exactly what the text output says.
 
 use adagp_obs::bench::Snapshot;
+use serde::Value;
 use std::path::Path;
 use std::process::ExitCode;
 
 const DEFAULT_FLOOR_PCT: f64 = 5.0;
 
-const USAGE: &str = "usage: perf_gate <before> <after> [--floor <pct>] [--report-only]
+const USAGE: &str =
+    "usage: perf_gate <before> <after> [--floor <pct>] [--report-only] [--json <path>]
   <before>/<after>  snapshot file, or directory of *.json snapshots (paired by name)
   --floor <pct>     minimum relative change considered real (default 5)
-  --report-only     print the comparison but exit 0 on regressions (never on bad input)";
+  --report-only     print the comparison but exit 0 on regressions (never on bad input)
+  --json <path>     also write the comparison as an adagp-perfgate-v1 report";
+
+/// Schema tag of the `--json` report.
+const PERFGATE_SCHEMA: &str = "adagp-perfgate-v1";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,6 +91,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut paths = Vec::new();
     let mut floor_pct = DEFAULT_FLOOR_PCT;
     let mut report_only = false;
+    let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -90,6 +103,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                     .ok_or(USAGE)?
             }
             "--report-only" => report_only = true,
+            "--json" => json_path = Some(it.next().ok_or(USAGE)?.clone()),
             _ if arg.starts_with('-') => return Err(format!("unknown flag `{arg}`\n{USAGE}")),
             _ => paths.push(arg.clone()),
         }
@@ -108,12 +122,18 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut regressions = 0u32;
     let mut improvements = 0u32;
     let mut compared = 0u32;
+    let mut rows: Vec<Value> = Vec::new();
+    let mut missing: Vec<Value> = Vec::new();
     for b in &before {
         let Some(a) = after.iter().find(|a| a.name == b.name) else {
             println!(
                 "MISSING  snapshot `{}` present in {before_path}, absent in {after_path}",
                 b.name
             );
+            missing.push(Value::object(vec![
+                ("snapshot", Value::String(b.name.clone())),
+                ("workload", Value::Null),
+            ]));
             regressions += 1;
             continue;
         };
@@ -126,6 +146,10 @@ fn run(args: &[String]) -> Result<bool, String> {
         for (wname, wb) in &b.workloads {
             let Some(wa) = a.workload(wname) else {
                 println!("MISSING  `{}/{wname}` absent in {after_path}", b.name);
+                missing.push(Value::object(vec![
+                    ("snapshot", Value::String(b.name.clone())),
+                    ("workload", Value::String(wname.clone())),
+                ]));
                 regressions += 1;
                 continue;
             };
@@ -142,6 +166,15 @@ fn run(args: &[String]) -> Result<bool, String> {
             } else {
                 "ok      "
             };
+            rows.push(Value::object(vec![
+                ("snapshot", Value::String(b.name.clone())),
+                ("workload", Value::String(wname.clone())),
+                ("before_us", Value::UInt(wb.median_us)),
+                ("after_us", Value::UInt(wa.median_us)),
+                ("rel", Value::Float(rel)),
+                ("allowed", Value::Float(allowed)),
+                ("verdict", Value::String(verdict.trim().to_string())),
+            ]));
             println!(
                 "{verdict} `{}/{wname}`: {} -> {} us ({:+.1}% vs band ±{:.1}%)",
                 b.name,
@@ -157,6 +190,28 @@ fn run(args: &[String]) -> Result<bool, String> {
         before.iter().map(|s| s.label.as_str()).collect::<Vec<_>>().join(","),
         after.iter().map(|s| s.label.as_str()).collect::<Vec<_>>().join(","),
     );
+    if let Some(path) = &json_path {
+        let report = Value::object(vec![
+            ("schema", Value::String(PERFGATE_SCHEMA.to_string())),
+            ("floor_pct", Value::Float(floor_pct)),
+            ("report_only", Value::Bool(report_only)),
+            ("workloads", Value::Array(rows)),
+            ("missing", Value::Array(missing)),
+            (
+                "summary",
+                Value::object(vec![
+                    ("compared", Value::UInt(u64::from(compared))),
+                    ("regressions", Value::UInt(u64::from(regressions))),
+                    ("improvements", Value::UInt(u64::from(improvements))),
+                    ("passed", Value::Bool(regressions == 0)),
+                ]),
+            ),
+        ]);
+        let mut text = serde::json::to_string_pretty(&report);
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        println!("perf_gate: wrote {PERFGATE_SCHEMA} report to {path}");
+    }
     if regressions > 0 {
         for b in &before {
             println!("regenerate `{}` with: {}", b.name, b.regenerate);

@@ -26,9 +26,10 @@ Usage:
         [--warm path]...     warm the cache from stored runs (repeatable)
         [--flush path]       write the cache snapshot on shutdown
 
-Endpoints: GET /health, GET /metrics, GET /profile, POST /grid,
-POST /shutdown. /profile serves the live span-tree profile (non-empty
-when running under ADAGP_TRACE or ADAGP_PROFILE).
+Endpoints: GET /health, GET /metrics, GET /profile, GET /critical,
+POST /grid, POST /shutdown. /profile serves the live span-tree profile
+and /critical the live stall attribution (adagp-critpath-v1); both are
+non-empty when running under ADAGP_TRACE or ADAGP_PROFILE.
 
 Exit codes:
   0  clean shutdown (drained and, if configured, flushed)

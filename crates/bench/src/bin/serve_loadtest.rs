@@ -339,6 +339,26 @@ fn run(opts: &Options) -> Result<(), String> {
             "loadtest: /profile consistent; {} nodes across {} lanes, {} us total",
             stats.nodes, stats.lanes, stats.total_us
         );
+
+        // 4.6. The live critical-path report: valid `adagp-critpath-v1`
+        // in measured mode with at least one lane under load — the same
+        // validator `obs_check critpath` runs.
+        let reply = http_request(addr, "GET", "/critical", None)?;
+        if reply.status != 200 {
+            return Err(format!("/critical answered {}", reply.status));
+        }
+        let crit = obs::validate_critpath(&reply.body)
+            .map_err(|e| format!("/critical body invalid: {e}"))?;
+        if crit.mode != "measured" || crit.lanes == 0 {
+            return Err(format!(
+                "/critical returned a degenerate report ({} mode, {} lanes)",
+                crit.mode, crit.lanes
+            ));
+        }
+        println!(
+            "loadtest: /critical consistent; {} lanes, {} blame rows, makespan {} ns",
+            crit.lanes, crit.blame, crit.makespan
+        );
     }
 
     // 5. Graceful shutdown and byte-stable flush (in-process mode only).

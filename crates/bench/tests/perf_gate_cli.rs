@@ -97,6 +97,57 @@ fn unchanged_workload_passes_and_double_slowdown_fails() {
 }
 
 #[test]
+fn json_report_mirrors_the_text_verdicts() {
+    let dir = temp_dir("json");
+    let before = snapshot("kernels", &[("conv", 10_000, 100), ("matmul", 2_000, 50)]);
+    let slow = snapshot("kernels", &[("conv", 20_000, 100)]);
+    let b = write(&dir, "b.json", &before);
+    let a = write(&dir, "a.json", &slow);
+    let report = dir.join("gate.json");
+    let (code, out) = run_gate(&[&b, &a, "--report-only", "--json", report.to_str().unwrap()]);
+    assert_eq!(code, 0, "{out}");
+
+    let text = std::fs::read_to_string(&report).expect("report written");
+    let root = serde::json::parse_value(&text).expect("report parses");
+    assert_eq!(
+        root.field("schema").unwrap().as_str().unwrap(),
+        "adagp-perfgate-v1"
+    );
+    let rows = match root.field("workloads").unwrap() {
+        serde::Value::Array(rows) => rows.clone(),
+        other => panic!("workloads is {other:?}"),
+    };
+    assert_eq!(rows.len(), 1, "one compared workload");
+    assert_eq!(rows[0].field("workload").unwrap().as_str().unwrap(), "conv");
+    assert_eq!(
+        rows[0].field("verdict").unwrap().as_str().unwrap(),
+        "REGRESS"
+    );
+    assert_eq!(
+        rows[0].field("before_us").unwrap().as_u64().unwrap(),
+        10_000
+    );
+    assert_eq!(rows[0].field("after_us").unwrap().as_u64().unwrap(), 20_000);
+    let missing = match root.field("missing").unwrap() {
+        serde::Value::Array(rows) => rows.clone(),
+        other => panic!("missing is {other:?}"),
+    };
+    assert_eq!(missing.len(), 1, "matmul dropped from the after-side");
+    assert_eq!(
+        missing[0].field("workload").unwrap().as_str().unwrap(),
+        "matmul"
+    );
+    let summary = root.field("summary").unwrap();
+    assert_eq!(summary.field("compared").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(summary.field("regressions").unwrap().as_u64().unwrap(), 2);
+    assert!(matches!(
+        summary.field("passed").unwrap(),
+        serde::Value::Bool(false)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn noise_band_absorbs_mad_sized_wobble() {
     let dir = temp_dir("band");
     // 3 MADs each way + 5% floor: a 10% wobble on a high-MAD workload

@@ -1,0 +1,995 @@
+//! Critical-path and stall attribution over both timeline sources.
+//!
+//! The workspace records two kinds of timelines: `adagp-sim` produces
+//! exact task DAG executions in the cycle domain, and the span recorder
+//! ([`crate::recorder`]) captures measured wall-clock lanes. This module
+//! answers the question both leave open — *why* is the makespan what it
+//! is — with one report shape for both sources:
+//!
+//! * [`analyze_dag`] walks a simulated DAG backwards from the last
+//!   completion along **zero-slack edges**: a task that started the
+//!   moment it became ready is bound by its gating dependency; a task
+//!   that waited in a resource FIFO is bound by the completion that
+//!   freed its slot. Either way the predecessor's end cycle equals the
+//!   task's start cycle *exactly*, so the chain tiles `[0, makespan]`
+//!   with no gaps and the summed chain-segment durations equal the
+//!   simulated makespan **bit-exactly** — the invariant
+//!   [`validate_critpath`] machine-checks. Chain time aggregates into a
+//!   per-`(lane, kind)` blame table (compute vs DRAM/spill vs predictor
+//!   time), and the FIFO waits the chain absorbed are reported per lane
+//!   as admission queueing.
+//! * [`analyze_snapshot`] folds measured pid-2 span buffers per lane
+//!   into gap-attributed segments: span coverage is **busy**, a gap no
+//!   longer than the classifier threshold (by default the pool's
+//!   queue-wait histogram p95 — see [`measured_gap_threshold_ns`]) is
+//!   **queue-wait**, and a longer gap is **idle**. Per lane,
+//!   `busy + queue-wait + idle == extent` exactly, and the same blame
+//!   table shape comes out with fractions of the total lane extent.
+//!
+//! Reports serialize as the `adagp-critpath-v1` JSON schema (tagged,
+//! like `adagp-profile-v1`) and render as a sorted blame table plus a
+//! top-K chain listing.
+
+use crate::recorder::TraceSnapshot;
+use serde::Value;
+
+/// Schema tag every serialized critical-path report carries.
+pub const CRITPATH_SCHEMA: &str = "adagp-critpath-v1";
+
+/// Tolerance for "blame fractions sum to one" float checks.
+pub const FRACTION_TOLERANCE: f64 = 1e-9;
+
+/// One task of a finished DAG execution, in the neutral form the
+/// analyzer consumes (`adagp-sim` converts its `SimResult` into this;
+/// anything with exact start/end/ready times and admission causes can).
+#[derive(Debug, Clone)]
+pub struct CritTask {
+    /// Display label.
+    pub label: String,
+    /// Work category (blame table column), e.g. `fwd` or `weight-load`.
+    pub kind: String,
+    /// Timeline lane (blame table row), e.g. the resource name.
+    pub lane: String,
+    /// Start time.
+    pub start: u64,
+    /// End time (`>= start`).
+    pub end: u64,
+    /// Time the task became ready (all dependencies complete).
+    pub ready: u64,
+    /// Dependency task indices.
+    pub deps: Vec<usize>,
+    /// For tasks that waited in an admission queue: the task whose
+    /// completion freed the capacity they started on (its `end` equals
+    /// this task's `start` exactly).
+    pub unblocked_by: Option<usize>,
+}
+
+/// How a chain segment's start time was bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Via {
+    /// The segment starts at time zero — the chain's origin.
+    Start,
+    /// Bound by a gating dependency (started the moment it was ready).
+    Dep,
+    /// Bound by resource admission (waited for the freeing completion).
+    Resource,
+}
+
+impl Via {
+    /// The tag serialized into the report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Via::Start => "start",
+            Via::Dep => "dep",
+            Via::Resource => "resource",
+        }
+    }
+}
+
+/// One segment of the zero-slack chain, in time order.
+#[derive(Debug, Clone)]
+pub struct ChainSegment {
+    /// Task label.
+    pub label: String,
+    /// Work category.
+    pub kind: String,
+    /// Lane (resource) name.
+    pub lane: String,
+    /// Segment start time.
+    pub start: u64,
+    /// Segment end time.
+    pub end: u64,
+    /// Time the task became ready (`start - ready` is its queue wait).
+    pub ready: u64,
+    /// How the segment's start was bound.
+    pub via: Via,
+}
+
+/// One row of the blame table: time the critical path spent in a
+/// `(lane, kind)` bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameEntry {
+    /// Lane (resource or thread) name.
+    pub lane: String,
+    /// Work category (`fwd`, `weight-load`, … for sim; `busy`,
+    /// `queue-wait`, `idle` for measured lanes).
+    pub kind: String,
+    /// Time in the report's unit.
+    pub time: u64,
+    /// `time` over the report's denominator (sim: makespan; measured:
+    /// summed lane extents). All fractions sum to one.
+    pub fraction: f64,
+}
+
+/// Admission queueing the zero-slack chain absorbed, per lane: the sum
+/// of `start - ready` over chain tasks that waited in that lane's FIFO.
+/// These cycles overlap the blocking predecessors' blame segments — they
+/// answer "how long was the chain stuck in queues", not "who ran".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueWait {
+    /// Lane the chain task queued on.
+    pub lane: String,
+    /// Summed wait time.
+    pub time: u64,
+}
+
+/// Gap-attributed summary of one measured lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasuredLane {
+    /// Lane name (thread name, or dominant stage label after
+    /// [`relabel_lanes_by_cat`]).
+    pub name: String,
+    /// First span start, nanoseconds since the trace epoch.
+    pub first: u64,
+    /// Last span end minus first span start.
+    pub extent: u64,
+    /// Time covered by at least one span.
+    pub busy: u64,
+    /// Inter-span gaps no longer than the classifier threshold.
+    pub queue_wait: u64,
+    /// Inter-span gaps longer than the threshold.
+    pub idle: u64,
+    /// Spans recorded on the lane.
+    pub spans: u64,
+}
+
+/// A complete critical-path report — one shape for both timeline
+/// sources, distinguished by `mode`.
+#[derive(Debug, Clone)]
+pub struct CritReport {
+    /// Human title.
+    pub title: String,
+    /// `"sim"` or `"measured"`.
+    pub mode: &'static str,
+    /// Time unit: `"cycles"` (sim) or `"ns"` (measured).
+    pub unit: &'static str,
+    /// Sim: the simulated makespan (bit-exactly the summed chain).
+    /// Measured: the global extent across all lanes.
+    pub makespan: u64,
+    /// Blame table, sorted by descending time then lane/kind.
+    pub blame: Vec<BlameEntry>,
+    /// The zero-slack chain in time order (sim mode only).
+    pub chain: Vec<ChainSegment>,
+    /// Per-lane admission queueing on the chain (sim mode only).
+    pub queue_wait: Vec<QueueWait>,
+    /// Per-lane gap attribution (measured mode only).
+    pub lanes: Vec<MeasuredLane>,
+}
+
+fn add_blame(blame: &mut Vec<BlameEntry>, lane: &str, kind: &str, time: u64) {
+    if time == 0 {
+        return;
+    }
+    match blame.iter_mut().find(|b| b.lane == lane && b.kind == kind) {
+        Some(b) => b.time += time,
+        None => blame.push(BlameEntry {
+            lane: lane.to_string(),
+            kind: kind.to_string(),
+            time,
+            fraction: 0.0,
+        }),
+    }
+}
+
+/// Fills fractions from `denominator` and applies the canonical sort
+/// (descending time, then lane, then kind).
+fn finish_blame(blame: &mut [BlameEntry], denominator: u64) {
+    for b in blame.iter_mut() {
+        b.fraction = if denominator == 0 {
+            0.0
+        } else {
+            b.time as f64 / denominator as f64
+        };
+    }
+    blame.sort_by(|a, b| {
+        b.time
+            .cmp(&a.time)
+            .then_with(|| a.lane.cmp(&b.lane))
+            .then_with(|| a.kind.cmp(&b.kind))
+    });
+}
+
+/// Walks the zero-slack chain of a finished DAG execution and attributes
+/// its time.
+///
+/// The walk starts at the task with the greatest end time (smallest
+/// index on ties) and repeatedly steps to the predecessor that bound the
+/// current task's start: the gating dependency when `start == ready`
+/// (the dependency whose end equals `ready`, smallest index on ties), or
+/// `unblocked_by` when the task waited for admission. Both predecessors
+/// end exactly at the current start, so the chain is contiguous and its
+/// summed durations equal the makespan bit-exactly. A malformed input
+/// (no predecessor ending at the start time) truncates the chain, which
+/// [`validate_critpath`] then rejects — garbage in, loud failure out.
+pub fn analyze_dag(tasks: &[CritTask], title: &str) -> CritReport {
+    let mut report = CritReport {
+        title: title.to_string(),
+        mode: "sim",
+        unit: "cycles",
+        makespan: 0,
+        blame: Vec::new(),
+        chain: Vec::new(),
+        queue_wait: Vec::new(),
+        lanes: Vec::new(),
+    };
+    let Some(last) = (0..tasks.len()).reduce(|best, i| {
+        if tasks[i].end > tasks[best].end {
+            i
+        } else {
+            best
+        }
+    }) else {
+        return report;
+    };
+    report.makespan = tasks[last].end;
+
+    let mut cur = last;
+    let mut chain_rev: Vec<(usize, Via)> = Vec::new();
+    loop {
+        let t = &tasks[cur];
+        let via = if t.start == 0 {
+            Via::Start
+        } else if t.start > t.ready {
+            Via::Resource
+        } else {
+            Via::Dep
+        };
+        chain_rev.push((cur, via));
+        let pred = match via {
+            Via::Start => break,
+            Via::Resource => t.unblocked_by.filter(|&p| tasks[p].end == t.start),
+            Via::Dep => t
+                .deps
+                .iter()
+                .copied()
+                .filter(|&d| tasks[d].end == t.start)
+                .min(),
+        };
+        match pred {
+            Some(p) => cur = p,
+            None => break, // malformed input; the validator will object
+        }
+    }
+    chain_rev.reverse();
+
+    for &(id, via) in &chain_rev {
+        let t = &tasks[id];
+        report.chain.push(ChainSegment {
+            label: t.label.clone(),
+            kind: t.kind.clone(),
+            lane: t.lane.clone(),
+            start: t.start,
+            end: t.end,
+            ready: t.ready,
+            via,
+        });
+        add_blame(&mut report.blame, &t.lane, &t.kind, t.end - t.start);
+        if via == Via::Resource {
+            let wait = t.start - t.ready;
+            match report.queue_wait.iter_mut().find(|q| q.lane == t.lane) {
+                Some(q) => q.time += wait,
+                None => report.queue_wait.push(QueueWait {
+                    lane: t.lane.clone(),
+                    time: wait,
+                }),
+            }
+        }
+    }
+    finish_blame(&mut report.blame, report.makespan);
+    report
+        .queue_wait
+        .sort_by(|a, b| b.time.cmp(&a.time).then_with(|| a.lane.cmp(&b.lane)));
+    report
+}
+
+/// The default measured-lane gap classifier threshold: the pool's
+/// queue-wait histogram (`runtime_pool_queue_wait_us`, recorded by
+/// `adagp-runtime` whenever tracing is enabled) p95, converted to
+/// nanoseconds. `None` until that histogram has observations — callers
+/// then treat every gap as idle or pass an explicit threshold.
+pub fn measured_gap_threshold_ns() -> Option<u64> {
+    crate::registry()
+        .histogram("runtime_pool_queue_wait_us")
+        .quantile(0.95)
+        .map(|us| us.saturating_mul(1000))
+}
+
+/// Folds a recorder snapshot into the measured critical-path report:
+/// per lane, span coverage is busy time and inter-span gaps classify as
+/// queue-wait (`gap <= threshold_ns`) or idle. Lanes without spans are
+/// skipped. See the module docs for the exact identities the result
+/// satisfies.
+pub fn analyze_snapshot(
+    snap: &TraceSnapshot,
+    threshold_ns: Option<u64>,
+    title: &str,
+) -> CritReport {
+    let threshold = threshold_ns.unwrap_or(0);
+    let mut report = CritReport {
+        title: title.to_string(),
+        mode: "measured",
+        unit: "ns",
+        makespan: 0,
+        blame: Vec::new(),
+        chain: Vec::new(),
+        queue_wait: Vec::new(),
+        lanes: Vec::new(),
+    };
+    let mut global: Option<(u64, u64)> = None;
+    for lane in &snap.lanes {
+        if lane.spans.is_empty() {
+            continue;
+        }
+        // Merge spans into disjoint busy intervals (nested and
+        // partially overlapping spans both coalesce).
+        let mut order: Vec<usize> = (0..lane.spans.len()).collect();
+        order.sort_by_key(|&i| {
+            let s = &lane.spans[i];
+            (s.start_ns, std::cmp::Reverse(s.end_ns))
+        });
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        for i in order {
+            let s = &lane.spans[i];
+            let (a, b) = (s.start_ns, s.end_ns.max(s.start_ns));
+            match merged.last_mut() {
+                Some((_, e)) if a <= *e => *e = (*e).max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        let first = merged[0].0;
+        let last = merged[merged.len() - 1].1;
+        let busy: u64 = merged.iter().map(|&(a, b)| b - a).sum();
+        let mut queue_wait = 0u64;
+        let mut idle = 0u64;
+        for w in merged.windows(2) {
+            let gap = w[1].0 - w[0].1;
+            if gap <= threshold {
+                queue_wait += gap;
+            } else {
+                idle += gap;
+            }
+        }
+        let extent = last - first;
+        debug_assert_eq!(busy + queue_wait + idle, extent);
+        global = Some(match global {
+            None => (first, last),
+            Some((lo, hi)) => (lo.min(first), hi.max(last)),
+        });
+        add_blame(&mut report.blame, &lane.name, "busy", busy);
+        add_blame(&mut report.blame, &lane.name, "queue-wait", queue_wait);
+        add_blame(&mut report.blame, &lane.name, "idle", idle);
+        report.lanes.push(MeasuredLane {
+            name: lane.name.clone(),
+            first,
+            extent,
+            busy,
+            queue_wait,
+            idle,
+            spans: lane.spans.len() as u64,
+        });
+    }
+    if let Some((lo, hi)) = global {
+        report.makespan = hi - lo;
+    }
+    let total_extent: u64 = report.lanes.iter().map(|l| l.extent).sum();
+    finish_blame(&mut report.blame, total_extent);
+    report
+}
+
+/// Renames each lane of `snap` to the name of its most frequent span of
+/// category `cat` (e.g. `"stage"`), when it has any — mapping thread
+/// lanes onto pipeline stages so a measured report's lanes pair with a
+/// sim report's resources. Lanes carrying several names of that category
+/// take the most frequent one (first recorded on ties); lanes without
+/// any keep their thread name.
+pub fn relabel_lanes_by_cat(snap: &TraceSnapshot, cat: &str) -> TraceSnapshot {
+    let mut out = snap.clone();
+    for lane in &mut out.lanes {
+        let mut counts: Vec<(&str, usize)> = Vec::new();
+        for s in &lane.spans {
+            if s.cat == cat {
+                match counts.iter_mut().find(|(n, _)| *n == s.name) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((&s.name, 1)),
+                }
+            }
+        }
+        if let Some(&(name, _)) = counts.iter().max_by_key(|&&(_, c)| c) {
+            lane.name = name.to_string();
+        }
+    }
+    out
+}
+
+impl CritReport {
+    /// Serializes the report as `adagp-critpath-v1` JSON (pretty, with a
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        let blame: Vec<Value> = self
+            .blame
+            .iter()
+            .map(|b| {
+                Value::object(vec![
+                    ("lane", Value::String(b.lane.clone())),
+                    ("kind", Value::String(b.kind.clone())),
+                    ("time", Value::UInt(b.time)),
+                    ("fraction", Value::Float(b.fraction)),
+                ])
+            })
+            .collect();
+        let chain: Vec<Value> = self
+            .chain
+            .iter()
+            .map(|s| {
+                Value::object(vec![
+                    ("label", Value::String(s.label.clone())),
+                    ("kind", Value::String(s.kind.clone())),
+                    ("lane", Value::String(s.lane.clone())),
+                    ("start", Value::UInt(s.start)),
+                    ("end", Value::UInt(s.end)),
+                    ("ready", Value::UInt(s.ready)),
+                    ("via", Value::String(s.via.name().into())),
+                ])
+            })
+            .collect();
+        let queue_wait: Vec<Value> = self
+            .queue_wait
+            .iter()
+            .map(|q| {
+                Value::object(vec![
+                    ("lane", Value::String(q.lane.clone())),
+                    ("time", Value::UInt(q.time)),
+                ])
+            })
+            .collect();
+        let lanes: Vec<Value> = self
+            .lanes
+            .iter()
+            .map(|l| {
+                Value::object(vec![
+                    ("name", Value::String(l.name.clone())),
+                    ("first", Value::UInt(l.first)),
+                    ("extent", Value::UInt(l.extent)),
+                    ("busy", Value::UInt(l.busy)),
+                    ("queue_wait", Value::UInt(l.queue_wait)),
+                    ("idle", Value::UInt(l.idle)),
+                    ("spans", Value::UInt(l.spans)),
+                ])
+            })
+            .collect();
+        let root = Value::object(vec![
+            ("schema", Value::String(CRITPATH_SCHEMA.into())),
+            ("title", Value::String(self.title.clone())),
+            ("mode", Value::String(self.mode.into())),
+            ("unit", Value::String(self.unit.into())),
+            ("makespan", Value::UInt(self.makespan)),
+            ("blame", Value::Array(blame)),
+            ("chain", Value::Array(chain)),
+            ("queue_wait", Value::Array(queue_wait)),
+            ("lanes", Value::Array(lanes)),
+        ]);
+        let mut out = serde::json::to_string_pretty(&root);
+        out.push('\n');
+        out
+    }
+
+    /// Renders the blame table plus, in sim mode, the queueing summary
+    /// and the `top_k` longest chain segments (measured mode lists the
+    /// lanes instead).
+    pub fn render(&self, top_k: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical path: {} [{}]\nmakespan {} {}\n",
+            self.title, self.mode, self.makespan, self.unit
+        ));
+        out.push_str("blame (lane x kind, share of ");
+        out.push_str(if self.mode == "sim" {
+            "makespan):\n"
+        } else {
+            "total lane extent):\n"
+        });
+        for b in &self.blame {
+            out.push_str(&format!(
+                "  {:<14} {:<12} {:>14} {:>6.1}%\n",
+                b.lane,
+                b.kind,
+                b.time,
+                b.fraction * 100.0
+            ));
+        }
+        if self.mode == "sim" {
+            if !self.queue_wait.is_empty() {
+                out.push_str("admission queueing absorbed on the chain:\n");
+                for q in &self.queue_wait {
+                    out.push_str(&format!("  {:<14} {:>14}\n", q.lane, q.time));
+                }
+            }
+            let mut by_dur: Vec<&ChainSegment> = self.chain.iter().collect();
+            by_dur.sort_by_key(|s| (std::cmp::Reverse(s.end - s.start), s.start));
+            out.push_str(&format!(
+                "chain: {} segments, longest {}:\n",
+                self.chain.len(),
+                top_k.min(by_dur.len())
+            ));
+            for s in by_dur.iter().take(top_k) {
+                out.push_str(&format!(
+                    "  [{:>12}..{:>12}) {:>12}  {:<14} {:<12} {} (via {})\n",
+                    s.start,
+                    s.end,
+                    s.end - s.start,
+                    s.lane,
+                    s.kind,
+                    s.label,
+                    s.via.name()
+                ));
+            }
+        } else {
+            out.push_str("lanes (busy / queue-wait / idle of extent):\n");
+            for l in &self.lanes {
+                out.push_str(&format!(
+                    "  {:<18} busy {:>14}  queue {:>12}  idle {:>14}  extent {:>14}  ({} spans)\n",
+                    l.name, l.busy, l.queue_wait, l.idle, l.extent, l.spans
+                ));
+            }
+        }
+        out
+    }
+
+    /// The blame fraction aggregated over one lane (all kinds).
+    pub fn lane_fraction(&self, lane: &str) -> f64 {
+        self.blame
+            .iter()
+            .filter(|b| b.lane == lane)
+            .map(|b| b.fraction)
+            .sum()
+    }
+}
+
+/// Shape statistics [`validate_critpath`] extracts from a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CritStats {
+    /// `"sim"` or `"measured"`.
+    pub mode: String,
+    /// The reported makespan.
+    pub makespan: u64,
+    /// Chain segments (sim mode).
+    pub chain: usize,
+    /// Blame table rows.
+    pub blame: usize,
+    /// Measured lanes (measured mode).
+    pub lanes: usize,
+}
+
+fn req_str(v: &Value, k: &str) -> Result<String, String> {
+    v.field(k)
+        .ok()
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {k}"))
+}
+
+fn req_u64(v: &Value, k: &str) -> Result<u64, String> {
+    v.field(k)
+        .ok()
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing u64 field {k}"))
+}
+
+fn req_array<'a>(v: &'a Value, k: &str) -> Result<&'a [Value], String> {
+    match v.field(k) {
+        Ok(Value::Array(a)) => Ok(a),
+        _ => Err(format!("missing array field {k}")),
+    }
+}
+
+/// Parses and machine-checks an `adagp-critpath-v1` report: chain
+/// contiguity from cycle 0 to the makespan, `Σ blame == makespan`
+/// bit-exactly, zero-slack consistency of every `via` tag (sim mode),
+/// and the per-lane `busy + queue-wait + idle == extent` identities
+/// (measured mode). Blame fractions must sum to one within
+/// [`FRACTION_TOLERANCE`] whenever the denominator is non-zero.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn validate_critpath(text: &str) -> Result<CritStats, String> {
+    let root = serde::json::parse_value(text).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = req_str(&root, "schema")?;
+    if schema != CRITPATH_SCHEMA {
+        return Err(format!("schema is {schema:?}, want {CRITPATH_SCHEMA:?}"));
+    }
+    let mode = req_str(&root, "mode")?;
+    if mode != "sim" && mode != "measured" {
+        return Err(format!("unknown mode {mode:?}"));
+    }
+    req_str(&root, "unit")?;
+    let makespan = req_u64(&root, "makespan")?;
+
+    let blame = req_array(&root, "blame")?;
+    let mut blame_time = 0u64;
+    let mut blame_fraction = 0f64;
+    for b in blame {
+        req_str(b, "lane")?;
+        req_str(b, "kind")?;
+        let time = req_u64(b, "time")?;
+        let frac = b
+            .field("fraction")
+            .ok()
+            .and_then(Value::as_f64)
+            .ok_or("blame entry without numeric fraction")?;
+        if !frac.is_finite() || !(0.0..=1.0 + FRACTION_TOLERANCE).contains(&frac) {
+            return Err(format!("blame fraction {frac} out of [0, 1]"));
+        }
+        blame_time += time;
+        blame_fraction += frac;
+    }
+
+    let chain = req_array(&root, "chain")?;
+    let lanes = req_array(&root, "lanes")?;
+
+    if mode == "sim" {
+        if !lanes.is_empty() {
+            return Err("sim report carries measured lanes".into());
+        }
+        if chain.is_empty() && makespan != 0 {
+            return Err(format!("empty chain but makespan {makespan}"));
+        }
+        let mut cursor = 0u64;
+        let mut chain_sum = 0u64;
+        let mut expected_wait: Vec<(String, u64)> = Vec::new();
+        for (i, seg) in chain.iter().enumerate() {
+            let start = req_u64(seg, "start")?;
+            let end = req_u64(seg, "end")?;
+            let ready = req_u64(seg, "ready")?;
+            let via = req_str(seg, "via")?;
+            if end < start {
+                return Err(format!("chain[{i}] ends before it starts"));
+            }
+            if start != cursor {
+                return Err(format!(
+                    "chain[{i}] starts at {start}, breaking contiguity at {cursor}"
+                ));
+            }
+            match via.as_str() {
+                "start" => {
+                    if i != 0 {
+                        return Err(format!("chain[{i}] tagged 'start' mid-chain"));
+                    }
+                    if start != 0 {
+                        return Err("chain origin does not start at 0".into());
+                    }
+                }
+                "dep" => {
+                    if start != ready {
+                        return Err(format!(
+                            "chain[{i}] via dep but start {start} != ready {ready} (slack)"
+                        ));
+                    }
+                }
+                "resource" => {
+                    if start <= ready {
+                        return Err(format!(
+                            "chain[{i}] via resource but start {start} <= ready {ready}"
+                        ));
+                    }
+                    let lane = req_str(seg, "lane")?;
+                    match expected_wait.iter_mut().find(|(l, _)| *l == lane) {
+                        Some((_, t)) => *t += start - ready,
+                        None => expected_wait.push((lane, start - ready)),
+                    }
+                }
+                other => return Err(format!("chain[{i}] has unknown via {other:?}")),
+            }
+            if i == 0 && via != "start" {
+                return Err("chain does not begin with its origin segment".into());
+            }
+            cursor = end;
+            chain_sum += end - start;
+        }
+        if cursor != makespan {
+            return Err(format!(
+                "chain ends at {cursor}, not at the makespan {makespan}"
+            ));
+        }
+        if chain_sum != makespan {
+            return Err(format!(
+                "chain durations sum to {chain_sum}, not the makespan {makespan}"
+            ));
+        }
+        if blame_time != makespan {
+            return Err(format!(
+                "blame sums to {blame_time}, not the makespan {makespan}"
+            ));
+        }
+        // The queueing table must be exactly the chain's per-lane
+        // aggregate of `start - ready` over resource-bound segments.
+        let queue_wait = req_array(&root, "queue_wait")?;
+        if queue_wait.len() != expected_wait.len() {
+            return Err(format!(
+                "queue_wait has {} lanes, the chain implies {}",
+                queue_wait.len(),
+                expected_wait.len()
+            ));
+        }
+        for q in queue_wait {
+            let lane = req_str(q, "lane")?;
+            let time = req_u64(q, "time")?;
+            match expected_wait.iter().find(|(l, _)| *l == lane) {
+                Some(&(_, t)) if t == time => {}
+                Some(&(_, t)) => {
+                    return Err(format!(
+                        "queue_wait[{lane}] is {time}, the chain implies {t}"
+                    ))
+                }
+                None => return Err(format!("queue_wait names unknown lane {lane:?}")),
+            }
+        }
+        if makespan > 0 && (blame_fraction - 1.0).abs() > FRACTION_TOLERANCE {
+            return Err(format!("blame fractions sum to {blame_fraction}, not 1"));
+        }
+    } else {
+        if !chain.is_empty() {
+            return Err("measured report carries a sim chain".into());
+        }
+        let mut total_extent = 0u64;
+        for (i, l) in lanes.iter().enumerate() {
+            req_str(l, "name")?;
+            let extent = req_u64(l, "extent")?;
+            let busy = req_u64(l, "busy")?;
+            let queue_wait = req_u64(l, "queue_wait")?;
+            let idle = req_u64(l, "idle")?;
+            if busy + queue_wait + idle != extent {
+                return Err(format!(
+                    "lane[{i}]: busy {busy} + queue {queue_wait} + idle {idle} != extent {extent}"
+                ));
+            }
+            if extent > makespan {
+                return Err(format!(
+                    "lane[{i}] extent {extent} exceeds the global extent {makespan}"
+                ));
+            }
+            total_extent += extent;
+        }
+        if blame_time != total_extent {
+            return Err(format!(
+                "blame sums to {blame_time}, not the total lane extent {total_extent}"
+            ));
+        }
+        if total_extent > 0 && (blame_fraction - 1.0).abs() > FRACTION_TOLERANCE {
+            return Err(format!("blame fractions sum to {blame_fraction}, not 1"));
+        }
+    }
+
+    Ok(CritStats {
+        mode,
+        makespan,
+        chain: chain.len(),
+        blame: blame.len(),
+        lanes: lanes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{LaneSnapshot, SpanRecord};
+
+    fn task(
+        lane: &str,
+        kind: &str,
+        start: u64,
+        end: u64,
+        ready: u64,
+        deps: Vec<usize>,
+        unblocked_by: Option<usize>,
+    ) -> CritTask {
+        CritTask {
+            label: format!("{kind}@{start}"),
+            kind: kind.into(),
+            lane: lane.into(),
+            start,
+            end,
+            ready,
+            deps,
+            unblocked_by,
+        }
+    }
+
+    #[test]
+    fn serial_chain_is_fully_blamed() {
+        // fwd [0,10) -> bwd [10,30): pure dependency chain.
+        let tasks = vec![
+            task("pe", "fwd", 0, 10, 0, vec![], None),
+            task("pe", "bwd-data", 10, 30, 10, vec![0], None),
+        ];
+        let r = analyze_dag(&tasks, "serial");
+        assert_eq!(r.makespan, 30);
+        assert_eq!(r.chain.len(), 2);
+        assert_eq!(r.chain[0].via, Via::Start);
+        assert_eq!(r.chain[1].via, Via::Dep);
+        let total: u64 = r.blame.iter().map(|b| b.time).sum();
+        assert_eq!(total, 30);
+        assert!((r.blame.iter().map(|b| b.fraction).sum::<f64>() - 1.0).abs() < 1e-12);
+        validate_critpath(&r.to_json()).expect("valid report");
+    }
+
+    #[test]
+    fn resource_waits_route_the_chain_through_the_blocker() {
+        // dram holds task 0 [0,100); task 2 is ready at 10 (dep task 1)
+        // but admitted at 100. The chain must pass through the blocking
+        // weight-load, not the cheap dependency.
+        let tasks = vec![
+            task("dram", "weight-load", 0, 100, 0, vec![], None),
+            task("pe", "fwd", 0, 10, 0, vec![], None),
+            task("dram", "spill", 100, 130, 10, vec![1], Some(0)),
+        ];
+        let r = analyze_dag(&tasks, "blocked");
+        assert_eq!(r.makespan, 130);
+        let labels: Vec<&str> = r.chain.iter().map(|s| s.kind.as_str()).collect();
+        assert_eq!(labels, ["weight-load", "spill"]);
+        assert_eq!(r.chain[1].via, Via::Resource);
+        assert_eq!(
+            r.queue_wait,
+            vec![QueueWait {
+                lane: "dram".into(),
+                time: 90
+            }]
+        );
+        let total: u64 = r.blame.iter().map(|b| b.time).sum();
+        assert_eq!(total, 130);
+        validate_critpath(&r.to_json()).expect("valid report");
+    }
+
+    #[test]
+    fn blame_table_sorts_by_descending_time() {
+        let tasks = vec![
+            task("pe", "fwd", 0, 10, 0, vec![], None),
+            task("dram", "weight-load", 10, 100, 10, vec![0], None),
+        ];
+        let r = analyze_dag(&tasks, "sorted");
+        assert_eq!(r.blame[0].kind, "weight-load");
+        assert_eq!(r.blame[1].kind, "fwd");
+    }
+
+    #[test]
+    fn empty_dag_yields_an_empty_valid_report() {
+        let r = analyze_dag(&[], "empty");
+        assert_eq!(r.makespan, 0);
+        assert!(r.chain.is_empty());
+        validate_critpath(&r.to_json()).expect("empty report is valid");
+    }
+
+    fn rec(cat: &'static str, name: &str, start_ns: u64, end_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            cat,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    #[test]
+    fn measured_lanes_classify_gaps_by_threshold() {
+        let snap = TraceSnapshot {
+            lanes: vec![LaneSnapshot {
+                name: "worker".into(),
+                // busy [0,100) and [150,250) and [1250,1350):
+                // gap 50 (queue-wait at threshold 50), gap 1000 (idle).
+                spans: vec![
+                    rec("pool", "a", 0, 100),
+                    rec("pool", "b", 150, 250),
+                    rec("pool", "c", 1250, 1350),
+                ],
+                dropped: 0,
+            }],
+        };
+        let r = analyze_snapshot(&snap, Some(50), "gaps");
+        assert_eq!(r.mode, "measured");
+        assert_eq!(r.makespan, 1350);
+        let l = &r.lanes[0];
+        assert_eq!(
+            (l.busy, l.queue_wait, l.idle, l.extent),
+            (300, 50, 1000, 1350)
+        );
+        let total: u64 = r.blame.iter().map(|b| b.time).sum();
+        assert_eq!(total, l.extent);
+        validate_critpath(&r.to_json()).expect("valid measured report");
+    }
+
+    #[test]
+    fn measured_nested_and_overlapping_spans_coalesce() {
+        let snap = TraceSnapshot {
+            lanes: vec![LaneSnapshot {
+                name: "w".into(),
+                spans: vec![
+                    rec("stage", "outer", 0, 100),
+                    rec("pool", "inner", 20, 60),
+                    rec("pool", "tail", 90, 140),
+                ],
+                dropped: 0,
+            }],
+        };
+        let r = analyze_snapshot(&snap, None, "nested");
+        assert_eq!(r.lanes[0].busy, 140);
+        assert_eq!(r.lanes[0].idle, 0);
+        validate_critpath(&r.to_json()).expect("valid");
+    }
+
+    #[test]
+    fn relabel_takes_the_dominant_stage_name() {
+        let snap = TraceSnapshot {
+            lanes: vec![
+                LaneSnapshot {
+                    name: "adagp-worker-0".into(),
+                    spans: vec![
+                        rec("stage", "train", 0, 10),
+                        rec("stage", "train", 10, 20),
+                        rec("stage", "datagen", 20, 30),
+                        rec("pool", "task", 2, 4),
+                    ],
+                    dropped: 0,
+                },
+                LaneSnapshot {
+                    name: "plain".into(),
+                    spans: vec![rec("pool", "task", 0, 5)],
+                    dropped: 0,
+                },
+            ],
+        };
+        let out = relabel_lanes_by_cat(&snap, "stage");
+        assert_eq!(out.lanes[0].name, "train");
+        assert_eq!(out.lanes[1].name, "plain");
+    }
+
+    #[test]
+    fn validator_rejects_broken_invariants() {
+        let tasks = vec![
+            task("pe", "fwd", 0, 10, 0, vec![], None),
+            task("pe", "bwd-data", 10, 30, 10, vec![0], None),
+        ];
+        let good = analyze_dag(&tasks, "ok").to_json();
+        validate_critpath(&good).expect("baseline valid");
+        // Break the makespan: chain no longer reaches it.
+        let broken = good.replace("\"makespan\": 30", "\"makespan\": 31");
+        assert!(validate_critpath(&broken).is_err());
+        // Break the schema tag.
+        let broken = good.replace(CRITPATH_SCHEMA, "adagp-critpath-v0");
+        assert!(validate_critpath(&broken).is_err());
+        // Break zero-slack consistency: a dep edge with hidden slack.
+        let broken = good.replace("\"ready\": 10", "\"ready\": 9");
+        assert!(validate_critpath(&broken).is_err());
+        assert!(validate_critpath("not json").is_err());
+    }
+
+    #[test]
+    fn truncated_chains_fail_validation() {
+        // unblocked_by points at a task that does not end at our start:
+        // the walk truncates, and the validator rejects the report.
+        let tasks = vec![
+            task("pe", "fwd", 0, 50, 0, vec![], None),
+            task("pe", "fwd", 60, 90, 0, vec![], Some(0)),
+        ];
+        let r = analyze_dag(&tasks, "truncated");
+        assert!(validate_critpath(&r.to_json()).is_err());
+    }
+}

@@ -19,7 +19,11 @@
 //!   and the JSON tree `adagp-serve`'s `GET /profile` serves;
 //! * the bench-snapshot registry ([`bench`]) — the one schema every
 //!   committed `BENCH_*.json` perf-trajectory point uses, consumed by
-//!   the `perf_gate` regression CLI in `adagp-bench`.
+//!   the `perf_gate` regression CLI in `adagp-bench`;
+//! * a critical-path and stall-attribution analyzer ([`crit`]) that
+//!   walks simulated DAGs along zero-slack edges and folds measured
+//!   span lanes into busy/queue-wait/idle segments, emitting one
+//!   `adagp-critpath-v1` report shape for both timeline sources.
 //!
 //! ## Cost model
 //!
@@ -32,12 +36,18 @@
 //! outputs bit-identical with tracing on vs off across thread counts.
 
 pub mod bench;
+pub mod crit;
 pub mod metric;
 pub mod profile;
 pub mod recorder;
 pub mod registry;
 pub mod trace;
 
+pub use crit::{
+    analyze_dag, analyze_snapshot, measured_gap_threshold_ns, relabel_lanes_by_cat,
+    validate_critpath, BlameEntry, ChainSegment, CritReport, CritStats, CritTask, MeasuredLane,
+    QueueWait, Via, CRITPATH_SCHEMA,
+};
 pub use metric::{bucket_index, bucket_upper, Counter, Gauge, Histogram};
 pub use profile::{
     build_profile, profile_guard_from_env, validate_profile, FlatLine, LaneProfile, Profile,
@@ -49,6 +59,6 @@ pub use recorder::{
 };
 pub use registry::{registry, Registry};
 pub use trace::{
-    chrome_trace, trace_guard_from_env, validate_chrome_trace, write_trace, TraceGuard, TraceStats,
-    TRACE_ENV,
+    chrome_trace, trace_guard_from_env, validate_chrome_trace, write_trace, TraceEvents,
+    TraceGuard, TraceStats, TRACE_ENV,
 };

@@ -24,6 +24,13 @@
 //! conventional `le="+Inf"` label rather than a 20-digit bound. The
 //! machine-checkable invariant every scraper can assert is therefore
 //! `sum of all _bucket lines == _count` (on a quiescent snapshot).
+//!
+//! Non-empty histograms additionally render `<name>_p50`, `<name>_p95`
+//! and `<name>_p99` summary lines, estimated by [`Histogram::quantile`]
+//! with the **upper-bound convention**: the reported value is the
+//! inclusive upper bound of the bucket the quantile's rank falls in, so
+//! the estimate never undershoots the true quantile and overshoots it by
+//! less than one power of two.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
@@ -155,6 +162,40 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the log2
+    /// buckets, or `None` for an empty histogram or an out-of-range `q`.
+    ///
+    /// The estimate follows the **upper-bound convention**: the rank
+    /// `max(1, ceil(q × count))` is located in the cumulative bucket
+    /// counts, and the inclusive upper bound of that bucket is returned
+    /// ([`bucket_upper`]; `u64::MAX` when the rank lands in the `+Inf`
+    /// bucket). The true quantile is never above the returned value and
+    /// is within one power of two below it — a deliberately conservative
+    /// estimate for thresholds and SLO lines.
+    ///
+    /// Like [`Histogram::render_into`], this reads a non-atomic snapshot:
+    /// call it on a quiescent histogram for exact rank placement.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(bucket_upper(i));
+            }
+        }
+        // Only reachable when recording raced the snapshot and _count ran
+        // ahead of the bucket increments; answer conservatively.
+        Some(u64::MAX)
+    }
+
     /// `(upper bound, count)` of every non-empty bucket, in bound order.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         (0..HISTOGRAM_BUCKETS)
@@ -182,6 +223,11 @@ impl Histogram {
         }
         out.push_str(&format!("{prefix}{name}_sum {}\n", self.sum()));
         out.push_str(&format!("{prefix}{name}_count {}\n", self.count()));
+        for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            if let Some(v) = self.quantile(q) {
+                out.push_str(&format!("{prefix}{name}_{label} {v}\n"));
+            }
+        }
     }
 }
 
@@ -252,6 +298,51 @@ mod tests {
         assert!(out.contains("adagp_test_lat_us_count 3\n"), "{out}");
         // No empty-bucket lines.
         assert_eq!(out.matches("_bucket{").count(), 2);
+    }
+
+    #[test]
+    fn quantiles_follow_the_upper_bound_convention() {
+        let h = Histogram::new();
+        // 90 fast observations in [4,8) → bucket upper 7; 10 slow ones in
+        // [1024,2048) → bucket upper 2047.
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        assert_eq!(h.quantile(0.5), Some(7));
+        assert_eq!(h.quantile(0.9), Some(7)); // rank 90 is the last fast one
+        assert_eq!(h.quantile(0.95), Some(2047));
+        assert_eq!(h.quantile(0.99), Some(2047));
+        assert_eq!(h.quantile(0.0), Some(7)); // rank clamps to 1
+        assert_eq!(h.quantile(1.0), Some(2047));
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        // The estimate never undershoots the true quantile.
+        assert!(h.quantile(0.5).unwrap() >= 5);
+        assert!(h.quantile(0.95).unwrap() >= 1500);
+    }
+
+    #[test]
+    fn quantile_of_top_bucket_is_u64_max() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn render_includes_quantile_summary_lines_only_when_populated() {
+        let h = Histogram::new();
+        let mut out = String::new();
+        h.render_into(&mut out, "p_", "empty");
+        assert!(!out.contains("_p50"), "empty histogram rendered quantiles");
+        h.record(5);
+        out.clear();
+        h.render_into(&mut out, "p_", "one");
+        assert!(out.contains("p_one_p50 7\n"), "{out}");
+        assert!(out.contains("p_one_p95 7\n"), "{out}");
+        assert!(out.contains("p_one_p99 7\n"), "{out}");
     }
 
     #[test]

@@ -129,6 +129,17 @@ pub struct LaneSnapshot {
     pub dropped: u64,
 }
 
+impl LaneSnapshot {
+    /// `(earliest start, latest end)` across the lane's spans, or `None`
+    /// for an empty lane. Spans complete out of record order, so this
+    /// scans rather than trusting the first/last record.
+    pub fn extent_ns(&self) -> Option<(u64, u64)> {
+        let first = self.spans.iter().map(|s| s.start_ns).min()?;
+        let last = self.spans.iter().map(|s| s.end_ns.max(s.start_ns)).max()?;
+        Some((first, last))
+    }
+}
+
 /// A point-in-time copy of every lane.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceSnapshot {

@@ -30,8 +30,107 @@ pub const TRACE_ENV: &str = "ADAGP_TRACE";
 /// sim exporter's pid 1 so merged traces keep separate process groups.
 const PID: u64 = 2;
 
-fn event(fields: Vec<(&str, Value)>) -> Value {
-    Value::object(fields)
+/// The one low-level Trace Event Format writer in the workspace.
+///
+/// Both Chrome-trace exporters assemble their files through this builder
+/// — `adagp-sim`'s cycle-domain writer (pid 1, integer timestamps) and
+/// this crate's wall-clock writer (pid 2, fractional microseconds) — so
+/// the event field layout the two families share cannot drift apart.
+/// `ts`/`dur` are taken as pre-encoded [`Value`]s precisely because the
+/// two domains encode them differently; everything else is fixed here.
+#[derive(Debug, Default)]
+pub struct TraceEvents {
+    events: Vec<Value>,
+}
+
+impl TraceEvents {
+    /// An empty event list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `process_name` metadata: labels a pid's lane group in the viewer.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(Value::object(vec![
+            ("name", Value::String("process_name".into())),
+            ("ph", Value::String("M".into())),
+            ("pid", Value::UInt(pid)),
+            (
+                "args",
+                Value::object(vec![("name", Value::String(name.to_string()))]),
+            ),
+        ]));
+    }
+
+    /// `thread_name` metadata: labels one lane.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(Value::object(vec![
+            ("name", Value::String("thread_name".into())),
+            ("ph", Value::String("M".into())),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(tid)),
+            (
+                "args",
+                Value::object(vec![("name", Value::String(name.to_string()))]),
+            ),
+        ]));
+    }
+
+    /// A complete (`"ph": "X"`) span event. `args` appends an argument
+    /// object when given (the sim writer attaches task/layer ids).
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        ts: Value,
+        dur: Value,
+        args: Option<Value>,
+    ) {
+        let mut fields = vec![
+            ("name", Value::String(name.to_string())),
+            ("cat", Value::String(cat.to_string())),
+            ("ph", Value::String("X".into())),
+            ("ts", ts),
+            ("dur", dur),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(tid)),
+        ];
+        if let Some(args) = args {
+            fields.push(("args", args));
+        }
+        self.events.push(Value::object(fields));
+    }
+
+    /// A counter (`"ph": "C"`) event plotting `args`'s numeric fields.
+    pub fn counter(&mut self, pid: u64, name: &str, ts: Value, args: Value) {
+        self.events.push(Value::object(vec![
+            ("name", Value::String(name.to_string())),
+            ("ph", Value::String("C".into())),
+            ("ts", ts),
+            ("pid", Value::UInt(pid)),
+            ("args", args),
+        ]));
+    }
+
+    /// Wraps the events into the root object (`traceEvents`,
+    /// `displayTimeUnit`, then any writer-specific tail fields) and
+    /// renders pretty JSON with a trailing newline.
+    pub fn finish(self, display_time_unit: &str, extra: Vec<(&str, Value)>) -> String {
+        let mut fields = vec![
+            ("traceEvents", Value::Array(self.events)),
+            (
+                "displayTimeUnit",
+                Value::String(display_time_unit.to_string()),
+            ),
+        ];
+        fields.extend(extra);
+        let mut out = serde::json::to_string_pretty(&Value::object(fields));
+        out.push('\n');
+        out
+    }
 }
 
 /// Microseconds (fractional) from a nanosecond timestamp.
@@ -41,47 +140,23 @@ fn us(ns: u64) -> Value {
 
 /// Renders a recorder snapshot as a Chrome-trace JSON string.
 pub fn chrome_trace(snap: &TraceSnapshot, title: &str) -> String {
-    let mut events: Vec<Value> = Vec::new();
-    events.push(event(vec![
-        ("name", Value::String("process_name".into())),
-        ("ph", Value::String("M".into())),
-        ("pid", Value::UInt(PID)),
-        (
-            "args",
-            Value::object(vec![("name", Value::String(title.to_string()))]),
-        ),
-    ]));
+    let mut t = TraceEvents::new();
+    t.process_name(PID, title);
     for (tid, lane) in snap.lanes.iter().enumerate() {
-        events.push(event(vec![
-            ("name", Value::String("thread_name".into())),
-            ("ph", Value::String("M".into())),
-            ("pid", Value::UInt(PID)),
-            ("tid", Value::UInt(tid as u64)),
-            (
-                "args",
-                Value::object(vec![("name", Value::String(lane.name.clone()))]),
-            ),
-        ]));
+        t.thread_name(PID, tid as u64, &lane.name);
         for span in &lane.spans {
-            events.push(event(vec![
-                ("name", Value::String(span.name.clone())),
-                ("cat", Value::String(span.cat.into())),
-                ("ph", Value::String("X".into())),
-                ("ts", us(span.start_ns)),
-                ("dur", us(span.end_ns.saturating_sub(span.start_ns))),
-                ("pid", Value::UInt(PID)),
-                ("tid", Value::UInt(tid as u64)),
-            ]));
+            t.complete(
+                PID,
+                tid as u64,
+                &span.name,
+                span.cat,
+                us(span.start_ns),
+                us(span.end_ns.saturating_sub(span.start_ns)),
+                None,
+            );
         }
     }
-    let root = Value::object(vec![
-        ("traceEvents", Value::Array(events)),
-        ("displayTimeUnit", Value::String("ms".into())),
-        ("droppedSpans", Value::UInt(snap.dropped())),
-    ]);
-    let mut out = serde::json::to_string_pretty(&root);
-    out.push('\n');
-    out
+    t.finish("ms", vec![("droppedSpans", Value::UInt(snap.dropped()))])
 }
 
 /// Snapshots the recorder and writes the Chrome trace to `path`.

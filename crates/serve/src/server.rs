@@ -104,6 +104,8 @@ pub enum Routed {
     Metrics,
     /// `GET /profile`.
     Profile,
+    /// `GET /critical`.
+    Critical,
     /// `POST /shutdown`.
     Shutdown,
     /// `POST /grid` with a decoded submission.
@@ -118,12 +120,13 @@ pub fn route(req: &Request) -> Routed {
         ("GET", "/health") => Routed::Health,
         ("GET", "/metrics") => Routed::Metrics,
         ("GET", "/profile") => Routed::Profile,
+        ("GET", "/critical") => Routed::Critical,
         ("POST", "/shutdown") => Routed::Shutdown,
         ("POST", "/grid") => match parse_grid_request(&req.body) {
             Ok(spec) => Routed::Grid(spec),
             Err(msg) => Routed::Error(HttpError::new(400, msg)),
         },
-        (_, "/health" | "/metrics" | "/profile" | "/shutdown" | "/grid") => {
+        (_, "/health" | "/metrics" | "/profile" | "/critical" | "/shutdown" | "/grid") => {
             Routed::Error(HttpError::new(
                 405,
                 format!("method {} not allowed on {}", req.method, req.path),
@@ -328,6 +331,20 @@ fn respond(
             let body = obs::build_profile(&obs::snapshot()).to_json("adagp-serve live profile");
             stream.write_all(&response(200, "application/json", &body))
         }
+        Routed::Critical => {
+            // Live stall attribution of this process's recorded lanes
+            // (`adagp-critpath-v1`, measured mode): spans folded into
+            // busy / queue-wait / idle per lane, with gaps classified
+            // against the runtime pool's queue-wait p95. Empty unless
+            // recording is on, same as `/profile`.
+            let body = obs::analyze_snapshot(
+                &obs::snapshot(),
+                obs::measured_gap_threshold_ns(),
+                "adagp-serve live critical path",
+            )
+            .to_json();
+            stream.write_all(&response(200, "application/json", &body))
+        }
         Routed::Shutdown => {
             stream.write_all(&response(
                 200,
@@ -510,6 +527,14 @@ mod tests {
             Routed::Profile
         ));
         match route(&req("POST", "/profile", b"")) {
+            Routed::Error(e) => assert_eq!(e.status, 405),
+            other => panic!("expected 405, got {other:?}"),
+        }
+        assert!(matches!(
+            route(&req("GET", "/critical", b"")),
+            Routed::Critical
+        ));
+        match route(&req("POST", "/critical", b"")) {
             Routed::Error(e) => assert_eq!(e.status, 405),
             other => panic!("expected 405, got {other:?}"),
         }

@@ -152,6 +152,15 @@ pub struct SimResult {
     pub buffer_curve: Vec<(u64, i64)>,
     /// Peak buffer occupancy in words.
     pub buffer_peak: i64,
+    /// Cycle each task became ready (its last dependency completed; 0
+    /// for dependency-free tasks), indexed by task id. A task's start
+    /// minus its ready cycle is its admission-queueing slack.
+    pub ready_of: Vec<u64>,
+    /// For each task that waited in a resource FIFO: the task whose
+    /// completion freed the capacity it was admitted on (that task's
+    /// end cycle equals this task's start cycle, exactly). `None` for
+    /// tasks admitted at their ready cycle and for resourceless tasks.
+    pub unblocked_by: Vec<Option<TaskId>>,
 }
 
 impl SimResult {
@@ -170,6 +179,11 @@ impl SimResult {
             .iter()
             .find(|s| s.task == task)
             .expect("every task has a span")
+    }
+
+    /// Cycles the task sat ready in its resource's FIFO before starting.
+    pub fn queue_wait_of(&self, task: TaskId) -> u64 {
+        self.span_of(task).start - self.ready_of[task]
     }
 }
 
@@ -227,13 +241,29 @@ impl SimBuilder {
             }
         }
 
-        let mut available: Vec<u32> = self.resources.iter().map(|r| r.capacity).collect();
-        let mut queues: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); self.resources.len()];
-        // Min-heap of completion events ordered by (time, task id).
-        let mut heap: BinaryHeap<Reverse<(u64, TaskId)>> = BinaryHeap::new();
-        let mut start_of: Vec<Option<u64>> = vec![None; n];
+        // Mutable engine state shared by `enqueue`/`drain` — bundled so the
+        // admission helpers stay readable now that they also record slack.
+        struct RunState {
+            available: Vec<u32>,
+            queues: Vec<VecDeque<TaskId>>,
+            /// Min-heap of completion events ordered by (time, task id).
+            heap: BinaryHeap<Reverse<(u64, TaskId)>>,
+            start_of: Vec<Option<u64>>,
+            ready_of: Vec<u64>,
+            unblocked_by: Vec<Option<TaskId>>,
+            busy: Vec<u64>,
+        }
+
+        let mut st = RunState {
+            available: self.resources.iter().map(|r| r.capacity).collect(),
+            queues: vec![VecDeque::new(); self.resources.len()],
+            heap: BinaryHeap::new(),
+            start_of: vec![None; n],
+            ready_of: vec![0; n],
+            unblocked_by: vec![None; n],
+            busy: vec![0; self.resources.len()],
+        };
         let mut spans: Vec<Span> = Vec::with_capacity(n);
-        let mut busy: Vec<u64> = vec![0; self.resources.len()];
         let mut occupancy: i64 = 0;
         let mut peak: i64 = 0;
         let mut curve: Vec<(u64, i64)> = Vec::new();
@@ -241,78 +271,70 @@ impl SimBuilder {
         let mut completed = 0usize;
 
         // Admits ready tasks: resourceless ones start immediately, the rest
-        // join their resource's FIFO queue.
+        // join their resource's FIFO queue. `cause` is the task whose
+        // completion is being processed (`None` during the t=0 seeding).
         fn enqueue(
-            id: TaskId,
+            st: &mut RunState,
             tasks: &[TaskSpec],
-            queues: &mut [VecDeque<TaskId>],
-            available: &mut [u32],
-            heap: &mut BinaryHeap<Reverse<(u64, TaskId)>>,
-            start_of: &mut [Option<u64>],
-            busy: &mut [u64],
+            id: TaskId,
             clock: u64,
+            cause: Option<TaskId>,
         ) {
+            st.ready_of[id] = clock;
             match tasks[id].resource {
                 None => {
-                    start_of[id] = Some(clock);
-                    heap.push(Reverse((clock + tasks[id].duration, id)));
+                    st.start_of[id] = Some(clock);
+                    st.heap.push(Reverse((clock + tasks[id].duration, id)));
                 }
                 Some(r) => {
-                    queues[r].push_back(id);
-                    drain(r, tasks, queues, available, heap, start_of, busy, clock);
+                    st.queues[r].push_back(id);
+                    drain(st, tasks, r, clock, cause);
                 }
             }
         }
 
-        /// Starts queued tasks on `r` while capacity remains.
-        #[allow(clippy::too_many_arguments)]
+        /// Starts queued tasks on `r` while capacity remains. Any task
+        /// admitted later than its ready cycle records `cause` — the
+        /// completion freed the capacity, so `cause`'s end cycle equals
+        /// the admitted task's start cycle exactly.
         fn drain(
-            r: ResourceId,
+            st: &mut RunState,
             tasks: &[TaskSpec],
-            queues: &mut [VecDeque<TaskId>],
-            available: &mut [u32],
-            heap: &mut BinaryHeap<Reverse<(u64, TaskId)>>,
-            start_of: &mut [Option<u64>],
-            busy: &mut [u64],
+            r: ResourceId,
             clock: u64,
+            cause: Option<TaskId>,
         ) {
-            while available[r] > 0 {
-                let Some(id) = queues[r].pop_front() else {
+            while st.available[r] > 0 {
+                let Some(id) = st.queues[r].pop_front() else {
                     break;
                 };
-                available[r] -= 1;
-                start_of[id] = Some(clock);
-                busy[r] += tasks[id].duration;
-                heap.push(Reverse((clock + tasks[id].duration, id)));
+                st.available[r] -= 1;
+                st.start_of[id] = Some(clock);
+                if clock > st.ready_of[id] {
+                    st.unblocked_by[id] = cause;
+                }
+                st.busy[r] += tasks[id].duration;
+                st.heap.push(Reverse((clock + tasks[id].duration, id)));
             }
         }
 
         for id in 0..n {
             if indegree[id] == 0 {
-                enqueue(
-                    id,
-                    &self.tasks,
-                    &mut queues,
-                    &mut available,
-                    &mut heap,
-                    &mut start_of,
-                    &mut busy,
-                    clock,
-                );
+                enqueue(&mut st, &self.tasks, id, clock, None);
             }
         }
 
-        while let Some(Reverse((end, id))) = heap.pop() {
+        while let Some(Reverse((end, id))) = st.heap.pop() {
             clock = end;
             completed += 1;
             spans.push(Span {
                 task: id,
-                start: start_of[id].expect("started task has a start"),
+                start: st.start_of[id].expect("started task has a start"),
                 end,
             });
             let freed = self.tasks[id].resource;
             if let Some(r) = freed {
-                available[r] += 1;
+                st.available[r] += 1;
             }
             if self.tasks[id].buffer_delta != 0 {
                 occupancy += self.tasks[id].buffer_delta;
@@ -322,29 +344,11 @@ impl SimBuilder {
             for &dep in &dependents[id] {
                 indegree[dep] -= 1;
                 if indegree[dep] == 0 {
-                    enqueue(
-                        dep,
-                        &self.tasks,
-                        &mut queues,
-                        &mut available,
-                        &mut heap,
-                        &mut start_of,
-                        &mut busy,
-                        clock,
-                    );
+                    enqueue(&mut st, &self.tasks, dep, clock, Some(id));
                 }
             }
             if let Some(r) = freed {
-                drain(
-                    r,
-                    &self.tasks,
-                    &mut queues,
-                    &mut available,
-                    &mut heap,
-                    &mut start_of,
-                    &mut busy,
-                    clock,
-                );
+                drain(&mut st, &self.tasks, r, clock, Some(id));
             }
         }
 
@@ -360,9 +364,11 @@ impl SimBuilder {
             spans,
             tasks: self.tasks,
             resources: self.resources,
-            busy,
+            busy: st.busy,
             buffer_curve: curve,
             buffer_peak: peak,
+            ready_of: st.ready_of,
+            unblocked_by: st.unblocked_by,
         }
     }
 }
@@ -500,6 +506,58 @@ mod tests {
         let r = b.simulate();
         assert_eq!(r.buffer_peak, 150);
         assert_eq!(r.buffer_curve, vec![(10, 100), (20, 150), (30, 0)]);
+    }
+
+    #[test]
+    fn ready_and_unblocked_by_attribute_fifo_waits() {
+        // a occupies pe [0,7); c is ready at 0 but waits for a's slot.
+        let mut b = SimBuilder::new();
+        let pe = b.add_resource("pe", 1);
+        let a = b.add_task(task(Some(pe), 7, vec![]));
+        let c = b.add_task(task(Some(pe), 3, vec![]));
+        let r = b.simulate();
+        assert_eq!(r.ready_of[a], 0);
+        assert_eq!(r.ready_of[c], 0);
+        assert_eq!(r.unblocked_by[a], None);
+        assert_eq!(r.unblocked_by[c], Some(a));
+        assert_eq!(r.span_of(a).end, r.span_of(c).start);
+        assert_eq!(r.queue_wait_of(c), 7);
+    }
+
+    #[test]
+    fn unobstructed_tasks_start_at_their_ready_cycle() {
+        let mut b = SimBuilder::new();
+        let pe = b.add_resource("pe", 1);
+        let pred = b.add_resource("pred", 1);
+        let a = b.add_task(task(Some(pe), 10, vec![]));
+        let p = b.add_task(task(Some(pred), 5, vec![a]));
+        let j = b.add_task(TaskSpec::join("sync", vec![p]));
+        let r = b.simulate();
+        // p became ready when its dependency a finished, and started then.
+        assert_eq!(r.ready_of[p], 10);
+        assert_eq!(r.span_of(p).start, 10);
+        assert_eq!(r.unblocked_by[p], None);
+        assert_eq!(r.queue_wait_of(p), 0);
+        // The resourceless join never queues, so it never blames anyone.
+        assert_eq!(r.ready_of[j], 15);
+        assert_eq!(r.unblocked_by[j], None);
+    }
+
+    #[test]
+    fn unblocked_by_names_the_freeing_task_not_the_readying_dep() {
+        // w becomes ready when d completes at t=5, but pe is held by the
+        // long task a until t=20: the admission blames a, not d.
+        let mut b = SimBuilder::new();
+        let pe = b.add_resource("pe", 1);
+        let aux = b.add_resource("aux", 1);
+        let a = b.add_task(task(Some(pe), 20, vec![]));
+        let d = b.add_task(task(Some(aux), 5, vec![]));
+        let w = b.add_task(task(Some(pe), 3, vec![d]));
+        let r = b.simulate();
+        assert_eq!(r.ready_of[w], 5);
+        assert_eq!(r.span_of(w).start, 20);
+        assert_eq!(r.unblocked_by[w], Some(a));
+        assert_eq!(r.span_of(a).end, r.span_of(w).start);
     }
 
     #[test]

@@ -35,7 +35,11 @@
 //! * [`steps`] — the §3.7 step timeline (Figures 7–9), now *simulated*
 //!   instead of closed-form.
 //! * [`trace`] — Chrome-trace JSON export.
-//! * [`report`] — plain-text timeline and utilization reports.
+//! * [`report`] — plain-text timeline and utilization reports, and the
+//!   bridge into `adagp-obs`'s critical-path analyzer
+//!   ([`report::critical_path`]): the engine records each task's ready
+//!   cycle and admission cause, so the zero-slack chain walk reproduces
+//!   the makespan bit-exactly and attributes it per resource and kind.
 //!
 //! ## Example
 //!
@@ -69,6 +73,7 @@ pub mod workload;
 pub use engine::{
     ResourceId, ResourceSpec, SimBuilder, SimResult, Span, TaskId, TaskKind, TaskSpec,
 };
+pub use report::{crit_tasks, critical_path};
 pub use step::StepSim;
 pub use steps::{step_timeline, StepTimeline};
 pub use trace::{chrome_trace, write_chrome_trace};

@@ -1,9 +1,11 @@
 //! Plain-text reports of a simulated batch: the span timeline (a textual
 //! Gantt chart), per-resource utilization and the buffer-occupancy
-//! summary — what the `sim_timeline` binary prints.
+//! summary — what the `sim_timeline` binary prints — plus the bridge
+//! into `adagp-obs`'s critical-path analyzer ([`critical_path`]).
 
 use crate::engine::SimResult;
 use crate::workload::BatchSim;
+use adagp_obs::crit::{analyze_dag, CritReport, CritTask};
 
 /// Renders the span table: one line per executed task, in start order.
 /// `limit` truncates long timelines (0 = everything).
@@ -70,6 +72,44 @@ pub fn utilization_report(sim: &BatchSim) -> String {
     out
 }
 
+/// Converts a finished simulation into the neutral task form
+/// `adagp_obs::crit` analyzes: exact start/end cycles from the spans,
+/// the engine's ready cycles and admission causes, and resource names as
+/// lanes (`-` for resourceless synchronization nodes).
+pub fn crit_tasks(result: &SimResult) -> Vec<CritTask> {
+    let mut start = vec![0u64; result.tasks.len()];
+    let mut end = vec![0u64; result.tasks.len()];
+    for s in &result.spans {
+        start[s.task] = s.start;
+        end[s.task] = s.end;
+    }
+    result
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(id, t)| CritTask {
+            label: t.label.clone(),
+            kind: t.kind.name().to_string(),
+            lane: t
+                .resource
+                .map_or_else(|| "-".to_string(), |r| result.resources[r].name.clone()),
+            start: start[id],
+            end: end[id],
+            ready: result.ready_of[id],
+            deps: t.deps.clone(),
+            unblocked_by: result.unblocked_by[id],
+        })
+        .collect()
+}
+
+/// The zero-slack chain and blame report of one finished simulation.
+/// The chain's summed segment durations equal `result.makespan`
+/// bit-exactly (the engine invariant `adagp_obs::validate_critpath`
+/// machine-checks).
+pub fn critical_path(result: &SimResult, title: &str) -> CritReport {
+    analyze_dag(&crit_tasks(result), title)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +158,48 @@ mod tests {
         assert!(text.contains("dram"));
         assert!(text.contains("overlap efficiency"));
         assert!(text.contains("peak buffer occupancy"));
+    }
+
+    #[test]
+    fn critical_path_chain_equals_makespan_bit_exactly() {
+        let s = sim();
+        let report = critical_path(&s.result, "unit");
+        assert_eq!(report.makespan, s.result.makespan);
+        let chain_sum: u64 = report.chain.iter().map(|c| c.end - c.start).sum();
+        assert_eq!(chain_sum, s.result.makespan);
+        let blame_sum: u64 = report.blame.iter().map(|b| b.time).sum();
+        assert_eq!(blame_sum, s.result.makespan);
+        adagp_obs::validate_critpath(&report.to_json()).expect("valid report");
+    }
+
+    #[test]
+    fn contended_sim_blames_dram_somewhere_on_the_chain() {
+        // Starve the DRAM port so weight loads and spills serialize: the
+        // zero-slack chain must spend time on the dram lane.
+        let layers: Vec<SimLayer> = (0..3u64)
+            .map(|i| SimLayer {
+                label: format!("l{i}"),
+                cost: LayerCost {
+                    fw: 50,
+                    bw: 100,
+                    alpha: 10,
+                },
+                weight_words: 100_000,
+                activation_words: 64,
+                spill_words: 200_000,
+            })
+            .collect();
+        let cfg = SimConfig {
+            dram_words_per_cycle: Some(1),
+            ..SimConfig::default()
+        };
+        let s = simulate_batch(Phase::Gp, Some(AdaGpDesign::Max), &layers, &cfg);
+        let report = critical_path(&s.result, "contended");
+        assert!(
+            report.blame.iter().any(|b| b.lane == "dram"),
+            "no dram blame in {:?}",
+            report.blame
+        );
+        adagp_obs::validate_critpath(&report.to_json()).expect("valid report");
     }
 }

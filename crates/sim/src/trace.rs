@@ -7,41 +7,25 @@
 //! events plot the buffer-occupancy curve. Timestamps are microseconds in
 //! the format; the exporter writes **1 cycle = 1 µs**, so the viewer's
 //! time axis reads directly in cycles.
+//!
+//! Event assembly goes through [`adagp_obs::trace::TraceEvents`], the
+//! same builder the measured (pid 2) exporter uses — the two trace
+//! families share one field layout by construction.
 
 use crate::engine::SimResult;
+use adagp_obs::trace::TraceEvents;
 use serde::Value;
 use std::path::Path;
 
 /// Process id used for compute lanes in the exported trace.
 const PID: u64 = 1;
 
-fn event(fields: Vec<(&str, Value)>) -> Value {
-    Value::object(fields)
-}
-
 /// Renders a simulation as a Chrome-trace JSON string.
 pub fn chrome_trace(result: &SimResult, title: &str) -> String {
-    let mut events: Vec<Value> = Vec::new();
-    events.push(event(vec![
-        ("name", Value::String("process_name".into())),
-        ("ph", Value::String("M".into())),
-        ("pid", Value::UInt(PID)),
-        (
-            "args",
-            Value::object(vec![("name", Value::String(title.to_string()))]),
-        ),
-    ]));
+    let mut t = TraceEvents::new();
+    t.process_name(PID, title);
     for (tid, r) in result.resources.iter().enumerate() {
-        events.push(event(vec![
-            ("name", Value::String("thread_name".into())),
-            ("ph", Value::String("M".into())),
-            ("pid", Value::UInt(PID)),
-            ("tid", Value::UInt(tid as u64)),
-            (
-                "args",
-                Value::object(vec![("name", Value::String(r.name.clone()))]),
-            ),
-        ]));
+        t.thread_name(PID, tid as u64, &r.name);
     }
     for span in &result.spans {
         let task = &result.tasks[span.task];
@@ -52,33 +36,25 @@ pub fn chrome_trace(result: &SimResult, title: &str) -> String {
         if let Some(layer) = task.layer {
             args.push(("layer", Value::UInt(layer as u64)));
         }
-        events.push(event(vec![
-            ("name", Value::String(task.label.clone())),
-            ("cat", Value::String(task.kind.name().into())),
-            ("ph", Value::String("X".into())),
-            ("ts", Value::UInt(span.start)),
-            ("dur", Value::UInt(span.end - span.start)),
-            ("pid", Value::UInt(PID)),
-            ("tid", Value::UInt(tid as u64)),
-            ("args", Value::object(args)),
-        ]));
+        t.complete(
+            PID,
+            tid as u64,
+            &task.label,
+            task.kind.name(),
+            Value::UInt(span.start),
+            Value::UInt(span.end - span.start),
+            Some(Value::object(args)),
+        );
     }
     for &(cycle, words) in &result.buffer_curve {
-        events.push(event(vec![
-            ("name", Value::String("buffer occupancy".into())),
-            ("ph", Value::String("C".into())),
-            ("ts", Value::UInt(cycle)),
-            ("pid", Value::UInt(PID)),
-            ("args", Value::object(vec![("words", Value::Int(words))])),
-        ]));
+        t.counter(
+            PID,
+            "buffer occupancy",
+            Value::UInt(cycle),
+            Value::object(vec![("words", Value::Int(words))]),
+        );
     }
-    let root = Value::object(vec![
-        ("traceEvents", Value::Array(events)),
-        ("displayTimeUnit", Value::String("ns".into())),
-    ]);
-    let mut out = serde::json::to_string_pretty(&root);
-    out.push('\n');
-    out
+    t.finish("ns", vec![])
 }
 
 /// Writes the Chrome trace of `result` to `path`.
