@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve [--addr host:port] [--workers n] [--queue-depth n] [--window n]
-//!       [--warm path]... [--flush path]
+//!       [--warm path]... [--flush path] [--log-dir dir]
 //! ```
 //!
 //! Binds, warm-loads the cache from every `--warm` artifact (committed
@@ -10,8 +10,12 @@
 //! on stdout (`listening on <addr>` — parseable by scripts and the
 //! load-test harness), and serves until `POST /shutdown`, at which point
 //! it drains in-flight evaluations and, with `--flush`, writes the
-//! byte-stable cache snapshot. Cell evaluations run on the shared
-//! runtime pool (`ADAGP_THREADS` sizes it).
+//! byte-stable cache snapshot. `--log-dir` adds crash-safe incremental
+//! durability: every fresh evaluation is appended to a shard log in the
+//! directory (fsync per record) as it completes, and a restarted server
+//! replays the merged log — killing the process mid-grid costs zero
+//! recomputation. Cell evaluations run on the shared runtime pool
+//! (`ADAGP_THREADS` sizes it).
 
 use adagp_serve::{server, ServerConfig};
 use std::path::PathBuf;
@@ -25,6 +29,8 @@ Usage:
         [--window n]         cells per /grid streaming window (default 8)
         [--warm path]...     warm the cache from stored runs (repeatable)
         [--flush path]       write the cache snapshot on shutdown
+        [--log-dir dir]      crash-safe append log: replay it on start,
+                             append every fresh evaluation (fsync'd)
 
 Endpoints: GET /health, GET /metrics, GET /profile, GET /critical,
 POST /grid, POST /shutdown. /profile serves the live span-tree profile
@@ -66,6 +72,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "--window" => cfg.grid_window = parse_num(&value("--window")?, "--window")?,
             "--warm" => cfg.warm.push(PathBuf::from(value("--warm")?)),
             "--flush" => cfg.flush_path = Some(PathBuf::from(value("--flush")?)),
+            "--log-dir" => cfg.log_dir = Some(PathBuf::from(value("--log-dir")?)),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);

@@ -5,6 +5,9 @@
 //! sweep list                      # every preset with its axes and cell count
 //! sweep list <preset>             # the preset's cells (id + key)
 //! sweep run <preset> [--csv <path>] [--json <path>] [--quiet]
+//!           [--log-dir <dir>] [--shard <k/n>] [--window <n>]
+//! sweep merge <preset> --log-dir <dir> [--csv <path>] [--json <path>]
+//!           [--partial] [--quiet]
 //! sweep sim <preset> [--csv <path>] [--no-contention] [--bandwidth <n>]
 //!           [--buffer-words <n>] [--quiet]
 //! sweep roofline <preset> [--csv <path>] [--tol <rel>] [--quiet]
@@ -14,7 +17,17 @@
 //! `run` executes the grid in parallel on the shared runtime pool
 //! (`ADAGP_THREADS` sizes it) and prints the cell table; `--csv` writes
 //! the byte-stable metrics file, `--json` the full-precision run record
-//! with timings. `sim` runs every cell through the `adagp-sim`
+//! with timings. With `--log-dir` the run becomes crash-safe and
+//! resumable: every completed cell is appended to a per-shard NDJSON
+//! log (fsync at each record boundary), already-logged cells are
+//! skipped on re-invocation, `--shard k/n` runs one slice of the grid
+//! (n cooperating invocations sharing the directory cover it exactly
+//! once), and the final CSV/JSON are reconstructed from the merged logs
+//! — byte-identical no matter how often the run was interrupted. In
+//! log-dir mode the JSON record is the zero-timing snapshot form (wall
+//! clocks are meaningless across resumed fragments). `merge` rebuilds
+//! the final artifacts from an existing log directory without running
+//! anything. `sim` runs every cell through the `adagp-sim`
 //! discrete-event simulator and reports the batch-level detail
 //! (per-phase makespans, simulated speed-up, utilization, overlap, spill
 //! cycles, buffer peak); `--bandwidth`/`--buffer-words` set the base
@@ -32,9 +45,10 @@
 use adagp_bench::report::render_table;
 use adagp_sim::SimConfig;
 use adagp_sweep::{
-    diff, presets, roofline, runner, simeval, store, DiffConfig, GridSpec, StoredRun,
+    diff, presets, roofline, runner, shardlog, simeval, store, DiffConfig, GridSpec, Shard,
+    StoredRun,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -43,6 +57,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("roofline") => cmd_roofline(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
@@ -63,7 +78,19 @@ Usage:
   sweep list                                list presets (axes, cell counts)
   sweep list <preset>                       list a preset's cells (id + key)
   sweep run <preset> [--csv p] [--json p] [--quiet]
-                                            execute a grid on the shared pool
+            [--log-dir d] [--shard k/n] [--window n]
+                                            execute a grid on the shared pool;
+                                            --log-dir appends each finished
+                                            cell to a crash-safe per-shard
+                                            NDJSON log and resumes past cells
+                                            already on disk; --shard k/n runs
+                                            one slice (cells k-1 mod n);
+                                            --window bounds cells in memory
+  sweep merge <preset> --log-dir d [--csv p] [--json p] [--partial] [--quiet]
+                                            rebuild final CSV/JSON from shard
+                                            logs without evaluating anything
+                                            (--partial accepts an incomplete
+                                            grid)
   sweep sim <preset> [--csv p] [--no-contention] [--bandwidth n]
             [--buffer-words n] [--quiet]
                                             simulate a grid on the event engine
@@ -128,14 +155,42 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut csv_path: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut log_dir: Option<PathBuf> = None;
+    let mut shard = Shard::default();
+    let mut window = DEFAULT_WINDOW;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--csv" => csv_path = Some(path_arg(&mut it, "--csv")?),
             "--json" => json_path = Some(path_arg(&mut it, "--json")?),
+            "--log-dir" => log_dir = Some(path_arg(&mut it, "--log-dir")?),
+            "--shard" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--shard requires a k/n value".to_string())?;
+                shard = Shard::parse(raw)?;
+            }
+            "--window" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--window requires a value".to_string())?;
+                window = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|w| *w > 0)
+                    .ok_or_else(|| {
+                        format!("--window: bad value `{raw}` (need a positive integer)")
+                    })?;
+            }
             "--quiet" => quiet = true,
             other => return Err(format!("run: unexpected argument `{other}`")),
         }
+    }
+    if let Some(dir) = &log_dir {
+        return run_logged(name, &grid, shard, dir, window, csv_path, json_path, quiet);
+    }
+    if shard != Shard::default() {
+        return Err("run: --shard requires --log-dir (sharded runs live in shard logs)".into());
     }
 
     let run = runner::run_grid(&grid);
@@ -176,6 +231,163 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         println!("wrote JSON to {}", p.display());
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Cells evaluated per append window in log-dir mode: small enough to
+/// bound memory on huge grids, large enough to amortize pool dispatch.
+const DEFAULT_WINDOW: usize = 64;
+
+/// The `run --log-dir` path: resumable sharded execution plus merged
+/// final artifacts once the grid is complete.
+#[allow(clippy::too_many_arguments)]
+fn run_logged(
+    name: &str,
+    grid: &GridSpec,
+    shard: Shard,
+    dir: &Path,
+    window: usize,
+    csv_path: Option<PathBuf>,
+    json_path: Option<PathBuf>,
+    quiet: bool,
+) -> Result<ExitCode, String> {
+    let stats = shardlog::run_sharded(grid, shard, dir, window)?;
+    println!(
+        "{name} [shard {}]: {} cells owned, {} resumed from log, {} evaluated ({} thread(s))",
+        stats.shard,
+        stats.owned,
+        stats.resumed,
+        stats.evaluated,
+        adagp_runtime::pool().size()
+    );
+    let run = shardlog::merge_to_run(dir, grid)?;
+    report_skipped(&run.skipped);
+    if !quiet && !run.cells.is_empty() {
+        let rows: Vec<Vec<String>> = run
+            .cells
+            .iter()
+            .map(|c| vec![c.id.clone(), c.key(), store::csv_float(c.metrics[0])])
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &format!("sweep run: {name} (merged log)"),
+                &["ID", "Cell", "Speed-up"],
+                &rows
+            )
+        );
+    }
+    if run.is_complete() {
+        println!(
+            "{name}: grid complete in {} ({} cells)",
+            dir.display(),
+            run.cells.len()
+        );
+        write_merged_outputs(&run, &grid.name, csv_path.as_deref(), json_path.as_deref())?;
+    } else {
+        println!(
+            "{name}: {}/{} cells logged, {} missing — run the remaining shards, then \
+             `sweep merge {name} --log-dir {}`",
+            run.cells.len(),
+            run.cells.len() + run.missing.len(),
+            run.missing.len(),
+            dir.display()
+        );
+        if csv_path.is_some() || json_path.is_some() {
+            println!("final CSV/JSON not written: the merge is incomplete");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
+    let name = args
+        .first()
+        .ok_or_else(|| format!("merge: missing preset name\n{USAGE}"))?;
+    let grid = preset(name)?;
+    let mut csv_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut log_dir: Option<PathBuf> = None;
+    let mut partial = false;
+    let mut quiet = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => csv_path = Some(path_arg(&mut it, "--csv")?),
+            "--json" => json_path = Some(path_arg(&mut it, "--json")?),
+            "--log-dir" => log_dir = Some(path_arg(&mut it, "--log-dir")?),
+            "--partial" => partial = true,
+            "--quiet" => quiet = true,
+            other => return Err(format!("merge: unexpected argument `{other}`")),
+        }
+    }
+    let dir = log_dir.ok_or_else(|| "merge: --log-dir is required".to_string())?;
+    let run = shardlog::merge_to_run(&dir, &grid)?;
+    report_skipped(&run.skipped);
+    if !quiet {
+        println!(
+            "{name}: merged {} of {} cells from {} ({} extra record(s) ignored)",
+            run.cells.len(),
+            run.cells.len() + run.missing.len(),
+            dir.display(),
+            run.extras
+        );
+    }
+    if !run.is_complete() && !partial {
+        return Err(format!(
+            "merge: {} cell(s) missing from the logs (first: {}); run the remaining \
+             shards or pass --partial to write what is present",
+            run.missing.len(),
+            run.missing.first().map(String::as_str).unwrap_or("?"),
+        ));
+    }
+    write_merged_outputs(&run, &grid.name, csv_path.as_deref(), json_path.as_deref())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Streams a merged run into its final CSV/JSON artifacts (bounded
+/// memory; bytes identical to the whole-file writers).
+fn write_merged_outputs(
+    run: &shardlog::MergedRun,
+    grid_name: &str,
+    csv_path: Option<&Path>,
+    json_path: Option<&Path>,
+) -> Result<(), String> {
+    if let Some(p) = csv_path {
+        let mut w = store::StreamingCsvWriter::create(p)
+            .map_err(|e| format!("write {}: {e}", p.display()))?;
+        for cell in &run.cells {
+            w.write_cell(cell)
+                .map_err(|e| format!("write {}: {e}", p.display()))?;
+        }
+        w.finish()
+            .map_err(|e| format!("write {}: {e}", p.display()))?;
+        println!("wrote CSV to {}", p.display());
+    }
+    if let Some(p) = json_path {
+        let mut w = store::StreamingJsonWriter::create(p, grid_name)
+            .map_err(|e| format!("write {}: {e}", p.display()))?;
+        for cell in &run.cells {
+            w.write_cell(cell)
+                .map_err(|e| format!("write {}: {e}", p.display()))?;
+        }
+        w.finish()
+            .map_err(|e| format!("write {}: {e}", p.display()))?;
+        println!("wrote JSON to {}", p.display());
+    }
+    Ok(())
+}
+
+/// Surfaces undecodable shard-log spans on stderr (they are warnings:
+/// every intact record was still recovered).
+fn report_skipped(skipped: &[(PathBuf, shardlog::SkippedSpan)]) {
+    for (path, span) in skipped {
+        eprintln!(
+            "sweep: warning: {}: skipped {span}",
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string())
+        );
+    }
 }
 
 fn cmd_sim(args: &[String]) -> Result<ExitCode, String> {

@@ -30,9 +30,20 @@
 //! is byte-identical (asserted by the cache-consistency tests). CSV is
 //! deliberately *not* used here: 6-decimal quantization of ~4e11-cycle
 //! metrics exceeds an `f64`'s ~17 significant digits, so CSV would not
-//! reload byte-stably.
+//! reload byte-stably. [`CellCache::flush`] stages the snapshot in a
+//! temp sibling and renames it into place, so a crash mid-flush never
+//! leaves a torn snapshot where the last good one stood.
+//!
+//! ## Incremental append log
+//!
+//! With a [`ShardWriter`] attached ([`CellCache::attach_log`]), every
+//! *fresh* evaluation is appended to the crash-safe shard log the moment
+//! it completes — the server no longer depends on a graceful shutdown
+//! flush for durability. A killed server warm-loads the merged log on
+//! restart and re-evaluates nothing that already reached the disk.
 
 use adagp_sweep::grid::CellSpec;
+use adagp_sweep::shardlog::ShardWriter;
 use adagp_sweep::store::{RunRecord, StoredCell, StoredRun, METRICS};
 use adagp_sweep::{evaluate_cell, metrics_from_array, CellMetrics};
 use std::collections::HashMap;
@@ -136,12 +147,39 @@ enum Claim {
 #[derive(Debug, Default)]
 pub struct CellCache {
     map: Mutex<HashMap<String, Entry>>,
+    /// The attached incremental append log (`None`: snapshot-only
+    /// durability). Its own mutex, never held together with `map`:
+    /// appends happen after the entry is published.
+    log: Mutex<Option<ShardWriter>>,
 }
 
 impl CellCache {
     /// An empty (cold) cache.
     pub fn new() -> Self {
         CellCache::default()
+    }
+
+    /// Attaches an append-only shard log: from now on every fresh
+    /// evaluation is durably appended (fsync per record) as soon as it
+    /// completes. Replaces any previously attached writer.
+    pub fn attach_log(&self, writer: ShardWriter) {
+        *self.log.lock().unwrap() = Some(writer);
+    }
+
+    /// Appends a freshly evaluated cell to the attached log, if any.
+    /// Append failures are reported on stderr but do not fail the
+    /// serving path — the entry is already published in memory, and the
+    /// next graceful flush still captures it.
+    fn log_append(&self, cell: &StoredCell) {
+        let mut log = self.log.lock().unwrap();
+        if let Some(writer) = log.as_mut() {
+            if let Err(e) = writer.append(cell) {
+                eprintln!(
+                    "adagp-serve: warning: append to {} failed: {e}",
+                    writer.path().display()
+                );
+            }
+        }
     }
 
     /// Number of ready (memoized) cells, partial entries included.
@@ -196,6 +234,7 @@ impl CellCache {
                         map.insert(spec.id.clone(), Entry::Ready(Arc::clone(&cell)));
                         drop(map);
                         flight.complete(Ok(Arc::clone(&cell)));
+                        self.log_append(&cell.cell);
                         Ok((cell, Served::Evaluated))
                     }
                     Err(payload) => {
@@ -269,11 +308,14 @@ impl CellCache {
     }
 
     /// Writes [`CellCache::snapshot_json`] to `path`, returning how many
-    /// cells it holds.
+    /// cells it holds. Crash-safe: the snapshot is staged in a
+    /// `.{pid}.tmp` sibling and atomically renamed into place (the same
+    /// discipline as `adagp_nn::checkpoint`), so an interrupted flush
+    /// never truncates or tears an existing snapshot.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from writing the file.
+    /// Returns any I/O error from writing or renaming the file.
     pub fn flush(&self, path: &Path) -> std::io::Result<usize> {
         let full = {
             let map = self.map.lock().unwrap();
@@ -281,7 +323,17 @@ impl CellCache {
                 .filter(|e| matches!(e, Entry::Ready(c) if c.is_full()))
                 .count()
         };
-        std::fs::write(path, self.snapshot_json())?;
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "snapshot".into());
+        tmp_name.push(format!(".{}.tmp", std::process::id()));
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, self.snapshot_json())?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         Ok(full)
     }
 }

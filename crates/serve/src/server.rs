@@ -15,6 +15,12 @@
 //! thread stops and closes the queue, the workers finish every already
 //! accepted request (draining in-flight evaluations with them), and the
 //! cache is flushed to disk as a byte-stable JSON snapshot.
+//!
+//! Durability does not depend on that graceful flush: with
+//! [`ServerConfig::log_dir`] set, every fresh evaluation is appended to
+//! a crash-safe shard log (fsync per record) the moment it completes,
+//! and a restarted server replays the merged log before accepting
+//! traffic — a `kill -9` mid-grid costs zero recomputation.
 
 use crate::cache::{CellCache, Served};
 use crate::http::{error_response, response, streaming_head, HttpError, Request, RequestParser};
@@ -46,6 +52,12 @@ pub struct ServerConfig {
     pub warm: Vec<PathBuf>,
     /// Where shutdown flushes the cache snapshot (`None`: no flush).
     pub flush_path: Option<PathBuf>,
+    /// Incremental shard-log directory (`None`: snapshot-only
+    /// durability). When set, the cache warm-loads every record already
+    /// merged from the directory's shard logs and appends each fresh
+    /// evaluation to `shard-1-of-1.ndjson` with an fsync per record —
+    /// a killed server restarts mid-grid with zero recomputation.
+    pub log_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +69,7 @@ impl Default for ServerConfig {
             grid_window: 8,
             warm: Vec::new(),
             flush_path: None,
+            log_dir: None,
         }
     }
 }
@@ -165,6 +178,24 @@ pub fn start(cfg: ServerConfig) -> Result<ServerHandle, String> {
     });
     for path in &cfg.warm {
         state.cache.warm_load(path)?;
+    }
+    if let Some(dir) = &cfg.log_dir {
+        // Replay the crash-safe append log: every record any previous
+        // incarnation committed becomes a full warm entry (resume hits
+        // on /metrics), then this incarnation appends to the same log.
+        let merged = adagp_sweep::shardlog::merge_dir(dir)?;
+        for (path, span) in &merged.skipped {
+            eprintln!("adagp-serve: warning: {}: skipped {span}", path.display());
+        }
+        let cells: Vec<_> = merged.by_id.into_values().collect();
+        let resumed = state.cache.warm_from_stored(&adagp_sweep::StoredRun {
+            cells,
+            ..Default::default()
+        });
+        adagp_sweep::shardlog::note_resume_hits(resumed as u64);
+        let writer = adagp_sweep::shardlog::ShardWriter::open(dir, adagp_sweep::Shard::default())
+            .map_err(|e| format!("open shard log in {}: {e}", dir.display()))?;
+        state.cache.attach_log(writer);
     }
     let queue = Arc::new(BoundedQueue::<TcpStream>::new(cfg.queue_depth.max(1)));
     let workers = (0..cfg.workers.max(1))

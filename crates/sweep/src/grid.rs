@@ -207,6 +207,57 @@ impl CellSpec {
     }
 }
 
+/// One slice of a sharded sweep: this invocation owns every cell whose
+/// expansion index `i` satisfies `i % n == k - 1`. Index-based (not
+/// ID-hash-based) assignment keeps the per-shard cell sets contiguous in
+/// workload terms and — more importantly — deterministic for any grid,
+/// so `k/n` invocations never overlap and together cover the grid
+/// exactly once (property-tested in `shardlog`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// 1-based shard index (`1 ..= n`).
+    pub k: u32,
+    /// Total shard count.
+    pub n: u32,
+}
+
+impl Default for Shard {
+    /// The whole grid: shard 1 of 1.
+    fn default() -> Self {
+        Shard { k: 1, n: 1 }
+    }
+}
+
+impl Shard {
+    /// Parses the CLI form `k/n` (e.g. `2/4`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed spec (`k` and `n` must be
+    /// positive integers with `k <= n`).
+    pub fn parse(text: &str) -> Result<Shard, String> {
+        let err = || format!("bad shard spec `{text}` (expected k/n with 1 <= k <= n)");
+        let (k, n) = text.split_once('/').ok_or_else(err)?;
+        let k: u32 = k.trim().parse().map_err(|_| err())?;
+        let n: u32 = n.trim().parse().map_err(|_| err())?;
+        if k == 0 || n == 0 || k > n {
+            return Err(err());
+        }
+        Ok(Shard { k, n })
+    }
+
+    /// Whether this shard owns the cell at expansion index `index`.
+    pub fn owns(&self, index: usize) -> bool {
+        index % self.n as usize == (self.k - 1) as usize
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.k, self.n)
+    }
+}
+
 /// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms;
 /// collisions over the few-hundred-cell grid space are not a concern
 /// (and the expansion test asserts uniqueness anyway).
@@ -412,6 +463,26 @@ mod tests {
             .collect();
         assert_eq!(totals, vec![90, 90, 90]);
         assert_ne!(PhaseSchedule::Paper.mix(), PhaseSchedule::WarmupHeavy.mix());
+    }
+
+    #[test]
+    fn shard_parse_accepts_valid_and_rejects_malformed_specs() {
+        assert_eq!(Shard::parse("1/1").unwrap(), Shard { k: 1, n: 1 });
+        assert_eq!(Shard::parse("3/7").unwrap(), Shard { k: 3, n: 7 });
+        assert_eq!(Shard::default(), Shard { k: 1, n: 1 });
+        for bad in ["", "1", "0/2", "3/2", "2/0", "a/b", "1/2/3", "-1/2"] {
+            assert!(Shard::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn shards_partition_every_index_exactly_once() {
+        for n in [1u32, 2, 4, 7] {
+            for index in 0..100usize {
+                let owners: Vec<u32> = (1..=n).filter(|&k| Shard { k, n }.owns(index)).collect();
+                assert_eq!(owners.len(), 1, "index {index} under n={n}: {owners:?}");
+            }
+        }
     }
 
     #[test]

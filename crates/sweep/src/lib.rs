@@ -22,7 +22,14 @@
 //!   the batch-level detail view behind the `sweep sim` subcommand.
 //! * [`store`] — serializes runs to byte-stable CSV (fixed-precision
 //!   floats, no timing columns) and JSON (full precision + timing, via
-//!   the now-activated vendored serde derives), and loads either back.
+//!   the now-activated vendored serde derives), and loads either back —
+//!   including streaming bounded-memory writers whose output is
+//!   byte-identical to the whole-file forms.
+//! * [`shardlog`] — append-only, shard-per-worker NDJSON result logs
+//!   with fsync'd record boundaries: crash-safe resumable execution
+//!   (`--shard k/n`), a torn-tail-tolerant loader, and a deterministic
+//!   last-write-wins merge that reconstructs the byte-stable CSV/JSON
+//!   of an uninterrupted run.
 //! * [`diff`] — compares two stored runs cell-by-cell with configurable
 //!   tolerances and classifies regressions/improvements — the cross-PR
 //!   trajectory tracker ROADMAP asked for.
@@ -57,14 +64,22 @@ pub mod presets;
 pub mod roofline;
 pub mod runner;
 pub mod shapes;
+pub mod shardlog;
 pub mod simeval;
 pub mod store;
 
 pub use diff::{diff_runs, DiffConfig, DiffReport};
-pub use grid::{CellSpec, DatasetScale, GridSpec, PhaseSchedule};
+pub use grid::{CellSpec, DatasetScale, GridSpec, PhaseSchedule, Shard};
 pub use roofline::{
     cell_knee, cell_roofline, roofline_csv, run_roofline_grid, KneeMemoKey, RooflinePoint,
 };
-pub use runner::{evaluate_cell, run_grid, CellMetrics, CellResult, SweepRun};
+pub use runner::{evaluate_cell, evaluate_cells, run_grid, CellMetrics, CellResult, SweepRun};
+pub use shardlog::{
+    load_shard, merge_dir, merge_to_run, run_sharded, shard_file_name, MergedRun, ShardLoad,
+    ShardRunStats, ShardWriter, SkippedSpan,
+};
 pub use simeval::{cell_sim_config, run_sim_grid, sim_detail_csv, simulate_cell, SimCellDetail};
-pub use store::{metrics_from_array, metrics_to_array, RunRecord, StoredCell, StoredRun};
+pub use store::{
+    metrics_from_array, metrics_to_array, stored_csv_string, stored_json_string, RunRecord,
+    StoredCell, StoredRun, StreamingCsvWriter, StreamingJsonWriter,
+};

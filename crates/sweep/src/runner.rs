@@ -130,12 +130,13 @@ pub fn evaluate_cell(spec: &CellSpec) -> CellMetrics {
     }
 }
 
-/// Runs every cell of `grid` in parallel on the shared runtime pool.
-/// Result order is the expansion order (deterministic; `parallel_map`
-/// preserves input order for every thread count).
-pub fn run_grid(grid: &GridSpec) -> SweepRun {
-    let t0 = Instant::now();
-    let cells = adagp_runtime::pool().parallel_map(grid.expand(), |spec| {
+/// Evaluates an explicit list of cells in parallel on the shared
+/// runtime pool, preserving input order for every thread count. This is
+/// the shared execution core: [`run_grid`] feeds it a whole expansion,
+/// the shard-log runner ([`crate::shardlog::run_sharded`]) feeds it
+/// bounded windows of pending cells.
+pub fn evaluate_cells(specs: Vec<CellSpec>) -> Vec<CellResult> {
+    adagp_runtime::pool().parallel_map(specs, |spec| {
         let t = Instant::now();
         let metrics = obs::span(
             "sweep",
@@ -151,7 +152,15 @@ pub fn run_grid(grid: &GridSpec) -> SweepRun {
             metrics,
             wall_micros,
         }
-    });
+    })
+}
+
+/// Runs every cell of `grid` in parallel on the shared runtime pool.
+/// Result order is the expansion order (deterministic;
+/// [`evaluate_cells`] preserves input order for every thread count).
+pub fn run_grid(grid: &GridSpec) -> SweepRun {
+    let t0 = Instant::now();
+    let cells = evaluate_cells(grid.expand());
     SweepRun {
         grid: grid.name.clone(),
         cells,

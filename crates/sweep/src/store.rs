@@ -414,7 +414,12 @@ pub fn write_json(path: &Path, run: &SweepRun) -> std::io::Result<()> {
 
 /// One stored cell: identity, axis values, metric values in
 /// [`METRICS`] order.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The serde derives double as the shard-log record format: one compact
+/// JSON object per log line (`{"id": …, "axes": […], "metrics": […]}`),
+/// full-precision floats (the shortest-round-trip writer recovers the
+/// exact bits on reload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoredCell {
     /// Content-derived cell ID.
     pub id: String,
@@ -458,6 +463,211 @@ impl StoredCell {
             key.push_str(&format!("/buf{}", self.axes[6]));
         }
         key
+    }
+}
+
+/// Renders stored cells as the byte-stable CSV form — identical, byte
+/// for byte, to [`to_csv_string`] over the run the cells came from:
+/// the quantization to [`CSV_FLOAT_DECIMALS`] decimals happens here, at
+/// format time, from the full-precision metrics the cells carry.
+pub fn stored_csv_string(cells: &[StoredCell]) -> String {
+    let mut out = String::new();
+    out.push_str(&CSV_HEADER.join(","));
+    out.push('\n');
+    for c in cells {
+        out.push_str(&stored_csv_row(c));
+    }
+    out
+}
+
+/// One CSV row (newline-terminated) of a stored cell.
+fn stored_csv_row(c: &StoredCell) -> String {
+    let mut row = String::new();
+    row.push_str(&c.id);
+    for axis in &c.axes {
+        row.push(',');
+        row.push_str(axis);
+    }
+    for &m in &c.metrics {
+        row.push(',');
+        row.push_str(&csv_float(m));
+    }
+    row.push('\n');
+    row
+}
+
+/// Renders stored cells as the full-precision, zero-timing JSON run
+/// record (the [`RunRecord::from_stored_cells`] form, trailing newline
+/// included) — the byte-stable format the shard-log merge and the serve
+/// cache snapshot share.
+pub fn stored_json_string(grid: &str, cells: &[StoredCell]) -> String {
+    let mut text = serde::json::to_string_pretty(&RunRecord::from_stored_cells(grid, cells));
+    text.push('\n');
+    text
+}
+
+/// Bounded-memory CSV writer: header up front, one row per
+/// [`write_cell`](StreamingCsvWriter::write_cell), rows never buffered.
+/// Writes to `<path>.tmp` and renames into place on
+/// [`finish`](StreamingCsvWriter::finish), so a crash mid-write never
+/// leaves a truncated file at the destination. The finished bytes are
+/// identical to [`stored_csv_string`] over the same cells (asserted in
+/// tests), so streaming and whole-file outputs stay interchangeable.
+#[derive(Debug)]
+pub struct StreamingCsvWriter {
+    out: std::io::BufWriter<std::fs::File>,
+    tmp: std::path::PathBuf,
+    path: std::path::PathBuf,
+}
+
+/// The temp-file sibling a streaming writer stages its output in.
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "out".into());
+    name.push(format!(".{}.tmp", std::process::id()));
+    path.with_file_name(name)
+}
+
+impl StreamingCsvWriter {
+    /// Opens the temp file and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the temp file.
+    pub fn create(path: &Path) -> std::io::Result<StreamingCsvWriter> {
+        use std::io::Write;
+        let tmp = tmp_sibling(path);
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        out.write_all(CSV_HEADER.join(",").as_bytes())?;
+        out.write_all(b"\n")?;
+        Ok(StreamingCsvWriter {
+            out,
+            tmp,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one cell row.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the write.
+    pub fn write_cell(&mut self, cell: &StoredCell) -> std::io::Result<()> {
+        use std::io::Write;
+        self.out.write_all(stored_csv_row(cell).as_bytes())
+    }
+
+    /// Flushes, fsyncs and atomically renames the temp file into place.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the flush, sync or rename.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        use std::io::Write;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        std::fs::rename(&self.tmp, &self.path)
+    }
+}
+
+impl Drop for StreamingCsvWriter {
+    fn drop(&mut self) {
+        // An unfinished writer leaves no debris: the destination was
+        // never touched, and the temp file is best-effort removed.
+        let _ = std::fs::remove_file(&self.tmp);
+    }
+}
+
+/// Bounded-memory JSON run-record writer: the [`stored_json_string`]
+/// bytes, produced one cell at a time (each cell is serialized and
+/// re-indented individually; the whole record is never held in memory).
+/// Same temp-file + atomic-rename discipline as [`StreamingCsvWriter`].
+#[derive(Debug)]
+pub struct StreamingJsonWriter {
+    out: std::io::BufWriter<std::fs::File>,
+    tmp: std::path::PathBuf,
+    path: std::path::PathBuf,
+    cells: usize,
+}
+
+impl StreamingJsonWriter {
+    /// Opens the temp file and writes the record prelude (schema, grid
+    /// name, zeroed total wall time, the opening of the cell array).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the temp file.
+    pub fn create(path: &Path, grid: &str) -> std::io::Result<StreamingJsonWriter> {
+        use std::io::Write;
+        let tmp = tmp_sibling(path);
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        // The prelude is carved out of the pretty form of an empty
+        // record, so its bytes (grid-name escaping included) can never
+        // drift from the whole-string writer.
+        let empty = serde::json::to_string_pretty(&RunRecord::from_stored_cells(grid, &[]));
+        let open = empty
+            .rfind("[]")
+            .expect("empty record renders an empty cell array");
+        out.write_all(&empty.as_bytes()[..open + 1])?;
+        Ok(StreamingJsonWriter {
+            out,
+            tmp,
+            path: path.to_path_buf(),
+            cells: 0,
+        })
+    }
+
+    /// Appends one cell record object.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the write.
+    pub fn write_cell(&mut self, cell: &StoredCell) -> std::io::Result<()> {
+        use std::io::Write;
+        if self.cells > 0 {
+            self.out.write_all(b",")?;
+        }
+        self.out.write_all(b"\n")?;
+        let record = RunRecord::from_stored_cells("", std::slice::from_ref(cell));
+        let pretty = serde::json::to_string_pretty(&record.cells[0]);
+        // The cell object sits at array-item depth: four leading spaces
+        // on every line (two levels of the writer's two-space indent).
+        let mut first = true;
+        for line in pretty.lines() {
+            if !first {
+                self.out.write_all(b"\n")?;
+            }
+            first = false;
+            self.out.write_all(b"    ")?;
+            self.out.write_all(line.as_bytes())?;
+        }
+        self.cells += 1;
+        Ok(())
+    }
+
+    /// Closes the array and record, fsyncs and atomically renames the
+    /// temp file into place.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the write, flush, sync or rename.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        use std::io::Write;
+        if self.cells > 0 {
+            self.out.write_all(b"\n  ")?;
+        }
+        self.out.write_all(b"]\n}\n")?;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        std::fs::rename(&self.tmp, &self.path)
+    }
+}
+
+impl Drop for StreamingJsonWriter {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.tmp);
     }
 }
 
@@ -981,6 +1191,70 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn stored_csv_matches_run_csv_byte_for_byte() {
+        let run = small_run();
+        let stored: Vec<StoredCell> = run
+            .cells
+            .iter()
+            .map(|c| StoredCell::from_evaluation(&c.spec, &c.metrics))
+            .collect();
+        assert_eq!(stored_csv_string(&stored), to_csv_string(&run));
+    }
+
+    #[test]
+    fn streaming_writers_reproduce_whole_file_bytes_exactly() {
+        let run = small_run();
+        let stored: Vec<StoredCell> = run
+            .cells
+            .iter()
+            .map(|c| StoredCell::from_evaluation(&c.spec, &c.metrics))
+            .collect();
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        // Non-trivial grid name: exercises JSON string escaping in the
+        // carved prelude.
+        for (label, cells) in [("all", stored.as_slice()), ("none", &[])] {
+            let csv_path = dir.join(format!("adagp-stream-{pid}-{label}.csv"));
+            let json_path = dir.join(format!("adagp-stream-{pid}-{label}.json"));
+            let mut cw = StreamingCsvWriter::create(&csv_path).unwrap();
+            let mut jw = StreamingJsonWriter::create(&json_path, "grid \"x\"").unwrap();
+            for c in cells {
+                cw.write_cell(c).unwrap();
+                jw.write_cell(c).unwrap();
+            }
+            cw.finish().unwrap();
+            jw.finish().unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&csv_path).unwrap(),
+                stored_csv_string(cells),
+                "CSV ({label})"
+            );
+            assert_eq!(
+                std::fs::read_to_string(&json_path).unwrap(),
+                stored_json_string("grid \"x\"", cells),
+                "JSON ({label})"
+            );
+            std::fs::remove_file(&csv_path).ok();
+            std::fs::remove_file(&json_path).ok();
+        }
+    }
+
+    #[test]
+    fn unfinished_streaming_writer_leaves_no_file_behind() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("adagp-stream-drop-{}.csv", std::process::id()));
+        {
+            let _w = StreamingCsvWriter::create(&path).unwrap();
+            // Dropped without finish(): a simulated crash mid-write.
+        }
+        assert!(!path.exists(), "destination must not exist");
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "temp staging file must be cleaned up"
+        );
     }
 
     #[test]
